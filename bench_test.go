@@ -1,0 +1,316 @@
+// Package repro's root benchmark suite regenerates every table and figure of
+// the paper at CI scale (QuickOptions: 5-6% of the Table 1 corpus sizes, a
+// budget of 30-40 questions). Each benchmark reports the headline quantity of
+// its experiment via b.ReportMetric so `go test -bench` output doubles as a
+// compact reproduction summary; cmd/benchrunner prints the full rows/series
+// and supports the larger presets.
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// metricName sanitizes a label for use as a benchmark metric unit (no
+// whitespace allowed).
+func metricName(label, suffix string) string {
+	return strings.ReplaceAll(label, " ", "-") + suffix
+}
+
+// benchOptions returns the options used by the root benchmarks.
+func benchOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Scale = 0.06
+	o.Budget = 40
+	o.NumCandidates = 600
+	return o
+}
+
+// BenchmarkTable1DatasetStats regenerates Table 1 (dataset statistics).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := o.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("expected 5 datasets, got %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure7SeedSize regenerates Figure 7 (coverage vs. random seed-set
+// size, Snuba vs Darwin(HS)) on the directions dataset.
+func BenchmarkFigure7SeedSize(b *testing.B) {
+	o := benchOptions()
+	var last experiments.SeedSizeResult
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure7("directions", []int{25, 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if len(last.Points) == 2 {
+		b.ReportMetric(last.Points[0].Darwin, "darwin-cov@25seeds")
+		b.ReportMetric(last.Points[0].Snuba, "snuba-cov@25seeds")
+		b.ReportMetric(last.Points[1].Darwin, "darwin-cov@200seeds")
+		b.ReportMetric(last.Points[1].Snuba, "snuba-cov@200seeds")
+	}
+}
+
+// BenchmarkFigure8BiasedSeed regenerates Figure 8 (biased seeds withholding
+// the "shuttle" token) on the directions dataset.
+func BenchmarkFigure8BiasedSeed(b *testing.B) {
+	o := benchOptions()
+	var last experiments.SeedSizeResult
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure8("directions", []int{200}, experiments.WithheldTokenFor("directions"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if len(last.Points) == 1 {
+		b.ReportMetric(last.Points[0].Darwin, "darwin-cov")
+		b.ReportMetric(last.Points[0].Snuba, "snuba-cov")
+	}
+}
+
+// BenchmarkFigure9Coverage regenerates the coverage panels of Figure 9 on the
+// directions dataset (Darwin variants + HighP).
+func BenchmarkFigure9Coverage(b *testing.B) {
+	o := benchOptions()
+	var last experiments.MethodCurves
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure9("directions")
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, m := range []string{"darwin-hs", "darwin-us", "darwin-ls", "highP"} {
+		if c, ok := last.Coverage[m]; ok {
+			b.ReportMetric(c.Final(), m+"-cov")
+		}
+	}
+}
+
+// BenchmarkFigure9FScore regenerates the F-score panels of Figure 9 on the
+// tweets (Food intent) dataset, including the AL and KS baselines.
+func BenchmarkFigure9FScore(b *testing.B) {
+	o := benchOptions()
+	o.Scale = 0.5 // tweets is tiny (2130 sentences at full scale)
+	var last experiments.MethodCurves
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure9("tweets")
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, m := range []string{"darwin-hs", "highP", "AL", "KS"} {
+		if c, ok := last.FScore[m]; ok {
+			b.ReportMetric(c.Final(), m+"-f1")
+		}
+	}
+}
+
+// BenchmarkFigure10Professions regenerates Figure 10 (professions, the
+// largest and most imbalanced dataset).
+func BenchmarkFigure10Professions(b *testing.B) {
+	o := benchOptions()
+	o.Scale = 0.05 // 5K professions sentences
+	var last experiments.MethodCurves
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if c, ok := last.Coverage["darwin-hs"]; ok {
+		b.ReportMetric(c.Final(), "darwin-hs-cov")
+	}
+	if c, ok := last.FScore["darwin-hs"]; ok {
+		b.ReportMetric(c.Final(), "darwin-hs-f1")
+	}
+}
+
+// BenchmarkFigure11Traversals regenerates the qualitative rule-traversal
+// traces of Figure 11.
+func BenchmarkFigure11Traversals(b *testing.B) {
+	o := benchOptions()
+	var accepted int
+	for i := 0; i < b.N; i++ {
+		traces, err := o.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		accepted = 0
+		for _, tr := range traces {
+			for _, s := range tr.Steps {
+				if s.Accepted {
+					accepted++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(accepted), "accepted-rules")
+}
+
+// BenchmarkTable2Snorkel regenerates Table 2 (Darwin vs Darwin+Snorkel) on
+// the directions dataset.
+func BenchmarkTable2Snorkel(b *testing.B) {
+	o := benchOptions()
+	var last []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows, err := o.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, row := range last {
+		b.ReportMetric(row.Darwin, row.Dataset+"-darwin-f1")
+		b.ReportMetric(row.DarwinSnorkel, row.Dataset+"-snorkel-f1")
+	}
+}
+
+// BenchmarkEfficiencyIndexBuild measures index construction alone on a 5K
+// professions corpus (§4.5 reports <5 min for the full corpora).
+func BenchmarkEfficiencyIndexBuild(b *testing.B) {
+	o := benchOptions()
+	o.Budget = 5
+	var res []experiments.EfficiencyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = o.Efficiency([]int{5000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res) == 1 {
+		b.ReportMetric(res[0].IndexBuild.Seconds(), "index-build-s")
+	}
+}
+
+// BenchmarkEfficiencyEndToEnd measures an end-to-end Darwin(HS) run on a 10K
+// professions corpus (§4.5's end-to-end label-collection time).
+func BenchmarkEfficiencyEndToEnd(b *testing.B) {
+	o := benchOptions()
+	var res []experiments.EfficiencyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = o.Efficiency([]int{10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res) == 1 {
+		b.ReportMetric(res[0].TotalRun.Seconds(), "end-to-end-s")
+		b.ReportMetric(res[0].Coverage, "coverage")
+	}
+}
+
+// BenchmarkHumanAnnotators regenerates the §4.5 crowd-annotator study.
+func BenchmarkHumanAnnotators(b *testing.B) {
+	o := benchOptions()
+	var last experiments.HumanAnnotatorsResult
+	for i := 0; i < b.N; i++ {
+		res, err := o.HumanAnnotators(0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.PerfectCoverage, "perfect-cov")
+	b.ReportMetric(last.CrowdCoverage, "crowd-cov")
+	b.ReportMetric(float64(last.CrowdFalseYes), "false-yes")
+}
+
+// BenchmarkFigure12Tau regenerates Figure 12a (sensitivity to τ).
+func BenchmarkFigure12Tau(b *testing.B) {
+	o := benchOptions()
+	o.Budget = 30
+	var last []experiments.ParamCurve
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure12Tau([]int{3, 5, 7, 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, pc := range last {
+		b.ReportMetric(pc.Curve.Final(), metricName(pc.Label, "-cov"))
+	}
+}
+
+// BenchmarkFigure12Seeds regenerates Figure 12b (sensitivity to the seed
+// rule).
+func BenchmarkFigure12Seeds(b *testing.B) {
+	o := benchOptions()
+	o.Budget = 30
+	var last []experiments.ParamCurve
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure12Seeds(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, pc := range last {
+		b.ReportMetric(pc.Curve.Final(), metricName(pc.Label, "-cov"))
+	}
+}
+
+// BenchmarkFigure13Candidates regenerates Figure 13 (sensitivity to the
+// number of generated candidates).
+func BenchmarkFigure13Candidates(b *testing.B) {
+	o := benchOptions()
+	o.Budget = 30
+	var last []experiments.ParamCurve
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure13Candidates([]int{300, 600, 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, pc := range last {
+		b.ReportMetric(pc.Curve.Final(), metricName(pc.Label, "-cov"))
+	}
+}
+
+// BenchmarkFigure14Epochs regenerates Figure 14 (classifier quality vs.
+// questions needed to reach the target coverage).
+func BenchmarkFigure14Epochs(b *testing.B) {
+	o := benchOptions()
+	o.Budget = 30
+	var last []experiments.EpochsPoint
+	for i := 0; i < b.N; i++ {
+		res, err := o.Figure14Epochs([]int{4, 8, 12}, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last {
+		b.ReportMetric(float64(p.QuestionsToTarget), "epochs"+itoa(p.Epochs)+"-questions")
+	}
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var digits []byte
+	for x > 0 {
+		digits = append([]byte{byte('0' + x%10)}, digits...)
+		x /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,62 @@
+// Command datagen generates the synthetic datasets used by the experiments
+// and writes them as JSONL files (one header line followed by one
+// {"text":..., "label":...} record per sentence).
+//
+// Usage:
+//
+//	datagen -dataset directions -scale 1.0 -seed 1 -out directions.jsonl
+//	datagen -all -scale 0.2 -outdir ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "directions", "dataset name: directions | musicians | cause-effect | professions | tweets")
+		all     = flag.Bool("all", false, "generate all five datasets")
+		scale   = flag.Float64("scale", 1.0, "scale factor applied to the Table 1 dataset size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default <dataset>.jsonl)")
+		outdir  = flag.String("outdir", ".", "output directory when -all is set")
+		stats   = flag.Bool("stats", false, "print Table 1 style statistics instead of writing files")
+	)
+	flag.Parse()
+
+	names := []string{*dataset}
+	if *all {
+		names = datagen.AllDatasetNames()
+	}
+
+	for _, name := range names {
+		c, err := datagen.ByName(name, *scale, *seed)
+		if err != nil {
+			fatalf("generate %s: %v", name, err)
+		}
+		if *stats {
+			st := c.ComputeStats()
+			fmt.Printf("%-14s %8d sentences  %5.1f%% positive  task=%s\n",
+				name, st.Sentences, st.PositivePct, c.Task)
+			continue
+		}
+		path := *out
+		if path == "" || *all {
+			path = filepath.Join(*outdir, name+".jsonl")
+		}
+		if err := c.SaveJSONL(path); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s (%d sentences, %.1f%% positive)\n", path, c.Len(), c.PositiveRate()*100)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

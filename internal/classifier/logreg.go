@@ -1,0 +1,126 @@
+package classifier
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Model is a binary probabilistic classifier over dense feature vectors.
+type Model interface {
+	// Fit trains the model on features X with binary labels y (0 or 1).
+	Fit(X [][]float64, y []int) error
+	// Proba returns P(label=1 | x).
+	Proba(x []float64) float64
+}
+
+// Config holds the shared hyperparameters for the trainable classifiers.
+type Config struct {
+	// Epochs is the number of SGD passes over the training set.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// L2 is the L2 regularization strength.
+	L2 float64
+	// Hidden is the hidden-layer width (MLP only).
+	Hidden int
+	// Seed drives weight initialization and example shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns the hyperparameters used in the experiments.
+func DefaultConfig() Config {
+	return Config{Epochs: 10, LearningRate: 0.1, L2: 1e-4, Hidden: 16, Seed: 1}
+}
+
+// ErrNoTrainingData is returned by Fit when X is empty.
+var ErrNoTrainingData = errors.New("classifier: no training data")
+
+// ErrDimensionMismatch is returned when feature vectors have inconsistent
+// lengths or labels do not align with features.
+var ErrDimensionMismatch = errors.New("classifier: dimension mismatch")
+
+// LogisticRegression is an L2-regularized logistic regression trained with
+// SGD. The zero value is not usable; construct with NewLogisticRegression.
+type LogisticRegression struct {
+	cfg     Config
+	weights []float64
+	bias    float64
+	trained bool
+}
+
+// NewLogisticRegression creates a logistic regression with the given config.
+func NewLogisticRegression(cfg Config) *LogisticRegression {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	return &LogisticRegression{cfg: cfg}
+}
+
+// Fit trains the model. Labels must be 0 or 1.
+func (m *LogisticRegression) Fit(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return ErrNoTrainingData
+	}
+	if len(X) != len(y) {
+		return ErrDimensionMismatch
+	}
+	dim := len(X[0])
+	for _, x := range X {
+		if len(x) != dim {
+			return ErrDimensionMismatch
+		}
+	}
+	m.weights = make([]float64, dim)
+	m.bias = 0
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	lr := m.cfg.LearningRate
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			x := X[i]
+			target := float64(y[i])
+			p := sigmoid(dot(m.weights, x) + m.bias)
+			grad := p - target
+			for d, xd := range x {
+				m.weights[d] -= lr * (grad*xd + m.cfg.L2*m.weights[d])
+			}
+			m.bias -= lr * grad
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Proba returns P(y=1|x). An untrained model returns 0.5 (uninformative).
+func (m *LogisticRegression) Proba(x []float64) float64 {
+	if !m.trained || len(x) != len(m.weights) {
+		return 0.5
+	}
+	return sigmoid(dot(m.weights, x) + m.bias)
+}
+
+func sigmoid(z float64) float64 {
+	if z > 30 {
+		return 1
+	}
+	if z < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package classifier
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/embedding"
+)
+
+// Kind selects which underlying model a SentenceClassifier trains.
+type Kind string
+
+// Supported classifier kinds.
+const (
+	KindLogReg Kind = "logreg"
+	KindMLP    Kind = "mlp"
+)
+
+// SentenceClassifier wraps a featurizer and a probabilistic model and exposes
+// the exact interface Darwin needs: retrain from the set of discovered
+// positive instances (sampling random corpus sentences as negatives, as
+// described in §3.3 of the paper) and score every sentence with p_s.
+type SentenceClassifier struct {
+	corp *corpus.Corpus
+	feat *Featurizer
+	cfg  Config
+	kind Kind
+	rng  *rand.Rand
+
+	// NegativeFactor controls how many random negatives are sampled per
+	// positive training example (default 3).
+	NegativeFactor int
+
+	model  Model
+	scores []float64
+	scored bool
+}
+
+// NewSentenceClassifier creates a classifier over the given corpus. emb may
+// be nil to disable embedding features. The corpus must be preprocessed
+// (tokens available).
+func NewSentenceClassifier(c *corpus.Corpus, emb *embedding.Model, cfg Config, kind Kind) *SentenceClassifier {
+	if kind == "" {
+		kind = KindLogReg
+	}
+	return &SentenceClassifier{
+		corp:           c,
+		feat:           NewFeaturizer(emb, 512),
+		cfg:            cfg,
+		kind:           kind,
+		rng:            rand.New(rand.NewSource(cfg.Seed + 17)),
+		NegativeFactor: 3,
+	}
+}
+
+// newModel builds a fresh underlying model for one training round.
+func (sc *SentenceClassifier) newModel() Model {
+	switch sc.kind {
+	case KindMLP:
+		return NewMLP(sc.cfg)
+	default:
+		return NewLogisticRegression(sc.cfg)
+	}
+}
+
+// TrainFromPositives retrains the classifier using the given positive
+// sentence IDs and randomly sampled negatives (skipping known positives).
+// It invalidates the cached scores.
+func (sc *SentenceClassifier) TrainFromPositives(positiveIDs map[int]bool) error {
+	if len(positiveIDs) == 0 {
+		return fmt.Errorf("classifier: %w", ErrNoTrainingData)
+	}
+	var X [][]float64
+	var y []int
+	for id := 0; id < sc.corp.Len(); id++ {
+		if positiveIDs[id] {
+			X = append(X, sc.feat.Features(sc.corp.Sentence(id).Tokens))
+			y = append(y, 1)
+		}
+	}
+	// Sample negatives uniformly from the rest of the corpus. In imbalanced
+	// corpora a uniform sample is overwhelmingly negative, matching the
+	// paper's procedure.
+	wantNeg := len(X) * sc.NegativeFactor
+	if wantNeg < 8 {
+		wantNeg = 8
+	}
+	tries := 0
+	negSeen := map[int]bool{}
+	for len(negSeen) < wantNeg && tries < wantNeg*20 {
+		tries++
+		id := sc.rng.Intn(sc.corp.Len())
+		if positiveIDs[id] || negSeen[id] {
+			continue
+		}
+		negSeen[id] = true
+		X = append(X, sc.feat.Features(sc.corp.Sentence(id).Tokens))
+		y = append(y, 0)
+	}
+	model := sc.newModel()
+	if err := model.Fit(X, y); err != nil {
+		return fmt.Errorf("classifier: fit: %w", err)
+	}
+	sc.model = model
+	sc.scored = false
+	return nil
+}
+
+// Trained reports whether the classifier has been trained at least once.
+func (sc *SentenceClassifier) Trained() bool { return sc.model != nil }
+
+// Score returns p_s for the sentence with the given ID. Before the first
+// training round every sentence scores 0.5.
+func (sc *SentenceClassifier) Score(id int) float64 {
+	if sc.model == nil {
+		return 0.5
+	}
+	sc.ensureScores()
+	if id < 0 || id >= len(sc.scores) {
+		return 0.5
+	}
+	return sc.scores[id]
+}
+
+// ScoreAll returns p_s for every sentence in corpus order. The returned slice
+// is owned by the classifier and must not be modified.
+func (sc *SentenceClassifier) ScoreAll() []float64 {
+	sc.ensureScores()
+	return sc.scores
+}
+
+func (sc *SentenceClassifier) ensureScores() {
+	if sc.scored && sc.scores != nil {
+		return
+	}
+	if sc.scores == nil {
+		sc.scores = make([]float64, sc.corp.Len())
+	}
+	for id := 0; id < sc.corp.Len(); id++ {
+		if sc.model == nil {
+			sc.scores[id] = 0.5
+			continue
+		}
+		sc.scores[id] = sc.model.Proba(sc.feat.Features(sc.corp.Sentence(id).Tokens))
+	}
+	sc.scored = true
+}
+
+// ScoreOne computes p_s for a single sentence directly, without building or
+// refreshing the full score cache. It is used by the engine's lazy re-scoring
+// optimization (§4.5: only re-evaluate sentences whose previous confidence
+// exceeded 0.3).
+func (sc *SentenceClassifier) ScoreOne(id int) float64 {
+	if sc.model == nil || id < 0 || id >= sc.corp.Len() {
+		return 0.5
+	}
+	return sc.model.Proba(sc.feat.Features(sc.corp.Sentence(id).Tokens))
+}
+
+// PredictPositive returns the IDs of all sentences with p_s >= threshold.
+func (sc *SentenceClassifier) PredictPositive(threshold float64) []int {
+	sc.ensureScores()
+	var out []int
+	for id, p := range sc.scores {
+		if p >= threshold {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Entropy returns the binary entropy of the prediction for a sentence, the
+// uncertainty measure used by the Active Learning baseline.
+func (sc *SentenceClassifier) Entropy(id int) float64 {
+	p := sc.Score(id)
+	return binaryEntropy(p)
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+}

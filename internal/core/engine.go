@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/classifier"
+	"repro/internal/corpus"
+	"repro/internal/embedding"
+	"repro/internal/grammar"
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+	"repro/internal/oracle"
+	"repro/internal/sketch"
+	"repro/internal/traversal"
+)
+
+// RuleRecord describes one oracle interaction (or seed rule) of a run.
+type RuleRecord struct {
+	// Question is the 1-based question number (0 for seed rules, which do
+	// not consume budget).
+	Question int
+	// Key and Rule identify the heuristic.
+	Key  string
+	Rule string
+	// Coverage is |C_r|.
+	Coverage int
+	// Accepted is the oracle's answer.
+	Accepted bool
+	// CoverageIDs is the full coverage set C_r of accepted rules (nil for
+	// rejected rules, to keep reports small).
+	CoverageIDs []int
+	// AddedIDs are the sentence IDs newly added to P by this rule (empty for
+	// rejected rules).
+	AddedIDs []int
+	// PositivesAfter is |P| after processing this record.
+	PositivesAfter int
+}
+
+// Report is the result of one Darwin run.
+type Report struct {
+	// Accepted lists the accepted rules in acceptance order (seeds included).
+	Accepted []RuleRecord
+	// History lists every oracle query in order (seeds excluded).
+	History []RuleRecord
+	// Positives is the final discovered positive set P.
+	Positives map[int]bool
+	// Questions is the number of oracle queries spent.
+	Questions int
+	// IndexBuild and Total are wall-clock timings of the run.
+	IndexBuild time.Duration
+	Total      time.Duration
+}
+
+// AcceptedRuleStrings returns the accepted rules as display strings.
+func (r *Report) AcceptedRuleStrings() []string {
+	out := make([]string, len(r.Accepted))
+	for i, rec := range r.Accepted {
+		out[i] = rec.Rule
+	}
+	return out
+}
+
+// PositiveIDs returns the discovered positive set as a sorted slice.
+func (r *Report) PositiveIDs() []int {
+	out := make([]int, 0, len(r.Positives))
+	for id := range r.Positives {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Engine is a Darwin instance bound to one corpus.
+type Engine struct {
+	cfg  Config
+	corp *corpus.Corpus
+	reg  *grammar.Registry
+	ix   *index.Index
+	emb  *embedding.Model
+	clf  *classifier.SentenceClassifier
+	rng  *rand.Rand
+
+	scores       []float64
+	retrainCount int
+	indexBuild   time.Duration
+}
+
+// New prepares a Darwin engine: it preprocesses the corpus, trains word
+// embeddings, builds and prunes the index, and initializes the classifier.
+func New(c *corpus.Corpus, cfg Config) (*Engine, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	cfg, reg := cfg.withDefaults()
+
+	c.Preprocess(corpus.PreprocessOptions{Parse: cfg.UseParseTrees})
+
+	var emb *embedding.Model
+	if cfg.Embedding.Dim > 0 {
+		embCfg := cfg.Embedding
+		if embCfg.Seed == 0 {
+			embCfg.Seed = cfg.Seed
+		}
+		emb = embedding.Train(c.TokenizedSentences(), embCfg)
+	}
+
+	start := time.Now()
+	builder := sketch.NewBuilder(reg, cfg.SketchDepth)
+	ix := index.Build(c, builder)
+	ix.Prune(cfg.MinRuleCoverage)
+	indexBuild := time.Since(start)
+
+	clfCfg := cfg.Classifier
+	if clfCfg.Seed == 0 {
+		clfCfg.Seed = cfg.Seed
+	}
+	clf := classifier.NewSentenceClassifier(c, emb, clfCfg, cfg.ClassifierKind)
+
+	e := &Engine{
+		cfg:        cfg,
+		corp:       c,
+		reg:        reg,
+		ix:         ix,
+		emb:        emb,
+		clf:        clf,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		indexBuild: indexBuild,
+	}
+	e.scores = make([]float64, c.Len())
+	for i := range e.scores {
+		e.scores[i] = 0.5
+	}
+	return e, nil
+}
+
+// Corpus returns the engine's corpus.
+func (e *Engine) Corpus() *corpus.Corpus { return e.corp }
+
+// Index returns the engine's heuristic index.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Registry returns the engine's grammar registry.
+func (e *Engine) Registry() *grammar.Registry { return e.reg }
+
+// Scores returns the engine's current p_s estimates (indexed by sentence ID).
+// The slice is owned by the engine.
+func (e *Engine) Scores() []float64 { return e.scores }
+
+// Classifier returns the engine's sentence classifier.
+func (e *Engine) Classifier() *classifier.SentenceClassifier { return e.clf }
+
+// ParseRule parses a textual rule specification using the engine's grammars.
+func (e *Engine) ParseRule(spec string) (grammar.Heuristic, error) {
+	return e.reg.Parse(spec)
+}
+
+// RunOptions configures one discovery run.
+type RunOptions struct {
+	// SeedRules are textual rule specifications (e.g. "best way to get to" or
+	// "treematch:caused/by"); their coverage seeds P without consuming
+	// budget.
+	SeedRules []string
+	// SeedPositiveIDs are sentence IDs known to be positive; they seed P
+	// directly (the "couple of positive sentences" initialization).
+	SeedPositiveIDs []int
+	// Oracle answers rule-verification queries. Required.
+	Oracle oracle.Oracle
+	// OnQuery, if non-nil, is called after every oracle query with the
+	// record and the engine (whose classifier scores reflect the query's
+	// outcome). Experiments use it to capture per-question curves.
+	OnQuery func(rec RuleRecord, e *Engine)
+}
+
+// Run executes Algorithm 1: starting from the seed rules / seed positives it
+// iteratively generates a candidate hierarchy, selects the most promising
+// rule with the configured traversal strategy, queries the oracle, and
+// updates the positive set and classifier, until the query budget is spent or
+// no candidates remain.
+func (e *Engine) Run(opts RunOptions) (*Report, error) {
+	if opts.Oracle == nil {
+		return nil, fmt.Errorf("core: RunOptions.Oracle is required")
+	}
+	start := time.Now()
+	report := &Report{Positives: make(map[int]bool)}
+	positives := report.Positives
+
+	// Seed P from rules and/or positive sentence IDs (Algorithm 1 line 3).
+	var seedKeys []string
+	for _, spec := range opts.SeedRules {
+		h, err := e.reg.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: seed rule %q: %w", spec, err)
+		}
+		node := e.ix.EnsureHeuristic(h, e.corp)
+		added := e.addCoverage(positives, node.Postings)
+		seedKeys = append(seedKeys, h.Key())
+		report.Accepted = append(report.Accepted, RuleRecord{
+			Question:       0,
+			Key:            h.Key(),
+			Rule:           h.String(),
+			Coverage:       node.Count(),
+			Accepted:       true,
+			CoverageIDs:    append([]int(nil), node.Postings...),
+			AddedIDs:       added,
+			PositivesAfter: len(positives),
+		})
+	}
+	for _, id := range opts.SeedPositiveIDs {
+		if s := e.corp.Sentence(id); s != nil {
+			positives[id] = true
+		}
+	}
+	if len(positives) == 0 {
+		return nil, fmt.Errorf("core: seeds produced no positive instances (need a seed rule with non-empty coverage or seed positive IDs)")
+	}
+
+	// Initial classifier (Algorithm 1 line 4).
+	e.retrain(positives)
+
+	trav := e.cfg.CustomTraversal
+	if trav == nil {
+		trav = traversal.New(e.cfg.Traversal, e.cfg.Tau, seedKeys...)
+	}
+	queried := make(map[string]bool)
+	for _, k := range seedKeys {
+		queried[k] = true
+	}
+
+	hierCfg := e.cfg.hierarchyConfig()
+	for q := 1; q <= e.cfg.Budget; q++ {
+		// Line 6: (re)generate the candidate hierarchy.
+		h := hierarchy.Generate(e.ix, positives, hierCfg)
+		st := &traversal.State{
+			Hierarchy: h,
+			Index:     e.ix,
+			Positives: positives,
+			Scores:    e.scores,
+			Queried:   queried,
+		}
+		// Make sure local strategies know about the seed rules' neighborhoods
+		// on the first iteration.
+		if q == 1 {
+			for _, k := range seedKeys {
+				trav.Reseed(st, k)
+			}
+		}
+
+		// Line 7: pick the next rule to verify.
+		key, ok := trav.Next(st)
+		if !ok {
+			break
+		}
+		queried[key] = true
+		cov := e.coverageOf(h, key)
+		heur := e.heuristicOf(h, key)
+
+		// Line 8: ask the oracle.
+		query := oracle.Query{
+			Heuristic: heur,
+			Coverage:  cov,
+			Samples:   oracle.SampleCoverage(cov, e.cfg.OracleSampleSize, e.rng),
+		}
+		accepted := opts.Oracle.Answer(query)
+
+		rec := RuleRecord{
+			Question: q,
+			Key:      key,
+			Rule:     ruleString(heur, key),
+			Coverage: len(cov),
+			Accepted: accepted,
+		}
+		if accepted {
+			// Lines 9-12: extend P, retrain, rescore.
+			rec.CoverageIDs = append([]int(nil), cov...)
+			rec.AddedIDs = e.addCoverage(positives, cov)
+			report.Accepted = append(report.Accepted, rec)
+			e.retrain(positives)
+		}
+		rec.PositivesAfter = len(positives)
+		report.History = append(report.History, rec)
+		report.Questions = q
+
+		trav.Feedback(st, key, accepted)
+		if opts.OnQuery != nil {
+			opts.OnQuery(rec, e)
+		}
+	}
+
+	report.IndexBuild = e.indexBuild
+	report.Total = time.Since(start)
+	return report, nil
+}
+
+// Suggestion is one candidate rule proposed by SuggestRules, with the
+// statistics an annotator (or a downstream tool) needs to judge it.
+type Suggestion struct {
+	Key         string
+	Rule        string
+	Coverage    int
+	NewCoverage int
+	Benefit     float64
+	AvgBenefit  float64
+	SampleIDs   []int
+}
+
+// SuggestRules returns the k most promising unqueried candidate rules given
+// the already-discovered positive set, ranked by benefit. It supports the
+// paper's parallel-discovery mode: the returned suggestions can be dispatched
+// to different annotators simultaneously, and their answers fed back through
+// a subsequent Run (seeding it with the accepted rules) or used directly.
+func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k int) []Suggestion {
+	if k <= 0 {
+		k = 10
+	}
+	if positives == nil {
+		positives = map[int]bool{}
+	}
+	if exclude == nil {
+		exclude = map[string]bool{}
+	}
+	h := hierarchy.Generate(e.ix, positives, e.cfg.hierarchyConfig())
+	var out []Suggestion
+	for _, key := range h.NonRootKeys() {
+		if exclude[key] {
+			continue
+		}
+		n := h.Node(key)
+		newCov := 0
+		for _, id := range n.Coverage {
+			if !positives[id] {
+				newCov++
+			}
+		}
+		if newCov == 0 {
+			continue
+		}
+		benefit := traversal.Benefit(n.Coverage, positives, e.scores)
+		out = append(out, Suggestion{
+			Key:         key,
+			Rule:        n.Heuristic.String(),
+			Coverage:    len(n.Coverage),
+			NewCoverage: newCov,
+			Benefit:     benefit,
+			AvgBenefit:  traversal.AvgBenefit(n.Coverage, positives, e.scores),
+			SampleIDs:   oracle.SampleCoverage(n.Coverage, e.cfg.OracleSampleSize, e.rng),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benefit != out[j].Benefit {
+			return out[i].Benefit > out[j].Benefit
+		}
+		if out[i].NewCoverage != out[j].NewCoverage {
+			return out[i].NewCoverage > out[j].NewCoverage
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// addCoverage inserts the coverage IDs into P and returns the newly added
+// ones (sorted).
+func (e *Engine) addCoverage(positives map[int]bool, cov []int) []int {
+	var added []int
+	for _, id := range cov {
+		if !positives[id] {
+			positives[id] = true
+			added = append(added, id)
+		}
+	}
+	sort.Ints(added)
+	return added
+}
+
+// coverageOf resolves a rule key's coverage from the hierarchy or the index.
+func (e *Engine) coverageOf(h *hierarchy.Hierarchy, key string) []int {
+	if n := h.Node(key); n != nil {
+		return n.Coverage
+	}
+	return e.ix.Coverage(key)
+}
+
+// heuristicOf resolves a rule key's heuristic from the hierarchy or the index.
+func (e *Engine) heuristicOf(h *hierarchy.Hierarchy, key string) grammar.Heuristic {
+	if n := h.Node(key); n != nil {
+		return n.Heuristic
+	}
+	if n := e.ix.Node(key); n != nil {
+		return n.Heuristic
+	}
+	return nil
+}
+
+func ruleString(h grammar.Heuristic, key string) string {
+	if h != nil {
+		return h.String()
+	}
+	return key
+}
+
+// retrain refits the classifier on the current positive set and refreshes the
+// p_s scores, honouring the lazy re-scoring optimization when enabled.
+func (e *Engine) retrain(positives map[int]bool) {
+	if err := e.clf.TrainFromPositives(positives); err != nil {
+		// Not enough signal to train (should not happen once P is non-empty);
+		// keep previous scores.
+		return
+	}
+	e.retrainCount++
+	fullRescore := !e.cfg.LazyScoring || e.retrainCount%3 == 1 || e.retrainCount <= 1
+	if fullRescore {
+		all := e.clf.ScoreAll()
+		copy(e.scores, all)
+		return
+	}
+	thr := e.cfg.LazyScoreThreshold
+	for id := 0; id < e.corp.Len(); id++ {
+		if e.scores[id] > thr || positives[id] {
+			e.scores[id] = e.clf.ScoreOne(id)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+func TestSuggestRules(t *testing.T) {
+	c := testCorpus(t, 0.05)
+	cfg := fastConfig("hybrid")
+	e, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed P from the standard seed rule's coverage.
+	h, err := e.ParseRule("best way to get to")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := e.Index().EnsureHeuristic(h, c)
+	positives := map[int]bool{}
+	for _, id := range node.Postings {
+		positives[id] = true
+	}
+
+	suggestions := e.SuggestRules(positives, map[string]bool{h.Key(): true}, 5)
+	if len(suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if len(suggestions) > 5 {
+		t.Fatalf("asked for 5 suggestions, got %d", len(suggestions))
+	}
+	seen := map[string]bool{}
+	for i, s := range suggestions {
+		if s.Key == h.Key() {
+			t.Errorf("excluded rule %q suggested", s.Key)
+		}
+		if seen[s.Key] {
+			t.Errorf("duplicate suggestion %q", s.Key)
+		}
+		seen[s.Key] = true
+		if s.NewCoverage <= 0 || s.Coverage < s.NewCoverage {
+			t.Errorf("suggestion %q has inconsistent coverage: %+v", s.Key, s)
+		}
+		if s.Rule == "" || len(s.SampleIDs) == 0 {
+			t.Errorf("suggestion %q missing presentation fields", s.Key)
+		}
+		if i > 0 && suggestions[i-1].Benefit < s.Benefit {
+			t.Errorf("suggestions not sorted by benefit at %d", i)
+		}
+		if s.AvgBenefit < 0 || s.AvgBenefit > 1 {
+			t.Errorf("avg benefit out of range: %+v", s)
+		}
+	}
+
+	// Parallel-discovery round trip: verify each suggestion with the oracle
+	// and feed the accepted ones into a normal run as seed rules.
+	gt := oracle.NewGroundTruth(c)
+	var acceptedSpecs []string
+	for _, s := range suggestions {
+		q := oracle.Query{Heuristic: nil, Coverage: e.Index().Coverage(s.Key), Samples: s.SampleIDs}
+		if gt.Answer(q) {
+			// Strip the grammar prefix to re-parse through the registry.
+			acceptedSpecs = append(acceptedSpecs, s.Key)
+		}
+	}
+	if len(acceptedSpecs) > 0 {
+		rep, err := e.Run(RunOptions{SeedRules: acceptedSpecs, Oracle: gt})
+		if err != nil {
+			t.Fatalf("run with suggested seeds: %v", err)
+		}
+		if len(rep.Positives) == 0 {
+			t.Error("run with suggested seeds found nothing")
+		}
+	}
+
+	// Defaults: nil maps and k<=0.
+	def := e.SuggestRules(nil, nil, 0)
+	if len(def) == 0 || len(def) > 10 {
+		t.Errorf("default suggestion count = %d", len(def))
+	}
+}

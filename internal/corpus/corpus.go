@@ -1,0 +1,250 @@
+// Package corpus defines the sentence and corpus containers shared by every
+// component of the pipeline: the index, the rule grammars, the classifier,
+// the oracle and the dataset generators.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/depparse"
+	"repro/internal/postag"
+	"repro/internal/textproc"
+)
+
+// Label is the ground-truth label of a sentence for the current labeling
+// task. The paper's tasks are binary (positive vs negative instances).
+type Label int8
+
+// Label values.
+const (
+	Negative Label = 0
+	Positive Label = 1
+)
+
+// Sentence is a single, preprocessed sentence of the corpus.
+type Sentence struct {
+	// ID is the dense index of the sentence within its corpus.
+	ID int
+	// Text is the original sentence text.
+	Text string
+	// Tokens are the normalized tokens of the sentence.
+	Tokens []string
+	// Tags are the Universal POS tags, parallel to Tokens.
+	Tags []postag.Tag
+	// Tree is the dependency parse (nil until Preprocess is called with
+	// parsing enabled).
+	Tree *depparse.Tree
+	// Gold is the ground-truth label used by the simulated oracle and for
+	// evaluation; it is never read by the Darwin engine itself.
+	Gold Label
+}
+
+// Corpus is a collection of sentences for one labeling task.
+type Corpus struct {
+	// Name identifies the dataset (e.g. "directions").
+	Name string
+	// Task is a short description of the labeling task.
+	Task string
+	// Sentences holds all sentences, indexed by their ID.
+	Sentences []*Sentence
+}
+
+// New creates an empty corpus with the given name and task description.
+func New(name, task string) *Corpus {
+	return &Corpus{Name: name, Task: task}
+}
+
+// Add appends a raw sentence with a gold label and returns the new Sentence.
+// Preprocessing (tokens, tags, parse) is done lazily by Preprocess.
+func (c *Corpus) Add(text string, gold Label) *Sentence {
+	s := &Sentence{ID: len(c.Sentences), Text: text, Gold: gold}
+	c.Sentences = append(c.Sentences, s)
+	return s
+}
+
+// Len returns the number of sentences.
+func (c *Corpus) Len() int { return len(c.Sentences) }
+
+// Sentence returns the sentence with the given ID, or nil if out of range.
+func (c *Corpus) Sentence(id int) *Sentence {
+	if id < 0 || id >= len(c.Sentences) {
+		return nil
+	}
+	return c.Sentences[id]
+}
+
+// PreprocessOptions controls which preprocessing stages run.
+type PreprocessOptions struct {
+	// Parse enables dependency parsing (needed for the TreeMatch grammar).
+	Parse bool
+	// Tagger optionally overrides the default POS tagger.
+	Tagger *postag.Tagger
+}
+
+// Preprocess tokenizes, POS-tags and (optionally) parses every sentence that
+// has not been preprocessed yet. It is idempotent.
+func (c *Corpus) Preprocess(opts PreprocessOptions) {
+	var tok textproc.Tokenizer
+	tagger := opts.Tagger
+	if tagger == nil {
+		tagger = postag.New()
+	}
+	for _, s := range c.Sentences {
+		if s.Tokens == nil {
+			s.Tokens = tok.TokenizeWords(s.Text)
+		}
+		if s.Tags == nil {
+			s.Tags = tagger.TagSentence(s.Tokens)
+		}
+		if opts.Parse && s.Tree == nil {
+			s.Tree = depparse.ParseTagged(s.Tokens, s.Tags)
+		}
+	}
+}
+
+// Positives returns the IDs of all sentences with a positive gold label.
+func (c *Corpus) Positives() []int {
+	var out []int
+	for _, s := range c.Sentences {
+		if s.Gold == Positive {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// NumPositives returns the number of gold-positive sentences.
+func (c *Corpus) NumPositives() int {
+	n := 0
+	for _, s := range c.Sentences {
+		if s.Gold == Positive {
+			n++
+		}
+	}
+	return n
+}
+
+// PositiveRate returns the fraction of gold-positive sentences.
+func (c *Corpus) PositiveRate() float64 {
+	if len(c.Sentences) == 0 {
+		return 0
+	}
+	return float64(c.NumPositives()) / float64(len(c.Sentences))
+}
+
+// Stats summarizes a corpus for Table 1.
+type Stats struct {
+	Name        string
+	Sentences   int
+	PositivePct float64
+	Task        string
+	AvgTokens   float64
+	VocabSize   int
+}
+
+// ComputeStats returns the Table 1 style statistics of the corpus. It assumes
+// Preprocess has been called (otherwise token stats are zero).
+func (c *Corpus) ComputeStats() Stats {
+	vocab := map[string]struct{}{}
+	totalToks := 0
+	for _, s := range c.Sentences {
+		totalToks += len(s.Tokens)
+		for _, t := range s.Tokens {
+			vocab[t] = struct{}{}
+		}
+	}
+	avg := 0.0
+	if len(c.Sentences) > 0 {
+		avg = float64(totalToks) / float64(len(c.Sentences))
+	}
+	return Stats{
+		Name:        c.Name,
+		Sentences:   len(c.Sentences),
+		PositivePct: c.PositiveRate() * 100,
+		Task:        c.Task,
+		AvgTokens:   avg,
+		VocabSize:   len(vocab),
+	}
+}
+
+// TokenizedSentences returns the token slices of all sentences, for embedding
+// training.
+func (c *Corpus) TokenizedSentences() [][]string {
+	out := make([][]string, len(c.Sentences))
+	for i, s := range c.Sentences {
+		out[i] = s.Tokens
+	}
+	return out
+}
+
+// SampleIDs returns n sentence IDs sampled uniformly at random without
+// replacement using rng. If n exceeds the corpus size, all IDs are returned
+// (shuffled).
+func (c *Corpus) SampleIDs(n int, rng *rand.Rand) []int {
+	ids := make([]int, len(c.Sentences))
+	for i := range ids {
+		ids[i] = i
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// SamplePositiveIDs returns up to n gold-positive sentence IDs sampled
+// uniformly without replacement.
+func (c *Corpus) SamplePositiveIDs(n int, rng *rand.Rand) []int {
+	pos := c.Positives()
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	if n < len(pos) {
+		pos = pos[:n]
+	}
+	sort.Ints(pos)
+	return pos
+}
+
+// SampleBiasedIDs returns up to n sentence IDs sampled uniformly from the
+// sentences that do NOT contain the given token. This reproduces the biased
+// seed-set construction of Figure 8 (e.g. withhold "shuttle" or "composer").
+func (c *Corpus) SampleBiasedIDs(n int, withholdToken string, rng *rand.Rand) []int {
+	var eligible []int
+	for _, s := range c.Sentences {
+		if !containsToken(s.Tokens, withholdToken) {
+			eligible = append(eligible, s.ID)
+		}
+	}
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	if n < len(eligible) {
+		eligible = eligible[:n]
+	}
+	sort.Ints(eligible)
+	return eligible
+}
+
+func containsToken(tokens []string, tok string) bool {
+	for _, t := range tokens {
+		if t == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// GoldOf returns the gold labels of the given sentence IDs.
+func (c *Corpus) GoldOf(ids []int) []Label {
+	out := make([]Label, len(ids))
+	for i, id := range ids {
+		out[i] = c.Sentences[id].Gold
+	}
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (c *Corpus) String() string {
+	return fmt.Sprintf("%s: %d sentences, %.1f%% positive (%s)",
+		c.Name, c.Len(), c.PositiveRate()*100, c.Task)
+}

@@ -1,0 +1,232 @@
+package corpus
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestCorpus() *Corpus {
+	c := New("test", "intent: directions")
+	c.Add("What is the best way to get to SFO airport?", Positive)
+	c.Add("Is there a bart from SFO to the hotel?", Positive)
+	c.Add("What is the best way to check in there?", Negative)
+	c.Add("Is Uber the fastest way to get to the airport?", Positive)
+	c.Add("Would Uber Eats be the fastest way to order?", Negative)
+	c.Add("What is the best way to order food from you?", Negative)
+	c.Add("Is there a shuttle to the airport?", Positive)
+	c.Add("Can I get a late checkout?", Negative)
+	return c
+}
+
+func TestCorpusBasics(t *testing.T) {
+	c := buildTestCorpus()
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.NumPositives(); got != 4 {
+		t.Errorf("NumPositives = %d, want 4", got)
+	}
+	if got := c.PositiveRate(); got != 0.5 {
+		t.Errorf("PositiveRate = %f, want 0.5", got)
+	}
+	if s := c.Sentence(0); s == nil || s.ID != 0 {
+		t.Error("Sentence(0) wrong")
+	}
+	if s := c.Sentence(100); s != nil {
+		t.Error("Sentence(100) should be nil")
+	}
+	if s := c.Sentence(-1); s != nil {
+		t.Error("Sentence(-1) should be nil")
+	}
+	pos := c.Positives()
+	if len(pos) != 4 {
+		t.Errorf("Positives = %v", pos)
+	}
+}
+
+func TestPreprocessIdempotent(t *testing.T) {
+	c := buildTestCorpus()
+	c.Preprocess(PreprocessOptions{Parse: true})
+	s := c.Sentence(0)
+	if len(s.Tokens) == 0 || len(s.Tags) != len(s.Tokens) || s.Tree == nil {
+		t.Fatalf("preprocess incomplete: %+v", s)
+	}
+	toks := s.Tokens
+	c.Preprocess(PreprocessOptions{Parse: true})
+	if &toks[0] != &c.Sentence(0).Tokens[0] {
+		t.Error("Preprocess re-tokenized an already-processed sentence")
+	}
+	for _, s := range c.Sentences {
+		if err := s.Tree.Validate(); err != nil {
+			t.Errorf("sentence %d tree invalid: %v", s.ID, err)
+		}
+	}
+}
+
+func TestPreprocessWithoutParse(t *testing.T) {
+	c := buildTestCorpus()
+	c.Preprocess(PreprocessOptions{})
+	if c.Sentence(0).Tree != nil {
+		t.Error("Tree built without Parse option")
+	}
+	if len(c.Sentence(0).Tokens) == 0 {
+		t.Error("tokens missing")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := buildTestCorpus()
+	c.Preprocess(PreprocessOptions{})
+	st := c.ComputeStats()
+	if st.Sentences != 8 || st.PositivePct != 50 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.AvgTokens <= 0 || st.VocabSize <= 0 {
+		t.Errorf("token stats not computed: %+v", st)
+	}
+}
+
+func TestSampleIDs(t *testing.T) {
+	c := buildTestCorpus()
+	rng := rand.New(rand.NewSource(1))
+	ids := c.SampleIDs(3, rng)
+	if len(ids) != 3 {
+		t.Fatalf("SampleIDs len = %d", len(ids))
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 0 || id >= c.Len() || seen[id] {
+			t.Errorf("bad sample id %d", id)
+		}
+		seen[id] = true
+	}
+	all := c.SampleIDs(100, rng)
+	if len(all) != c.Len() {
+		t.Errorf("oversized sample len = %d", len(all))
+	}
+}
+
+func TestSamplePositiveIDs(t *testing.T) {
+	c := buildTestCorpus()
+	rng := rand.New(rand.NewSource(2))
+	ids := c.SamplePositiveIDs(2, rng)
+	if len(ids) != 2 {
+		t.Fatalf("len = %d", len(ids))
+	}
+	for _, id := range ids {
+		if c.Sentence(id).Gold != Positive {
+			t.Errorf("sampled non-positive id %d", id)
+		}
+	}
+}
+
+func TestSampleBiasedIDs(t *testing.T) {
+	c := buildTestCorpus()
+	c.Preprocess(PreprocessOptions{})
+	rng := rand.New(rand.NewSource(3))
+	ids := c.SampleBiasedIDs(100, "shuttle", rng)
+	for _, id := range ids {
+		for _, tok := range c.Sentence(id).Tokens {
+			if tok == "shuttle" {
+				t.Errorf("biased sample contains withheld token (id %d)", id)
+			}
+		}
+	}
+	if len(ids) != c.Len()-1 {
+		t.Errorf("biased sample size = %d, want %d", len(ids), c.Len()-1)
+	}
+}
+
+func TestGoldOf(t *testing.T) {
+	c := buildTestCorpus()
+	labels := c.GoldOf([]int{0, 2})
+	if labels[0] != Positive || labels[1] != Negative {
+		t.Errorf("GoldOf = %v", labels)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if got.Name != c.Name || got.Task != c.Task || got.Len() != c.Len() {
+		t.Fatalf("metadata mismatch: %v vs %v", got, c)
+	}
+	for i := range c.Sentences {
+		if got.Sentences[i].Text != c.Sentences[i].Text || got.Sentences[i].Gold != c.Sentences[i].Gold {
+			t.Errorf("sentence %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONLFileRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	path := t.TempDir() + "/corpus.jsonl"
+	if err := c.SaveJSONL(path); err != nil {
+		t.Fatalf("SaveJSONL: %v", err)
+	}
+	got, err := LoadJSONL(path)
+	if err != nil {
+		t.Fatalf("LoadJSONL: %v", err)
+	}
+	if got.Len() != c.Len() {
+		t.Errorf("round trip length %d vs %d", got.Len(), c.Len())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadJSONL(bytes.NewReader([]byte("not json\n"))); err == nil {
+		t.Error("bad header should error")
+	}
+	if _, err := ReadJSONL(bytes.NewReader([]byte("{\"corpus\":\"x\",\"task\":\"y\"}\ngarbage\n"))); err == nil {
+		t.Error("bad record should error")
+	}
+	if _, err := LoadJSONL("/nonexistent/path/file.jsonl"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+// Property: positive rate is always within [0,1] and consistent with counts.
+func TestPositiveRateProperty(t *testing.T) {
+	f := func(labels []bool) bool {
+		c := New("p", "t")
+		for _, l := range labels {
+			if l {
+				c.Add("pos sentence", Positive)
+			} else {
+				c.Add("neg sentence", Negative)
+			}
+		}
+		r := c.PositiveRate()
+		if r < 0 || r > 1 {
+			return false
+		}
+		return c.NumPositives() == len(c.Positives())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	c := New("empty", "none")
+	if c.PositiveRate() != 0 {
+		t.Error("empty corpus positive rate != 0")
+	}
+	st := c.ComputeStats()
+	if st.Sentences != 0 || st.AvgTokens != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	c.Preprocess(PreprocessOptions{Parse: true}) // must not panic
+}

@@ -1,0 +1,233 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestGenerateSizesAndRates(t *testing.T) {
+	tests := []struct {
+		name     string
+		spec     Spec
+		wantSize int
+		wantRate float64
+	}{
+		{"directions", DirectionsSpec(), 15300, 0.038},
+		{"musicians", MusiciansSpec(), 15800, 0.10},
+		{"cause-effect", CauseEffectSpec(), 10700, 0.122},
+		{"tweets", TweetsSpec(), 2130, 0.114},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Generate(tt.spec, 42)
+			if c.Len() != tt.wantSize {
+				t.Errorf("size = %d, want %d", c.Len(), tt.wantSize)
+			}
+			rate := c.PositiveRate()
+			if math.Abs(rate-tt.wantRate) > 0.005 {
+				t.Errorf("positive rate = %.4f, want %.4f", rate, tt.wantRate)
+			}
+		})
+	}
+}
+
+func TestGenerateProfessionsScaledDown(t *testing.T) {
+	spec := ProfessionsSpec()
+	spec.NumSentences = 5000
+	c := Generate(spec, 1)
+	if c.Len() != 5000 {
+		t.Fatalf("size = %d", c.Len())
+	}
+	if math.Abs(c.PositiveRate()-0.011) > 0.003 {
+		t.Errorf("positive rate = %.4f", c.PositiveRate())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := TweetsSpec()
+	a := Generate(spec, 7)
+	b := Generate(spec, 7)
+	if a.Len() != b.Len() {
+		t.Fatal("different sizes for same seed")
+	}
+	for i := range a.Sentences {
+		if a.Sentences[i].Text != b.Sentences[i].Text || a.Sentences[i].Gold != b.Sentences[i].Gold {
+			t.Fatalf("sentence %d differs for same seed", i)
+		}
+	}
+	c := Generate(spec, 8)
+	same := true
+	for i := range a.Sentences {
+		if a.Sentences[i].Text != c.Sentences[i].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestNoUnfilledSlots(t *testing.T) {
+	for _, name := range AllDatasetNames() {
+		c, err := ByName(name, 0.05, 3)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		for _, s := range c.Sentences {
+			if strings.ContainsAny(s.Text, "{}") {
+				t.Errorf("%s: unfilled slot in %q", name, s.Text)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 1, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestByNameScale(t *testing.T) {
+	c, err := ByName("tweets", 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1065 {
+		t.Errorf("scaled size = %d, want 1065", c.Len())
+	}
+	// Tiny scale clamps to a floor of 10 sentences.
+	c2, err := ByName("tweets", 0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() < 10 {
+		t.Errorf("floor not applied: %d", c2.Len())
+	}
+}
+
+func TestDirectionsClusterDiversity(t *testing.T) {
+	// The biased-seed experiment (Figure 8) requires that the "shuttle"
+	// cluster exists and that plenty of positives do NOT mention shuttle.
+	c, err := ByName("directions", 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Preprocess(corpus.PreprocessOptions{})
+	withShuttle, withoutShuttle := 0, 0
+	for _, s := range c.Sentences {
+		if s.Gold != corpus.Positive {
+			continue
+		}
+		has := false
+		for _, tok := range s.Tokens {
+			if tok == "shuttle" {
+				has = true
+				break
+			}
+		}
+		if has {
+			withShuttle++
+		} else {
+			withoutShuttle++
+		}
+	}
+	if withShuttle == 0 {
+		t.Error("no positive mentions 'shuttle'")
+	}
+	if withoutShuttle == 0 {
+		t.Error("all positives mention 'shuttle'")
+	}
+}
+
+func TestMusiciansComposerCluster(t *testing.T) {
+	c, err := ByName("musicians", 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Preprocess(corpus.PreprocessOptions{})
+	composerPos, composerNeg := 0, 0
+	for _, s := range c.Sentences {
+		for _, tok := range s.Tokens {
+			if tok == "composer" {
+				if s.Gold == corpus.Positive {
+					composerPos++
+				} else {
+					composerNeg++
+				}
+				break
+			}
+		}
+	}
+	if composerPos == 0 {
+		t.Error("'composer' never appears in positives")
+	}
+	// 'composer' should be a precise signal (>80% precision) so the oracle
+	// accepts it as a rule.
+	if composerNeg > composerPos/4 {
+		t.Errorf("'composer' too noisy: %d pos vs %d neg", composerPos, composerNeg)
+	}
+}
+
+func TestCauseEffectPatternPrecision(t *testing.T) {
+	c, err := ByName("cause-effect", 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := 0, 0
+	for _, s := range c.Sentences {
+		if strings.Contains(strings.ToLower(s.Text), "caused by") {
+			if s.Gold == corpus.Positive {
+				pos++
+			} else {
+				neg++
+			}
+		}
+	}
+	if pos == 0 {
+		t.Fatal("'caused by' never appears")
+	}
+	if float64(pos)/float64(pos+neg) < 0.8 {
+		t.Errorf("'caused by' precision %.2f < 0.8", float64(pos)/float64(pos+neg))
+	}
+}
+
+func TestNoiseRate(t *testing.T) {
+	spec := TweetsSpec()
+	spec.NoiseRate = 0.5
+	noisy := Generate(spec, 3)
+	clean := Generate(TweetsSpec(), 3)
+	diff := 0
+	for i := range clean.Sentences {
+		if clean.Sentences[i].Gold != noisy.Sentences[i].Gold {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("NoiseRate had no effect")
+	}
+}
+
+func TestRenderTemplateUnknownSlot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := renderTemplate(Template{Pattern: "hello {missing} world"}, map[string][]string{}, rng)
+	if got != "hello missing world" {
+		t.Errorf("renderTemplate = %q", got)
+	}
+}
+
+func TestPickClusterEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cl := pickCluster(nil, rng)
+	if len(cl.Templates) == 0 {
+		t.Error("empty cluster fallback has no templates")
+	}
+	tm := pickTemplate(Cluster{}, rng)
+	if tm.Pattern == "" {
+		t.Error("empty template fallback")
+	}
+}

@@ -1,0 +1,454 @@
+package datagen
+
+// This file defines the five dataset specifications mirroring Table 1 of the
+// paper. Sizes and positive rates match the paper; the professions dataset
+// defaults to 100K sentences (the paper's 1M is reachable via the scale
+// parameter of ByName or the datagen CLI).
+
+// commonSlots contains slot fillers shared by several datasets.
+func commonSlots() map[string][]string {
+	return map[string][]string{
+		"place": {
+			"the airport", "SFO airport", "the hotel", "downtown", "the station",
+			"the convention center", "union square", "the pier", "the beach",
+			"the ferry building", "the stadium", "the mall", "the museum",
+			"oakland", "the city center", "terminal 2", "the train station",
+			"golden gate park", "the wharf", "chinatown",
+		},
+		"place2": {
+			"the hotel", "the airport", "downtown", "the office", "the station",
+			"union square", "the conference", "the pier", "my room",
+		},
+		"food": {
+			"pizza", "sushi", "tacos", "ramen", "a burger", "pasta", "dumplings",
+			"pho", "fried chicken", "pancakes", "a burrito", "ice cream",
+			"thai food", "bbq", "noodles", "wings", "curry", "salad",
+		},
+		"time": {
+			"tonight", "this morning", "at noon", "after the meeting", "tomorrow",
+			"this weekend", "right now", "later today", "at 6", "before my flight",
+		},
+		"person": {
+			"John Miller", "Sarah Chen", "David Brown", "Maria Garcia",
+			"James Wilson", "Linda Johnson", "Robert Davis", "Karen Lopez",
+			"Michael Lee", "Susan Clark", "Thomas Wright", "Nancy Hall",
+			"Peter Novak", "Elena Petrova", "Ahmed Hassan", "Yuki Tanaka",
+		},
+		"city": {
+			"Boston", "Seattle", "Austin", "Denver", "Chicago", "Portland",
+			"Atlanta", "Phoenix", "Toronto", "Berlin", "Madrid", "Lyon",
+		},
+		"year": {
+			"1985", "1992", "2003", "2010", "1978", "1999", "2015", "1964",
+			"2018", "1951",
+		},
+		"company": {
+			"a startup", "the hospital", "a law firm", "the school district",
+			"a consultancy", "the national lab", "a construction firm",
+			"the city clinic",
+		},
+	}
+}
+
+func mergeSlots(dst, src map[string][]string) map[string][]string {
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// DirectionsSpec returns the spec for the directions dataset: hotel-guest
+// questions where positives ask for directions or transportation between
+// locations (Example 1 and Table 1: 15.3K sentences, 3.8% positive).
+func DirectionsSpec() Spec {
+	slots := mergeSlots(commonSlots(), map[string][]string{
+		"transport": {"taxi", "cab", "car service", "rideshare"},
+		"amenity":   {"the pool", "the gym", "the spa", "the rooftop bar", "the lounge", "the business center"},
+		"item":      {"towels", "pillows", "a toothbrush", "an iron", "a hair dryer", "extra blankets", "a crib"},
+		"meal":      {"breakfast", "dinner", "lunch", "room service", "brunch"},
+	})
+	return Spec{
+		Name:         "directions",
+		Task:         "Intents",
+		NumSentences: 15300,
+		PositiveRate: 0.038,
+		Slots:        slots,
+		PositiveClusters: []Cluster{
+			{Name: "best-way", Weight: 3, Templates: []Template{
+				{Pattern: "What is the best way to get to {place}?"},
+				{Pattern: "What is the best way to get from {place} to {place2}?"},
+				{Pattern: "What would be the fastest way to get to {place}?"},
+				{Pattern: "Is driving the best way to get to {place}?"},
+			}},
+			{Name: "shuttle", Weight: 2, Templates: []Template{
+				{Pattern: "Is there a shuttle to {place}?"},
+				{Pattern: "Does the hotel run a shuttle to {place}?"},
+				{Pattern: "What time does the shuttle to the airport leave?"},
+				{Pattern: "Can I book the shuttle to {place} for {time}?"},
+				{Pattern: "Is the shuttle to the hotel free?"},
+			}},
+			{Name: "bart", Weight: 1.5, Templates: []Template{
+				{Pattern: "Is there a bart from SFO to the hotel?"},
+				{Pattern: "Which bart line goes to {place}?"},
+				{Pattern: "How long does the bart take to {place}?"},
+				{Pattern: "Where is the closest bart station to the hotel?"},
+			}},
+			{Name: "uber-taxi", Weight: 2, Templates: []Template{
+				{Pattern: "Is Uber the fastest way to get to {place}?"},
+				{Pattern: "How much is a {transport} to {place}?"},
+				{Pattern: "Should I take a {transport} or the train to {place}?"},
+				{Pattern: "Can you call me a {transport} to {place} for {time}?"},
+			}},
+			{Name: "bus-transit", Weight: 1.5, Templates: []Template{
+				{Pattern: "Which bus goes to {place}?"},
+				{Pattern: "Is there public transport to {place} from the hotel?"},
+				{Pattern: "Does the 38 bus stop near {place}?"},
+				{Pattern: "How often does the train to {place} run?"},
+			}},
+			{Name: "walking-directions", Weight: 1.5, Templates: []Template{
+				{Pattern: "How do I get from {place} to {place2}?"},
+				{Pattern: "Can you give me directions to {place}?"},
+				{Pattern: "Is {place} within walking distance from the hotel?"},
+				{Pattern: "How far is {place} from here?"},
+			}},
+		},
+		NegativeClusters: []Cluster{
+			{Name: "food-order", Weight: 2, Templates: []Template{
+				{Pattern: "What is the best way to order food from you?"},
+				{Pattern: "Would Uber Eats be the fastest way to order?"},
+				{Pattern: "Can I order {food} to my room {time}?"},
+				{Pattern: "What time does {meal} start?"},
+				{Pattern: "Is {meal} included with my room?"},
+			}},
+			{Name: "check-in", Weight: 2, Templates: []Template{
+				{Pattern: "What is the best way to check in there?"},
+				{Pattern: "Can I get a late checkout {time}?"},
+				{Pattern: "Is early check in available?"},
+				{Pattern: "Can you hold my bags after checkout?"},
+			}},
+			{Name: "amenities", Weight: 2, Templates: []Template{
+				{Pattern: "What time does {amenity} open?"},
+				{Pattern: "Is {amenity} open {time}?"},
+				{Pattern: "Do I need a reservation for {amenity}?"},
+				{Pattern: "Where is {amenity} located in the hotel?"},
+			}},
+			{Name: "housekeeping", Weight: 2, Templates: []Template{
+				{Pattern: "Could you send {item} to my room?"},
+				{Pattern: "Can housekeeping bring {item} {time}?"},
+				{Pattern: "The air conditioning in my room is not working."},
+				{Pattern: "My room has not been cleaned yet."},
+			}},
+			{Name: "wifi-misc", Weight: 2, Templates: []Template{
+				{Pattern: "What is the wifi password?"},
+				{Pattern: "Is parking included with the room?"},
+				{Pattern: "Do you have a recommendation for {food} nearby?"},
+				{Pattern: "Can I add another night to my reservation?"},
+				{Pattern: "Is there a charge for the minibar?"},
+				{Pattern: "Can you recommend a good restaurant for {meal}?"},
+			}},
+		},
+	}
+}
+
+// MusiciansSpec returns the spec for the musicians dataset: Wikipedia-style
+// sentences where positives mention a musician (Table 1: 15.8K, 10%).
+func MusiciansSpec() Spec {
+	slots := mergeSlots(commonSlots(), map[string][]string{
+		"musician": {
+			"Beethoven", "Mozart", "Chopin", "Brahms", "Liszt", "Schubert",
+			"Verdi", "Wagner", "Dvorak", "Mahler", "Debussy", "Ravel",
+			"Armstrong", "Ellington", "Coltrane", "Davis", "Parker",
+			"Holiday", "Fitzgerald", "Hendrix", "Dylan", "Lennon",
+		},
+		"instrument":  {"piano", "violin", "cello", "guitar", "trumpet", "saxophone", "flute", "organ", "drums"},
+		"band":        {"the Silver Owls", "the River Band", "Quartet Nine", "the Night Express", "Blue Harbor", "the Paper Lions"},
+		"album":       {"Northern Lights", "Midnight Garden", "Glass River", "Hollow Moon", "Golden Hour", "Stone and Sky"},
+		"era":         {"classical", "romantic", "baroque", "jazz", "modern"},
+		"profession2": {"painter", "sculptor", "novelist", "architect", "philosopher", "chemist", "astronomer", "general", "senator"},
+		"artwork":     {"a celebrated fresco", "a marble statue", "an acclaimed novel", "a suspension bridge", "a famous treatise"},
+		"sport":       {"marathon", "championship", "tournament", "grand prix", "regatta"},
+	})
+	return Spec{
+		Name:         "musicians",
+		Task:         "Entities",
+		NumSentences: 15800,
+		PositiveRate: 0.10,
+		Slots:        slots,
+		PositiveClusters: []Cluster{
+			{Name: "composer", Weight: 3, Templates: []Template{
+				{Pattern: "{musician} was a renowned composer of the {era} era."},
+				{Pattern: "{musician} is regarded as the greatest composer of his generation."},
+				{Pattern: "As a composer, {musician} wrote more than forty works for orchestra."},
+				{Pattern: "{musician} worked as a composer and conductor in {city}."},
+			}},
+			{Name: "piano", Weight: 2, Templates: []Template{
+				{Pattern: "{musician} taught piano to the daughters of a wealthy family in {city}."},
+				{Pattern: "{musician} began playing the piano at the age of five."},
+				{Pattern: "{musician} gave his first piano recital in {year}."},
+				{Pattern: "The piano concerto by {musician} premiered in {city} in {year}."},
+			}},
+			{Name: "instrument", Weight: 2, Templates: []Template{
+				{Pattern: "{musician} played the {instrument} in several ensembles."},
+				{Pattern: "{musician} was celebrated for his virtuosity on the {instrument}."},
+				{Pattern: "{musician} studied the {instrument} at the conservatory in {city}."},
+			}},
+			{Name: "singer-band", Weight: 2, Templates: []Template{
+				{Pattern: "{musician} was the lead singer of {band}."},
+				{Pattern: "{musician} founded {band} in {year}."},
+				{Pattern: "{musician} toured with {band} across Europe in {year}."},
+			}},
+			{Name: "album-song", Weight: 2, Templates: []Template{
+				{Pattern: "{musician} released the album {album} in {year}."},
+				{Pattern: "The album {album} established {musician} as a leading voice in {era} music."},
+				{Pattern: "{musician} recorded the song for the album {album}."},
+			}},
+			{Name: "symphony", Weight: 1.5, Templates: []Template{
+				{Pattern: "{musician} composed his first symphony in {year}."},
+				{Pattern: "The ninth symphony of {musician} was performed in {city}."},
+				{Pattern: "{musician} conducted the symphony orchestra of {city} for a decade."},
+			}},
+		},
+		NegativeClusters: []Cluster{
+			{Name: "other-professions", Weight: 3, Templates: []Template{
+				{Pattern: "{person} was a celebrated {profession2} who lived in {city}."},
+				{Pattern: "{person} created {artwork} in {year}."},
+				{Pattern: "As a {profession2}, {person} influenced an entire generation."},
+			}},
+			{Name: "places", Weight: 2, Templates: []Template{
+				{Pattern: "{city} is known for its historic old town and riverside parks."},
+				{Pattern: "The population of {city} grew rapidly after {year}."},
+				{Pattern: "The university of {city} was founded in {year}."},
+			}},
+			{Name: "sports", Weight: 2, Templates: []Template{
+				{Pattern: "{person} won the {sport} in {year}."},
+				{Pattern: "The {sport} of {year} was held in {city}."},
+				{Pattern: "{person} retired from professional cycling in {year}."},
+			}},
+			{Name: "science-politics", Weight: 2, Templates: []Template{
+				{Pattern: "{person} published a influential paper on plant genetics in {year}."},
+				{Pattern: "{person} served as mayor of {city} for two terms."},
+				{Pattern: "The treaty was signed in {city} in {year}."},
+				{Pattern: "{person} discovered a new species of beetle in {year}."},
+			}},
+		},
+	}
+}
+
+// CauseEffectSpec returns the spec for the cause-effect relation extraction
+// dataset (Table 1: 10.7K, 12.2%).
+func CauseEffectSpec() Spec {
+	slots := mergeSlots(commonSlots(), map[string][]string{
+		"event": {
+			"the flooding", "the outage", "the crash", "the fire", "the delay",
+			"the epidemic", "the protest", "the shortage", "the collapse",
+			"the accident", "the blackout", "the famine", "the landslide",
+		},
+		"cause": {
+			"heavy rainfall", "a software bug", "driver fatigue", "a gas leak",
+			"the storm", "a faulty valve", "poor maintenance", "the earthquake",
+			"a cyber attack", "overheating", "human error", "the drought",
+		},
+		"entity": {
+			"the company", "the city council", "the research team", "the committee",
+			"the hospital", "the airline", "the factory", "the university",
+		},
+		"thing": {
+			"a new policy", "the quarterly report", "a museum exhibit",
+			"the annual festival", "a community garden", "the bridge renovation",
+			"a training program", "the art collection",
+		},
+	})
+	return Spec{
+		Name:         "cause-effect",
+		Task:         "Relations",
+		NumSentences: 10700,
+		PositiveRate: 0.122,
+		Slots:        slots,
+		PositiveClusters: []Cluster{
+			{Name: "caused-by", Weight: 3, Templates: []Template{
+				{Pattern: "{event} was caused by {cause}."},
+				{Pattern: "Investigators concluded that {event} has been caused by {cause}."},
+				{Pattern: "{event} appears to have been caused by {cause}."},
+			}},
+			{Name: "resulted-in", Weight: 2, Templates: []Template{
+				{Pattern: "{cause} resulted in {event} across the region."},
+				{Pattern: "The report says {cause} resulted in {event}."},
+			}},
+			{Name: "led-to", Weight: 2, Templates: []Template{
+				{Pattern: "{cause} led to {event} last winter."},
+				{Pattern: "Experts believe {cause} led to {event}."},
+			}},
+			{Name: "triggered-by", Weight: 2, Templates: []Template{
+				{Pattern: "{event} was triggered by {cause}."},
+				{Pattern: "{event}, triggered by {cause}, lasted for three days."},
+			}},
+			{Name: "due-to", Weight: 1.5, Templates: []Template{
+				{Pattern: "{event} occurred due to {cause}."},
+				{Pattern: "Officials attributed {event} to {cause}."},
+			}},
+			{Name: "because-of", Weight: 1.5, Templates: []Template{
+				{Pattern: "{event} happened because of {cause}."},
+				{Pattern: "Thousands were displaced because {cause} brought {event}."},
+			}},
+		},
+		NegativeClusters: []Cluster{
+			{Name: "announcements", Weight: 3, Templates: []Template{
+				{Pattern: "{entity} announced {thing} on Monday."},
+				{Pattern: "{entity} will present {thing} in {city} next month."},
+				{Pattern: "{entity} published the schedule for {thing}."},
+			}},
+			{Name: "descriptions", Weight: 3, Templates: []Template{
+				{Pattern: "{event} was widely covered by local media."},
+				{Pattern: "{event} remained the main topic of conversation in {city}."},
+				{Pattern: "Residents described {event} as unprecedented."},
+				{Pattern: "{cause} was recorded across the valley in {year}."},
+			}},
+			{Name: "by-noncausal", Weight: 2, Templates: []Template{
+				{Pattern: "The book about {event} was written by {person}."},
+				{Pattern: "The inspection was carried out by {entity}."},
+				{Pattern: "The photograph of {event} was taken by {person}."},
+			}},
+			{Name: "misc", Weight: 2, Templates: []Template{
+				{Pattern: "{person} joined {entity} as an adviser in {year}."},
+				{Pattern: "{entity} operates three facilities near {city}."},
+				{Pattern: "{thing} opens to the public {time}."},
+			}},
+		},
+	}
+}
+
+// ProfessionsSpec returns the spec for the professions dataset: web sentences
+// where positives mention a profession (Table 1: 1M sentences, 1.1%
+// positive). The default NumSentences is 100K; use a scale of 10 with ByName
+// to reach the paper's full 1M.
+func ProfessionsSpec() Spec {
+	slots := mergeSlots(commonSlots(), map[string][]string{
+		"profession": {
+			"scientist", "teacher", "engineer", "doctor", "lawyer", "nurse",
+			"architect", "accountant", "journalist", "electrician", "plumber",
+			"pharmacist", "surgeon", "librarian", "translator", "chef",
+			"firefighter", "carpenter", "economist", "dentist",
+		},
+		"company":  {"a startup", "the hospital", "a law firm", "the school district", "a consultancy", "the national lab", "a construction firm", "the city clinic"},
+		"product":  {"a new phone", "the latest update", "a board game", "a documentary", "the garden furniture", "a cookbook", "an exhibition", "a mobile app"},
+		"weathery": {"sunny", "rainy", "windy", "mild", "freezing", "humid"},
+		"hobby":    {"hiking", "photography", "gardening", "chess", "baking", "birdwatching", "sailing"},
+	})
+	return Spec{
+		Name:         "professions",
+		Task:         "Entities",
+		NumSentences: 100000,
+		PositiveRate: 0.011,
+		Slots:        slots,
+		PositiveClusters: []Cluster{
+			{Name: "works-as", Weight: 3, Templates: []Template{
+				{Pattern: "{person} works as a {profession} in {city}."},
+				{Pattern: "{person} has worked as a {profession} at {company} for ten years."},
+				{Pattern: "{person} worked as a {profession} before moving to {city}."},
+			}},
+			{Name: "is-a", Weight: 3, Templates: []Template{
+				{Pattern: "{person} is a {profession} whose job takes them all over {city}."},
+				{Pattern: "{person} is a licensed {profession} at {company}."},
+				{Pattern: "My neighbor is a {profession} and loves the job."},
+			}},
+			{Name: "job-title", Weight: 2, Templates: []Template{
+				{Pattern: "The job posting seeks an experienced {profession} for {company}."},
+				{Pattern: "{company} hired {person} as their new {profession} in {year}."},
+				{Pattern: "After graduating, {person} took a job as a {profession}."},
+			}},
+			{Name: "career", Weight: 2, Templates: []Template{
+				{Pattern: "{person} built a long career as a {profession} in {city}."},
+				{Pattern: "Becoming a {profession} requires years of training."},
+				{Pattern: "{person} retired after thirty years as a {profession}."},
+			}},
+		},
+		NegativeClusters: []Cluster{
+			{Name: "weather", Weight: 2, Templates: []Template{
+				{Pattern: "The weather in {city} stayed {weathery} all week."},
+				{Pattern: "Forecasters expect a {weathery} weekend in {city}."},
+			}},
+			{Name: "reviews", Weight: 3, Templates: []Template{
+				{Pattern: "I bought {product} last month and it works great."},
+				{Pattern: "The review called {product} overpriced but well built."},
+				{Pattern: "{product} ships from {city} within two days."},
+			}},
+			{Name: "hobbies", Weight: 2, Templates: []Template{
+				{Pattern: "{person} spends weekends {hobby} near {city}."},
+				{Pattern: "{hobby} has become popular in {city} since {year}."},
+			}},
+			{Name: "travel-news", Weight: 3, Templates: []Template{
+				{Pattern: "The flight from {city} to {place} was delayed {time}."},
+				{Pattern: "{city} opened a new park along the river in {year}."},
+				{Pattern: "{person} visited {city} for the first time in {year}."},
+				{Pattern: "The festival in {city} drew record crowds in {year}."},
+			}},
+			{Name: "generic-web", Weight: 3, Templates: []Template{
+				{Pattern: "Click here to read the full article about {product}."},
+				{Pattern: "Sign up for our newsletter to get updates {time}."},
+				{Pattern: "The recipe serves four and takes thirty minutes."},
+				{Pattern: "Prices may vary depending on location and season."},
+			}},
+		},
+	}
+}
+
+// TweetsSpec returns the spec for the tweets dataset with the Food intent as
+// the positive class (Table 1: 2130 tweets, 11.4% positive).
+func TweetsSpec() Spec {
+	slots := mergeSlots(commonSlots(), map[string][]string{
+		"feeling":  {"so", "seriously", "really", "low key", "honestly"},
+		"jobword":  {"interview", "resume", "internship", "promotion", "new job", "career fair"},
+		"tripword": {"road trip", "flight", "vacation", "weekend getaway", "camping trip", "cruise"},
+		"show":     {"the game", "the new episode", "that movie", "the finale", "the concert"},
+	})
+	return Spec{
+		Name:         "tweets",
+		Task:         "(Food) Intents",
+		NumSentences: 2130,
+		PositiveRate: 0.114,
+		Slots:        slots,
+		PositiveClusters: []Cluster{
+			{Name: "craving", Weight: 3, Templates: []Template{
+				{Pattern: "{feeling} craving {food} {time}"},
+				{Pattern: "I have been craving {food} all day"},
+				{Pattern: "craving some {food} right now"},
+			}},
+			{Name: "want-to-eat", Weight: 2, Templates: []Template{
+				{Pattern: "I just want to eat {food} {time}"},
+				{Pattern: "anyone want to grab {food} {time}?"},
+				{Pattern: "can we please go eat {food}"},
+			}},
+			{Name: "hungry", Weight: 2, Templates: []Template{
+				{Pattern: "{feeling} hungry, thinking about {food}"},
+				{Pattern: "so hungry I could eat {food} and more {food}"},
+			}},
+			{Name: "order-food", Weight: 1.5, Templates: []Template{
+				{Pattern: "about to order {food} for dinner"},
+				{Pattern: "ordering {food} again because why not"},
+			}},
+		},
+		NegativeClusters: []Cluster{
+			{Name: "travel", Weight: 2, Templates: []Template{
+				{Pattern: "planning a {tripword} to {city} {time}"},
+				{Pattern: "cannot wait for my {tripword} next month"},
+				{Pattern: "booked the {tripword} to {city}!"},
+			}},
+			{Name: "career", Weight: 2, Templates: []Template{
+				{Pattern: "got an {jobword} at {company} {time}"},
+				{Pattern: "wish me luck for the {jobword} tomorrow"},
+				{Pattern: "finally updated my {jobword}"},
+			}},
+			{Name: "entertainment", Weight: 2, Templates: []Template{
+				{Pattern: "who else is watching {show} {time}?"},
+				{Pattern: "{show} was unbelievable last night"},
+				{Pattern: "still thinking about {show}"},
+			}},
+			{Name: "daily", Weight: 2, Templates: []Template{
+				{Pattern: "monday mornings should be illegal"},
+				{Pattern: "the gym was packed {time}"},
+				{Pattern: "traffic on the bridge is terrible again"},
+				{Pattern: "my phone battery died at the worst time"},
+			}},
+		},
+	}
+}

@@ -1,0 +1,369 @@
+// Package depparse provides a deterministic dependency parser producing
+// projective head/child trees over tokenized, POS-tagged sentences.
+//
+// The paper uses SpaCy's neural dependency parser; the TreeMatch grammar only
+// needs (a) a rooted tree per sentence and (b) child / descendant relations
+// between tokens and POS tags. This package substitutes a rule-based
+// head-finding parser: it picks the main verb (or first noun) as root and
+// attaches the remaining tokens by simple, linguistically-motivated
+// attachment rules. The resulting trees are well-formed (single root, no
+// cycles, every non-root token has exactly one head), which is all the index
+// and rule-matching machinery relies on.
+package depparse
+
+import (
+	"fmt"
+
+	"repro/internal/postag"
+)
+
+// Arc is a single dependency edge: token at index Child has head at index
+// Head. The root token has Head == -1.
+type Arc struct {
+	Head  int
+	Child int
+	Label string
+}
+
+// Tree is a dependency parse of one sentence. Tokens and Tags are parallel
+// slices; Heads[i] is the index of token i's head (-1 for the root).
+type Tree struct {
+	Tokens []string
+	Tags   []postag.Tag
+	Heads  []int
+	Labels []string
+}
+
+// Parser builds dependency trees. The zero value is ready to use.
+type Parser struct {
+	Tagger *postag.Tagger
+}
+
+// New returns a parser using the given tagger (nil uses a default tagger).
+func New(tagger *postag.Tagger) *Parser {
+	if tagger == nil {
+		tagger = postag.New()
+	}
+	return &Parser{Tagger: tagger}
+}
+
+// Parse tokenizes nothing: it expects an already-tokenized sentence and
+// returns its dependency tree. Tags are computed with the parser's tagger.
+func (p *Parser) Parse(tokens []string) *Tree {
+	tagger := p.Tagger
+	if tagger == nil {
+		tagger = postag.New()
+	}
+	tags := tagger.TagSentence(tokens)
+	return ParseTagged(tokens, tags)
+}
+
+// ParseTagged builds a dependency tree from tokens with pre-computed tags.
+func ParseTagged(tokens []string, tags []postag.Tag) *Tree {
+	n := len(tokens)
+	t := &Tree{
+		Tokens: tokens,
+		Tags:   tags,
+		Heads:  make([]int, n),
+		Labels: make([]string, n),
+	}
+	if n == 0 {
+		return t
+	}
+	for i := range t.Heads {
+		t.Heads[i] = -2 // unattached sentinel
+	}
+
+	root := findRoot(tags)
+	t.Heads[root] = -1
+	t.Labels[root] = "root"
+
+	// First pass: local attachments driven by POS patterns.
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		switch tags[i] {
+		case postag.DET, postag.ADJ, postag.NUM:
+			// Attach to the next NOUN/PROPN to the right, else to root.
+			if h := nextWithTag(tags, i+1, postag.NOUN, postag.PROPN); h >= 0 {
+				t.attach(i, h, "mod")
+			} else {
+				t.attach(i, root, "mod")
+			}
+		case postag.ADP, postag.PRT:
+			// Prepositions head the following noun phrase and attach to the
+			// nearest verb/noun on the left (or root).
+			if h := prevWithTag(tags, i-1, postag.VERB, postag.NOUN, postag.PROPN); h >= 0 {
+				t.attach(i, h, "prep")
+			} else {
+				t.attach(i, root, "prep")
+			}
+		case postag.NOUN, postag.PROPN, postag.PRON:
+			// Object of a preceding adposition, else argument of the nearest
+			// verb on the left, else attach to root.
+			if h := prevWithTag(tags, i-1, postag.ADP); h >= 0 && i-h <= 4 {
+				t.attach(i, h, "pobj")
+			} else if h := prevWithTag(tags, i-1, postag.VERB); h >= 0 {
+				t.attach(i, h, "obj")
+			} else {
+				t.attach(i, root, "nsubj")
+			}
+		case postag.ADV:
+			if h := nearestWithTag(tags, i, postag.VERB, postag.ADJ); h >= 0 {
+				t.attach(i, h, "advmod")
+			} else {
+				t.attach(i, root, "advmod")
+			}
+		case postag.VERB:
+			// Non-root verbs attach to the root (coordination / xcomp).
+			t.attach(i, root, "xcomp")
+		case postag.CONJ, postag.PUNCT:
+			t.attach(i, root, "cc")
+		default:
+			// Unknown: attach to previous token, else root.
+			if i > 0 {
+				t.attach(i, i-1, "dep")
+			} else {
+				t.attach(i, root, "dep")
+			}
+		}
+	}
+
+	// Second pass: any token that remained unattached, or whose attachment
+	// would create a cycle, is attached to the root.
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		if t.Heads[i] == -2 || t.createsCycle(i, t.Heads[i]) {
+			t.Heads[i] = root
+			if t.Labels[i] == "" {
+				t.Labels[i] = "dep"
+			}
+		}
+	}
+	return t
+}
+
+// attach sets child's head unless that would create a cycle, in which case the
+// child stays unattached (the second pass will root it).
+func (t *Tree) attach(child, head int, label string) {
+	if child == head {
+		t.Heads[child] = -2
+		t.Labels[child] = label
+		return
+	}
+	if t.createsCycle(child, head) {
+		t.Heads[child] = -2
+		t.Labels[child] = label
+		return
+	}
+	t.Heads[child] = head
+	t.Labels[child] = label
+}
+
+// createsCycle reports whether setting child's head to head would close a
+// cycle, following only already-set heads.
+func (t *Tree) createsCycle(child, head int) bool {
+	seen := 0
+	for cur := head; cur >= 0; cur = t.Heads[cur] {
+		if cur == child {
+			return true
+		}
+		seen++
+		if seen > len(t.Heads) {
+			return true
+		}
+		if t.Heads[cur] == -2 {
+			break
+		}
+	}
+	return false
+}
+
+// findRoot chooses the root token: the first main (non-auxiliary) verb, else
+// the first verb, else the first noun/propn, else token 0.
+func findRoot(tags []postag.Tag) int {
+	firstVerb := -1
+	for i, tag := range tags {
+		if tag == postag.VERB {
+			if firstVerb == -1 {
+				firstVerb = i
+			}
+		}
+	}
+	// Prefer the last verb if there are several: auxiliaries precede the main
+	// verb in English ("is going", "would be caused").
+	lastVerb := -1
+	for i, tag := range tags {
+		if tag == postag.VERB {
+			lastVerb = i
+		}
+	}
+	if lastVerb >= 0 {
+		return lastVerb
+	}
+	if firstVerb >= 0 {
+		return firstVerb
+	}
+	for i, tag := range tags {
+		if tag == postag.NOUN || tag == postag.PROPN {
+			return i
+		}
+	}
+	return 0
+}
+
+func nextWithTag(tags []postag.Tag, from int, want ...postag.Tag) int {
+	for i := from; i < len(tags); i++ {
+		for _, w := range want {
+			if tags[i] == w {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func prevWithTag(tags []postag.Tag, from int, want ...postag.Tag) int {
+	for i := from; i >= 0; i-- {
+		for _, w := range want {
+			if tags[i] == w {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func nearestWithTag(tags []postag.Tag, pos int, want ...postag.Tag) int {
+	for d := 1; d < len(tags); d++ {
+		if i := pos - d; i >= 0 {
+			for _, w := range want {
+				if tags[i] == w {
+					return i
+				}
+			}
+		}
+		if i := pos + d; i < len(tags) {
+			for _, w := range want {
+				if tags[i] == w {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Root returns the index of the root token, or -1 for an empty tree.
+func (t *Tree) Root() int {
+	for i, h := range t.Heads {
+		if h == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Children returns the indices of the direct children of token i, in order.
+func (t *Tree) Children(i int) []int {
+	var out []int
+	for c, h := range t.Heads {
+		if h == i {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendants returns all transitive descendants of token i (excluding i).
+func (t *Tree) Descendants(i int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(j int) {
+		for _, c := range t.Children(j) {
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(i)
+	return out
+}
+
+// IsChild reports whether child's head is parent.
+func (t *Tree) IsChild(parent, child int) bool {
+	return child >= 0 && child < len(t.Heads) && t.Heads[child] == parent
+}
+
+// IsDescendant reports whether desc is a (transitive) descendant of anc.
+func (t *Tree) IsDescendant(anc, desc int) bool {
+	steps := 0
+	for cur := desc; cur >= 0; cur = t.Heads[cur] {
+		if t.Heads[cur] == anc {
+			return true
+		}
+		steps++
+		if steps > len(t.Heads) {
+			return false
+		}
+	}
+	return false
+}
+
+// Len returns the number of tokens in the tree.
+func (t *Tree) Len() int { return len(t.Tokens) }
+
+// Validate checks the structural invariants of the tree: exactly one root,
+// all heads in range, and no cycles. It returns nil if the tree is valid.
+func (t *Tree) Validate() error {
+	if len(t.Tokens) == 0 {
+		return nil
+	}
+	if len(t.Heads) != len(t.Tokens) || len(t.Tags) != len(t.Tokens) {
+		return fmt.Errorf("parallel slice length mismatch: tokens=%d heads=%d tags=%d",
+			len(t.Tokens), len(t.Heads), len(t.Tags))
+	}
+	roots := 0
+	for i, h := range t.Heads {
+		if h == -1 {
+			roots++
+			continue
+		}
+		if h < 0 || h >= len(t.Tokens) {
+			return fmt.Errorf("token %d has out-of-range head %d", i, h)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("tree has %d roots, want 1", roots)
+	}
+	// Cycle check: every token must reach the root.
+	for i := range t.Heads {
+		steps := 0
+		for cur := i; t.Heads[cur] != -1; cur = t.Heads[cur] {
+			steps++
+			if steps > len(t.Heads) {
+				return fmt.Errorf("cycle detected involving token %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the tree in a compact "child<-head" format for debugging and
+// for the Figure 11 qualitative output.
+func (t *Tree) String() string {
+	s := ""
+	for i, tok := range t.Tokens {
+		head := "ROOT"
+		if t.Heads[i] >= 0 {
+			head = t.Tokens[t.Heads[i]]
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s/%s<-%s", tok, t.Tags[i], head)
+	}
+	return s
+}

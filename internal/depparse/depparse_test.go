@@ -1,0 +1,173 @@
+package depparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/postag"
+	"repro/internal/textproc"
+)
+
+func parseSentence(t *testing.T, text string) *Tree {
+	t.Helper()
+	var tok textproc.Tokenizer
+	p := New(nil)
+	tree := p.Parse(tok.TokenizeWords(text))
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid tree for %q: %v", text, err)
+	}
+	return tree
+}
+
+func TestParseFigure3Example(t *testing.T) {
+	// Paper Figure 3: "Is Uber the best way to our hotel" — 'way' family
+	// hangs under the verb, 'hotel' under 'to'.
+	tree := parseSentence(t, "Is Uber the best way to our hotel")
+	root := tree.Root()
+	if root < 0 {
+		t.Fatal("no root")
+	}
+	if tree.Tags[root] != postag.VERB {
+		t.Errorf("root is %q/%s, want a VERB", tree.Tokens[root], tree.Tags[root])
+	}
+	// "hotel" should be a descendant of "to".
+	toIdx, hotelIdx := -1, -1
+	for i, tok := range tree.Tokens {
+		if tok == "to" {
+			toIdx = i
+		}
+		if tok == "hotel" {
+			hotelIdx = i
+		}
+	}
+	if toIdx < 0 || hotelIdx < 0 {
+		t.Fatal("tokens missing")
+	}
+	if !tree.IsDescendant(toIdx, hotelIdx) && !tree.IsChild(toIdx, hotelIdx) {
+		t.Errorf("'hotel' not under 'to': %s", tree)
+	}
+}
+
+func TestParseEmptyAndSingle(t *testing.T) {
+	p := New(nil)
+	empty := p.Parse(nil)
+	if err := empty.Validate(); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+	if empty.Root() != -1 {
+		t.Errorf("empty tree root = %d", empty.Root())
+	}
+	single := p.Parse([]string{"shuttle"})
+	if err := single.Validate(); err != nil {
+		t.Errorf("single-token tree invalid: %v", err)
+	}
+	if single.Root() != 0 {
+		t.Errorf("single root = %d", single.Root())
+	}
+}
+
+func TestChildrenAndDescendants(t *testing.T) {
+	tree := parseSentence(t, "What is the best way to get to the airport")
+	root := tree.Root()
+	desc := tree.Descendants(root)
+	// All non-root tokens must be descendants of the root.
+	if len(desc) != tree.Len()-1 {
+		t.Errorf("root has %d descendants, want %d: %s", len(desc), tree.Len()-1, tree)
+	}
+	for _, c := range tree.Children(root) {
+		if !tree.IsChild(root, c) {
+			t.Errorf("Children/IsChild disagree for %d", c)
+		}
+		if !tree.IsDescendant(root, c) {
+			t.Errorf("child %d not a descendant of root", c)
+		}
+	}
+}
+
+func TestIsDescendantNotReflexive(t *testing.T) {
+	tree := parseSentence(t, "The shuttle goes to the airport")
+	for i := 0; i < tree.Len(); i++ {
+		if tree.IsDescendant(i, i) {
+			t.Errorf("token %d is its own descendant", i)
+		}
+	}
+}
+
+func TestParseNoVerbSentence(t *testing.T) {
+	tree := parseSentence(t, "Best pizza in town")
+	root := tree.Root()
+	if root < 0 {
+		t.Fatal("no root for verbless sentence")
+	}
+	if tree.Tags[root] != postag.NOUN && tree.Tags[root] != postag.PROPN {
+		t.Errorf("verbless root = %s", tree.Tags[root])
+	}
+}
+
+func TestParseTaggedMismatchedTagsStillValid(t *testing.T) {
+	// Even with all-X tags the tree must be valid.
+	tokens := []string{"a", "b", "c", "d"}
+	tags := []postag.Tag{postag.X, postag.X, postag.X, postag.X}
+	tree := ParseTagged(tokens, tags)
+	if err := tree.Validate(); err != nil {
+		t.Errorf("all-X tree invalid: %v", err)
+	}
+}
+
+// Property: every parse over random word lists yields a structurally valid
+// tree where all nodes reach the root.
+func TestParsePropertyValidTrees(t *testing.T) {
+	p := New(nil)
+	words := []string{"the", "shuttle", "to", "airport", "is", "best", "way",
+		"Beethoven", "piano", "caused", "by", "storm", "damage", "quickly", "42"}
+	f := func(idxs []uint8) bool {
+		if len(idxs) > 30 {
+			idxs = idxs[:30]
+		}
+		tokens := make([]string, len(idxs))
+		for i, ix := range idxs {
+			tokens[i] = words[int(ix)%len(words)]
+		}
+		tree := p.Parse(tokens)
+		if err := tree.Validate(); err != nil {
+			t.Logf("invalid tree for %v: %v", tokens, err)
+			return false
+		}
+		// Every non-root node is a descendant of the root.
+		if len(tokens) > 0 {
+			root := tree.Root()
+			if len(tree.Descendants(root)) != len(tokens)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	tree := parseSentence(t, "Uber is fast")
+	s := tree.String()
+	if !strings.Contains(s, "uber") || !strings.Contains(s, "ROOT") {
+		t.Errorf("String() = %q, missing expected parts", s)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tree := parseSentence(t, "The shuttle goes to the airport")
+	// Corrupt: two roots.
+	tree.Heads[0] = -1
+	tree.Heads[tree.Root()] = -1
+	bad := *tree
+	if err := bad.Validate(); err == nil {
+		// If token 0 already was root this is fine; force a cycle instead.
+		bad.Heads[1] = 2
+		bad.Heads[2] = 1
+		if err := bad.Validate(); err == nil {
+			t.Error("Validate accepted corrupted tree")
+		}
+	}
+}

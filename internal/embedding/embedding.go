@@ -1,0 +1,292 @@
+// Package embedding trains dense word vectors from a corpus using
+// positive pointwise mutual information (PPMI) over a sliding co-occurrence
+// window followed by a seeded random projection to a fixed dimensionality.
+//
+// The paper feeds SpaCy's pre-trained GloVe-style vectors into its sentence
+// classifier; Darwin relies on them only to generalize from a discovered rule
+// to semantically related rules (e.g. "bus" -> "public transport"). Vectors
+// trained on the corpus being labeled provide exactly this "tokens in similar
+// contexts get similar vectors" property without any external model files.
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Config controls embedding training.
+type Config struct {
+	// Dim is the dimensionality of the output vectors.
+	Dim int
+	// Window is the symmetric co-occurrence window size.
+	Window int
+	// MinCount drops tokens occurring fewer times than this.
+	MinCount int
+	// Seed drives the random projection, making training deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{Dim: 50, Window: 4, MinCount: 2, Seed: 1}
+}
+
+// Model holds trained word vectors.
+type Model struct {
+	dim     int
+	vocab   *textproc.Vocab
+	vectors [][]float64 // indexed by vocab id
+}
+
+// Train builds a Model from tokenized sentences.
+//
+// Training proceeds in three steps: (1) count token and co-occurrence
+// frequencies inside the window, (2) compute the PPMI weight of each
+// (token, context) pair, and (3) project each token's sparse PPMI context
+// vector onto cfg.Dim dimensions using a seeded sparse random projection.
+// The result is L2-normalized.
+func Train(sentences [][]string, cfg Config) *Model {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 50
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.MinCount <= 0 {
+		cfg.MinCount = 1
+	}
+
+	full := textproc.NewVocab()
+	for _, sent := range sentences {
+		for _, tok := range sent {
+			full.Add(tok)
+		}
+	}
+	vocab := full.Prune(cfg.MinCount)
+	v := vocab.Size()
+
+	// Co-occurrence counts: sparse map per token id.
+	cooc := make([]map[int]float64, v)
+	for i := range cooc {
+		cooc[i] = make(map[int]float64)
+	}
+	rowSums := make([]float64, v)
+	var total float64
+
+	for _, sent := range sentences {
+		ids := make([]int, 0, len(sent))
+		for _, tok := range sent {
+			if id, ok := vocab.ID(tok); ok {
+				ids = append(ids, id)
+			} else {
+				ids = append(ids, -1)
+			}
+		}
+		for i, a := range ids {
+			if a < 0 {
+				continue
+			}
+			lo := i - cfg.Window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + cfg.Window
+			if hi >= len(ids) {
+				hi = len(ids) - 1
+			}
+			for j := lo; j <= hi; j++ {
+				if j == i {
+					continue
+				}
+				b := ids[j]
+				if b < 0 {
+					continue
+				}
+				w := 1.0 / float64(abs(i-j)) // distance-weighted, as in GloVe
+				cooc[a][b] += w
+				rowSums[a] += w
+				total += w
+			}
+		}
+	}
+
+	// Random projection matrix: contexts (vocab ids) -> Dim. Sparse ternary
+	// projection (Achlioptas): each entry is +1, -1 or 0 with probabilities
+	// 1/6, 1/6, 2/3, scaled by sqrt(3).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	proj := make([][]float64, v)
+	scale := math.Sqrt(3)
+	for i := range proj {
+		row := make([]float64, cfg.Dim)
+		for d := 0; d < cfg.Dim; d++ {
+			switch rng.Intn(6) {
+			case 0:
+				row[d] = scale
+			case 1:
+				row[d] = -scale
+			}
+		}
+		proj[i] = row
+	}
+
+	vectors := make([][]float64, v)
+	for a := 0; a < v; a++ {
+		vec := make([]float64, cfg.Dim)
+		// Iterate contexts in sorted order so float accumulation is
+		// deterministic across runs.
+		ctxIDs := make([]int, 0, len(cooc[a]))
+		for b := range cooc[a] {
+			ctxIDs = append(ctxIDs, b)
+		}
+		sort.Ints(ctxIDs)
+		for _, b := range ctxIDs {
+			cnt := cooc[a][b]
+			// PPMI(a,b) = max(0, log( P(a,b) / (P(a) P(b)) ))
+			if cnt <= 0 || total == 0 {
+				continue
+			}
+			pab := cnt / total
+			pa := rowSums[a] / total
+			pb := rowSums[b] / total
+			if pa == 0 || pb == 0 {
+				continue
+			}
+			pmi := math.Log(pab / (pa * pb))
+			if pmi <= 0 {
+				continue
+			}
+			for d := 0; d < cfg.Dim; d++ {
+				vec[d] += pmi * proj[b][d]
+			}
+		}
+		normalize(vec)
+		vectors[a] = vec
+	}
+
+	return &Model{dim: cfg.Dim, vocab: vocab, vectors: vectors}
+}
+
+// Dim returns the dimensionality of the vectors.
+func (m *Model) Dim() int { return m.dim }
+
+// VocabSize returns the number of tokens with a vector.
+func (m *Model) VocabSize() int { return m.vocab.Size() }
+
+// Vector returns the vector for token and whether the token is known. The
+// returned slice must not be modified.
+func (m *Model) Vector(token string) ([]float64, bool) {
+	id, ok := m.vocab.ID(token)
+	if !ok {
+		return nil, false
+	}
+	return m.vectors[id], true
+}
+
+// SentenceVector returns the mean of the vectors of the known tokens in the
+// sentence, L2-normalized. Unknown tokens are skipped; an all-unknown
+// sentence yields the zero vector.
+func (m *Model) SentenceVector(tokens []string) []float64 {
+	out := make([]float64, m.dim)
+	n := 0
+	for _, tok := range tokens {
+		if vec, ok := m.Vector(tok); ok {
+			for d, x := range vec {
+				out[d] += x
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		for d := range out {
+			out[d] /= float64(n)
+		}
+	}
+	normalize(out)
+	return out
+}
+
+// Similarity returns the cosine similarity of two tokens' vectors, or 0 if
+// either token is unknown.
+func (m *Model) Similarity(a, b string) float64 {
+	va, oka := m.Vector(a)
+	vb, okb := m.Vector(b)
+	if !oka || !okb {
+		return 0
+	}
+	return Cosine(va, vb)
+}
+
+// Neighbor is a token with a similarity score.
+type Neighbor struct {
+	Token string
+	Score float64
+}
+
+// MostSimilar returns up to k tokens most similar to token (excluding the
+// token itself), sorted by descending cosine similarity.
+func (m *Model) MostSimilar(token string, k int) []Neighbor {
+	vec, ok := m.Vector(token)
+	if !ok {
+		return nil
+	}
+	var out []Neighbor
+	for _, other := range m.vocab.Tokens() {
+		if other == token {
+			continue
+		}
+		ov, _ := m.Vector(other)
+		s := Cosine(vec, ov)
+		if s > 0 {
+			out = append(out, Neighbor{Token: other, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Token < out[j].Token
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors. Zero
+// vectors yield 0.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,194 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// toySentences gives "bus" and "shuttle" identical contexts so their vectors
+// should be close, and "pizza" a disjoint context so it should be far.
+func toySentences() [][]string {
+	base := [][]string{
+		{"take", "the", "bus", "to", "the", "airport"},
+		{"take", "the", "shuttle", "to", "the", "airport"},
+		{"the", "bus", "to", "the", "hotel", "leaves", "now"},
+		{"the", "shuttle", "to", "the", "hotel", "leaves", "now"},
+		{"is", "the", "bus", "to", "the", "airport", "fast"},
+		{"is", "the", "shuttle", "to", "the", "airport", "fast"},
+		{"order", "a", "pizza", "with", "extra", "cheese"},
+		{"the", "pizza", "with", "cheese", "is", "delicious"},
+		{"order", "the", "pizza", "for", "dinner", "tonight"},
+	}
+	// Repeat to give the counts some weight.
+	var out [][]string
+	for i := 0; i < 5; i++ {
+		out = append(out, base...)
+	}
+	return out
+}
+
+func TestTrainBasicProperties(t *testing.T) {
+	m := Train(toySentences(), DefaultConfig())
+	if m.Dim() != 50 {
+		t.Errorf("Dim = %d, want 50", m.Dim())
+	}
+	if m.VocabSize() == 0 {
+		t.Fatal("empty vocab after training")
+	}
+	if _, ok := m.Vector("bus"); !ok {
+		t.Error("no vector for 'bus'")
+	}
+	if _, ok := m.Vector("nonexistent-token"); ok {
+		t.Error("vector for unknown token")
+	}
+}
+
+func TestSimilarContextsGetSimilarVectors(t *testing.T) {
+	m := Train(toySentences(), DefaultConfig())
+	simBusShuttle := m.Similarity("bus", "shuttle")
+	simBusPizza := m.Similarity("bus", "pizza")
+	if simBusShuttle <= simBusPizza {
+		t.Errorf("similarity(bus,shuttle)=%.3f should exceed similarity(bus,pizza)=%.3f",
+			simBusShuttle, simBusPizza)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	m1 := Train(toySentences(), cfg)
+	m2 := Train(toySentences(), cfg)
+	v1, _ := m1.Vector("bus")
+	v2, _ := m2.Vector("bus")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("training not deterministic at dim %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+}
+
+func TestSentenceVector(t *testing.T) {
+	m := Train(toySentences(), DefaultConfig())
+	sv := m.SentenceVector([]string{"take", "the", "bus"})
+	if len(sv) != m.Dim() {
+		t.Fatalf("sentence vector dim = %d", len(sv))
+	}
+	var norm float64
+	for _, x := range sv {
+		norm += x * x
+	}
+	if math.Abs(norm-1.0) > 1e-9 && norm != 0 {
+		t.Errorf("sentence vector not normalized: |v|^2=%f", norm)
+	}
+	// All-unknown sentence: zero vector, not NaN.
+	zero := m.SentenceVector([]string{"qqq", "zzz"})
+	for _, x := range zero {
+		if x != 0 || math.IsNaN(x) {
+			t.Errorf("unknown-token sentence vector not zero: %v", zero)
+			break
+		}
+	}
+}
+
+func TestMostSimilar(t *testing.T) {
+	m := Train(toySentences(), DefaultConfig())
+	nbrs := m.MostSimilar("bus", 3)
+	if len(nbrs) == 0 {
+		t.Fatal("no neighbors for 'bus'")
+	}
+	for _, n := range nbrs {
+		if n.Token == "bus" {
+			t.Error("MostSimilar returned the query token")
+		}
+	}
+	found := false
+	for _, n := range nbrs {
+		if n.Token == "shuttle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("'shuttle' not among top neighbors of 'bus': %v", nbrs)
+	}
+	if got := m.MostSimilar("unknown-token", 3); got != nil {
+		t.Errorf("MostSimilar(unknown) = %v, want nil", got)
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		aa := make([]float64, n)
+		bb := make([]float64, n)
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true // skip pathological float inputs
+			}
+			// Map into a bounded range so products cannot overflow.
+			aa[i] = math.Mod(a[i], 1e3)
+			bb[i] = math.Mod(b[i], 1e3)
+		}
+		c := Cosine(aa, bb)
+		return !math.IsNaN(c) && c >= -1.0000001 && c <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineIdentityAndZero(t *testing.T) {
+	v := []float64{1, 2, 3}
+	if c := Cosine(v, v); math.Abs(c-1) > 1e-12 {
+		t.Errorf("Cosine(v,v) = %f", c)
+	}
+	if c := Cosine(v, []float64{0, 0, 0}); c != 0 {
+		t.Errorf("Cosine(v,0) = %f", c)
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	m := Train(nil, DefaultConfig())
+	if m.VocabSize() != 0 {
+		t.Errorf("empty corpus vocab size = %d", m.VocabSize())
+	}
+	sv := m.SentenceVector([]string{"anything"})
+	if len(sv) != m.Dim() {
+		t.Errorf("sentence vector over empty model has dim %d", len(sv))
+	}
+}
+
+func TestTrainMinCount(t *testing.T) {
+	sents := [][]string{
+		{"common", "common", "rare"},
+		{"common", "word", "word"},
+	}
+	cfg := Config{Dim: 8, Window: 2, MinCount: 2, Seed: 7}
+	m := Train(sents, cfg)
+	if _, ok := m.Vector("rare"); ok {
+		t.Error("rare token survived MinCount pruning")
+	}
+	if _, ok := m.Vector("common"); !ok {
+		t.Error("common token pruned")
+	}
+}
+
+func TestVectorsAreUnitOrZero(t *testing.T) {
+	m := Train(toySentences(), Config{Dim: 16, Window: 3, MinCount: 1, Seed: 3})
+	for _, tok := range []string{"bus", "shuttle", "pizza", "airport"} {
+		v, ok := m.Vector(tok)
+		if !ok {
+			t.Fatalf("missing vector for %s", tok)
+		}
+		var norm float64
+		for _, x := range v {
+			norm += x * x
+		}
+		if norm != 0 && math.Abs(norm-1) > 1e-9 {
+			t.Errorf("vector for %s has norm^2 %f, want 1 or 0", tok, norm)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package eval implements the evaluation metrics reported in the paper's
+// experiments: coverage (recall of the discovered positive set), precision,
+// recall and F-score of rules and classifiers, plus small helpers for
+// building the per-question curves of Figures 9 and 10.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/corpus"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add updates the matrix with one (gold, predicted) pair.
+func (c *Confusion) Add(gold, pred corpus.Label) {
+	switch {
+	case gold == corpus.Positive && pred == corpus.Positive:
+		c.TP++
+	case gold == corpus.Negative && pred == corpus.Positive:
+		c.FP++
+	case gold == corpus.Negative && pred == corpus.Negative:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Precision returns TP / (TP + FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN) / total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d P=%.3f R=%.3f F1=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F1())
+}
+
+// CoverageOfSet returns the fraction of the corpus's gold-positive sentences
+// contained in the discovered positive set P (the paper's primary metric:
+// recall of the union of accepted rules' coverage).
+func CoverageOfSet(c *corpus.Corpus, discovered map[int]bool) float64 {
+	totalPos := c.NumPositives()
+	if totalPos == 0 {
+		return 0
+	}
+	hit := 0
+	for id := range discovered {
+		s := c.Sentence(id)
+		if s != nil && s.Gold == corpus.Positive {
+			hit++
+		}
+	}
+	return float64(hit) / float64(totalPos)
+}
+
+// PrecisionOfSet returns the fraction of the discovered set that is
+// gold-positive.
+func PrecisionOfSet(c *corpus.Corpus, discovered map[int]bool) float64 {
+	if len(discovered) == 0 {
+		return 0
+	}
+	hit := 0
+	for id := range discovered {
+		s := c.Sentence(id)
+		if s != nil && s.Gold == corpus.Positive {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(discovered))
+}
+
+// PrecisionOfIDs is PrecisionOfSet over a slice of sentence IDs (a rule's
+// coverage set). Duplicate IDs are counted once.
+func PrecisionOfIDs(c *corpus.Corpus, ids []int) float64 {
+	set := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return PrecisionOfSet(c, set)
+}
+
+// ClassifierEval computes the confusion matrix of thresholded classifier
+// scores against the gold labels of the whole corpus.
+func ClassifierEval(c *corpus.Corpus, scores []float64, threshold float64) Confusion {
+	var conf Confusion
+	for id, s := range c.Sentences {
+		pred := corpus.Negative
+		if id < len(scores) && scores[id] >= threshold {
+			pred = corpus.Positive
+		}
+		conf.Add(s.Gold, pred)
+	}
+	return conf
+}
+
+// BestF1 sweeps thresholds over the score distribution and returns the best
+// achievable F1 together with the threshold that achieves it. The paper
+// reports classifier F-score; sweeping removes threshold-calibration
+// differences between the CNN used in the paper and our substitute models.
+func BestF1(c *corpus.Corpus, scores []float64) (f1, threshold float64) {
+	best, bestThr := 0.0, 0.5
+	for _, thr := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		conf := ClassifierEval(c, scores, thr)
+		if f := conf.F1(); f > best {
+			best, bestThr = f, thr
+		}
+	}
+	return best, bestThr
+}
+
+// CurvePoint is one point of a per-question curve (Figures 9, 10, 12, 13).
+type CurvePoint struct {
+	Questions int
+	Value     float64
+}
+
+// Curve is a named series of curve points.
+type Curve struct {
+	Name   string
+	Points []CurvePoint
+}
+
+// At returns the curve value at the largest x <= q (step interpolation), or 0
+// if the curve is empty or starts after q.
+func (c Curve) At(q int) float64 {
+	v := 0.0
+	found := false
+	for _, p := range c.Points {
+		if p.Questions <= q {
+			v = p.Value
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return v
+}
+
+// Final returns the last value of the curve, or 0 if empty.
+func (c Curve) Final() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[len(c.Points)-1].Value
+}
+
+// AUCN returns the normalized area under the curve up to maxQ (mean value of
+// the step function over [0, maxQ]); a summary statistic used to compare
+// techniques across an entire budget.
+func (c Curve) AUCN(maxQ int) float64 {
+	if maxQ <= 0 || len(c.Points) == 0 {
+		return 0
+	}
+	total := 0.0
+	for q := 1; q <= maxQ; q++ {
+		total += c.At(q)
+	}
+	return total / float64(maxQ)
+}
+
+// QuestionsToReach returns the smallest question count at which the curve
+// reaches the target value, or -1 if it never does (used by Figure 14:
+// questions to reach 75% coverage).
+func (c Curve) QuestionsToReach(target float64) int {
+	for _, p := range c.Points {
+		if p.Value >= target-1e-12 {
+			return p.Questions
+		}
+	}
+	return -1
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

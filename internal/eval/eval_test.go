@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+func buildCorpus() *corpus.Corpus {
+	c := corpus.New("eval-test", "t")
+	for i := 0; i < 10; i++ {
+		if i < 4 {
+			c.Add("positive sentence", corpus.Positive)
+		} else {
+			c.Add("negative sentence", corpus.Negative)
+		}
+	}
+	return c
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var conf Confusion
+	conf.Add(corpus.Positive, corpus.Positive) // TP
+	conf.Add(corpus.Positive, corpus.Positive) // TP
+	conf.Add(corpus.Positive, corpus.Negative) // FN
+	conf.Add(corpus.Negative, corpus.Positive) // FP
+	conf.Add(corpus.Negative, corpus.Negative) // TN
+
+	if conf.TP != 2 || conf.FN != 1 || conf.FP != 1 || conf.TN != 1 {
+		t.Fatalf("confusion = %+v", conf)
+	}
+	if p := conf.Precision(); math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %f", p)
+	}
+	if r := conf.Recall(); math.Abs(r-2.0/3.0) > 1e-12 {
+		t.Errorf("recall = %f", r)
+	}
+	if f := conf.F1(); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Errorf("f1 = %f", f)
+	}
+	if a := conf.Accuracy(); math.Abs(a-0.6) > 1e-12 {
+		t.Errorf("accuracy = %f", a)
+	}
+	if conf.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var conf Confusion
+	if conf.Precision() != 0 || conf.Recall() != 0 || conf.F1() != 0 || conf.Accuracy() != 0 {
+		t.Error("empty confusion metrics should be 0")
+	}
+}
+
+func TestCoverageAndPrecisionOfSet(t *testing.T) {
+	c := buildCorpus()
+	discovered := map[int]bool{0: true, 1: true, 5: true}
+	if cov := CoverageOfSet(c, discovered); math.Abs(cov-0.5) > 1e-12 {
+		t.Errorf("coverage = %f, want 0.5", cov)
+	}
+	if p := PrecisionOfSet(c, discovered); math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %f", p)
+	}
+	if p := PrecisionOfIDs(c, []int{0, 0, 1, 5}); math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Errorf("PrecisionOfIDs dedup failed: %f", p)
+	}
+	if CoverageOfSet(c, nil) != 0 {
+		t.Error("empty discovered set coverage != 0")
+	}
+	if PrecisionOfSet(c, nil) != 0 {
+		t.Error("empty discovered set precision != 0")
+	}
+	empty := corpus.New("e", "t")
+	if CoverageOfSet(empty, discovered) != 0 {
+		t.Error("coverage over empty corpus != 0")
+	}
+	// Out-of-range IDs are ignored rather than panicking.
+	if cov := CoverageOfSet(c, map[int]bool{999: true}); cov != 0 {
+		t.Errorf("out-of-range coverage = %f", cov)
+	}
+}
+
+func TestClassifierEvalAndBestF1(t *testing.T) {
+	c := buildCorpus()
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.4, 0.3, 0.2, 0.1, 0.1, 0.1}
+	conf := ClassifierEval(c, scores, 0.5)
+	if conf.TP != 4 || conf.FP != 0 || conf.FN != 0 || conf.TN != 6 {
+		t.Errorf("confusion = %+v", conf)
+	}
+	f1, thr := BestF1(c, scores)
+	if f1 < 0.999 {
+		t.Errorf("BestF1 = %f, want 1.0", f1)
+	}
+	if thr <= 0.4 || thr > 0.6 {
+		t.Errorf("best threshold = %f", thr)
+	}
+	// Short score slice: missing scores treated as negative.
+	conf2 := ClassifierEval(c, scores[:2], 0.5)
+	if conf2.TP != 2 || conf2.FN != 2 {
+		t.Errorf("short-score confusion = %+v", conf2)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	curve := Curve{Name: "test", Points: []CurvePoint{
+		{Questions: 5, Value: 0.2},
+		{Questions: 10, Value: 0.5},
+		{Questions: 20, Value: 0.8},
+	}}
+	if v := curve.At(7); v != 0.2 {
+		t.Errorf("At(7) = %f", v)
+	}
+	if v := curve.At(3); v != 0 {
+		t.Errorf("At(3) = %f", v)
+	}
+	if v := curve.At(100); v != 0.8 {
+		t.Errorf("At(100) = %f", v)
+	}
+	if f := curve.Final(); f != 0.8 {
+		t.Errorf("Final = %f", f)
+	}
+	if q := curve.QuestionsToReach(0.5); q != 10 {
+		t.Errorf("QuestionsToReach(0.5) = %d", q)
+	}
+	if q := curve.QuestionsToReach(0.95); q != -1 {
+		t.Errorf("QuestionsToReach(0.95) = %d", q)
+	}
+	auc := curve.AUCN(20)
+	if auc <= 0 || auc > 0.8 {
+		t.Errorf("AUCN = %f", auc)
+	}
+	var empty Curve
+	if empty.Final() != 0 || empty.At(10) != 0 || empty.AUCN(10) != 0 {
+		t.Error("empty curve should be all zeros")
+	}
+	if empty.QuestionsToReach(0.1) != -1 {
+		t.Error("empty curve QuestionsToReach should be -1")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-12 || math.Abs(std-2) > 1e-12 {
+		t.Errorf("MeanStd = %f, %f", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("MeanStd(nil) should be 0,0")
+	}
+}
+
+// Property: F1 is always within [0,1] and 0 when there are no true positives.
+func TestF1Property(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		conf := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		f1 := conf.F1()
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		if tp == 0 && f1 != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coverage and precision of any discovered set lie in [0,1].
+func TestCoverageProperty(t *testing.T) {
+	c := buildCorpus()
+	f := func(ids []uint8) bool {
+		set := map[int]bool{}
+		for _, id := range ids {
+			set[int(id)%15] = true // some ids out of range on purpose
+		}
+		cov := CoverageOfSet(c, set)
+		p := PrecisionOfSet(c, set)
+		return cov >= 0 && cov <= 1 && p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

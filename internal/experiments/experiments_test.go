@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps the experiment drivers fast enough for unit tests while
+// staying large enough for the paper's qualitative orderings to hold.
+func tinyOptions() Options {
+	o := QuickOptions()
+	o.Scale = 0.06
+	o.Budget = 40
+	o.NumCandidates = 600
+	o.EvalEvery = 10
+	return o
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	o := tinyOptions()
+	rows, err := o.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	want := map[string]float64{
+		"cause-effect": 12.2,
+		"musicians":    10,
+		"directions":   3.8,
+		"professions":  1.1,
+		"tweets":       11.4,
+	}
+	for _, row := range rows {
+		if row.Sentences <= 0 {
+			t.Errorf("%s has no sentences", row.Dataset)
+		}
+		expected := want[row.Dataset]
+		if diff := row.PositivePct - expected; diff > 1.5 || diff < -1.5 {
+			t.Errorf("%s positive%%=%.1f, paper %.1f", row.Dataset, row.PositivePct, expected)
+		}
+		if row.Task == "" {
+			t.Errorf("%s has no task label", row.Dataset)
+		}
+	}
+}
+
+func TestFigure7DarwinBeatsSnubaAtSmallSeeds(t *testing.T) {
+	o := tinyOptions()
+	res, err := o.Figure7("directions", []int{25, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %v", res.Points)
+	}
+	small := res.Points[0]
+	// Headline claim of §4.2: with a small random seed Darwin identifies far
+	// more positives than Snuba (which needs hundreds of labeled sentences).
+	if small.Darwin <= small.Snuba {
+		t.Errorf("at 25 seeds Darwin=%.2f should beat Snuba=%.2f", small.Darwin, small.Snuba)
+	}
+	if small.Darwin < 0.6 {
+		t.Errorf("Darwin coverage with 25 seeds = %.2f, want >= 0.6", small.Darwin)
+	}
+	// Snuba improves as the seed grows; Darwin stays ahead even at 200.
+	if res.Points[1].Snuba < small.Snuba {
+		t.Errorf("Snuba coverage decreased with more seeds: %.2f -> %.2f", small.Snuba, res.Points[1].Snuba)
+	}
+	if res.Points[1].Darwin <= res.Points[1].Snuba {
+		t.Errorf("at 200 seeds Darwin=%.2f should still beat Snuba=%.2f",
+			res.Points[1].Darwin, res.Points[1].Snuba)
+	}
+}
+
+func TestFigure8BiasedSeedHurtsSnubaNotDarwin(t *testing.T) {
+	o := tinyOptions()
+	res, err := o.Figure8("directions", []int{200}, WithheldTokenFor("directions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Biased || res.WithheldToken != "shuttle" {
+		t.Fatalf("result metadata wrong: %+v", res)
+	}
+	p := res.Points[0]
+	if p.Darwin <= p.Snuba {
+		t.Errorf("biased seed: Darwin=%.2f should beat Snuba=%.2f", p.Darwin, p.Snuba)
+	}
+}
+
+func TestFigure9DirectionsCurves(t *testing.T) {
+	o := tinyOptions()
+	res, err := o.Figure9("directions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"darwin-hs", "darwin-us", "darwin-ls", "highP"} {
+		if _, ok := res.Coverage[method]; !ok {
+			t.Errorf("missing coverage curve for %s", method)
+		}
+	}
+	for _, method := range []string{"darwin-hs", "AL", "KS", "highP"} {
+		if _, ok := res.FScore[method]; !ok {
+			t.Errorf("missing F-score curve for %s", method)
+		}
+	}
+	hs := res.Coverage["darwin-hs"]
+	if hs.Final() < 0.6 {
+		t.Errorf("Darwin(HS) final coverage = %.2f, want >= 0.6", hs.Final())
+	}
+	// The paper's qualitative orderings on the coverage panel: Darwin(HS) is
+	// the most robust variant and outperforms the HighP baseline, while
+	// UniversalSearch struggles without abundant labeled data.
+	if hs.Final()+1e-9 < res.Coverage["highP"].Final() {
+		t.Errorf("Darwin(HS) %.2f below HighP %.2f", hs.Final(), res.Coverage["highP"].Final())
+	}
+	if hs.Final()+1e-9 < res.Coverage["darwin-us"].Final() {
+		t.Errorf("Darwin(HS) %.2f below Darwin(US) %.2f", hs.Final(), res.Coverage["darwin-us"].Final())
+	}
+	// Curves are monotone in questions.
+	for i := 1; i < len(hs.Points); i++ {
+		if hs.Points[i].Value+1e-9 < hs.Points[i-1].Value {
+			t.Errorf("coverage curve not monotone at %d", hs.Points[i].Questions)
+		}
+	}
+}
+
+func TestFigure11TracesWanderFromSeed(t *testing.T) {
+	o := tinyOptions()
+	traces, err := o.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr.Steps) == 0 {
+			t.Errorf("%s trace empty", tr.Dataset)
+			continue
+		}
+		accepted := 0
+		for _, s := range tr.Steps {
+			if s.Accepted {
+				accepted++
+			}
+		}
+		if accepted == 0 {
+			t.Errorf("%s trace accepted no rules", tr.Dataset)
+		}
+		if s := tr.String(); !strings.Contains(s, tr.Dataset) {
+			t.Errorf("trace String() = %q", s)
+		}
+	}
+	// The directions trace should reach a rule outside the seed's phrase
+	// family (the "wanders to 'shuttle to'" observation).
+	dir := traces[0]
+	foundDistant := false
+	for _, s := range dir.Steps {
+		if s.Accepted && !strings.Contains(s.Rule, "best way") && !strings.Contains(s.Rule, "way to get") {
+			foundDistant = true
+			break
+		}
+	}
+	if !foundDistant {
+		t.Error("directions trace never left the seed rule's family")
+	}
+}
+
+func TestTable2RowRuns(t *testing.T) {
+	o := tinyOptions()
+	row, err := o.table2Row("directions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Darwin < 0 || row.Darwin > 1 || row.DarwinSnorkel < 0 || row.DarwinSnorkel > 1 {
+		t.Errorf("out-of-range F1s: %+v", row)
+	}
+	if row.Darwin == 0 {
+		t.Errorf("Darwin F1 is zero: %+v", row)
+	}
+}
+
+func TestSensitivityDriversRun(t *testing.T) {
+	o := tinyOptions()
+	o.Budget = 15
+
+	taus, err := o.Figure12Tau([]int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taus) != 2 || taus[0].Curve.Final() <= 0 {
+		t.Errorf("tau sensitivity: %+v", taus)
+	}
+
+	seeds, err := o.Figure12Seeds(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Errorf("seed sensitivity returned %d curves", len(seeds))
+	}
+
+	cands, err := o.Figure13Candidates([]int{200, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Errorf("candidate sensitivity returned %d curves", len(cands))
+	}
+
+	eps, err := o.Figure14Epochs([]int{4, 8}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 {
+		t.Errorf("epoch sensitivity returned %d points", len(eps))
+	}
+	for _, p := range eps {
+		if p.FinalCoverage <= 0 {
+			t.Errorf("epochs=%d produced zero coverage", p.Epochs)
+		}
+	}
+}
+
+func TestEfficiencyAndHumanAnnotators(t *testing.T) {
+	o := tinyOptions()
+	o.Budget = 10
+	res, err := o.Efficiency([]int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Sentences != 2000 {
+		t.Fatalf("efficiency rows: %+v", res)
+	}
+	if res[0].IndexBuild <= 0 || res[0].TotalRun <= 0 {
+		t.Errorf("timings not recorded: %+v", res[0])
+	}
+
+	ha, err := o.HumanAnnotators(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha.PerfectCoverage <= 0 {
+		t.Errorf("perfect-oracle coverage = %f", ha.PerfectCoverage)
+	}
+	if ha.CrowdQueries == 0 || ha.EstimatedMinutes <= 0 {
+		t.Errorf("crowd accounting missing: %+v", ha)
+	}
+}
+
+func TestSeedRuleAndKeywords(t *testing.T) {
+	for _, d := range []string{"directions", "musicians", "cause-effect", "professions", "tweets"} {
+		if SeedRuleFor(d) == "" {
+			t.Errorf("no seed rule for %s", d)
+		}
+		if len(KeywordsFor(d)) != 10 {
+			t.Errorf("%s should have 10 keywords, has %d", d, len(KeywordsFor(d)))
+		}
+	}
+	if SeedRuleFor("unknown") != "" || KeywordsFor("unknown") != nil {
+		t.Error("unknown dataset should have empty seed/keywords")
+	}
+}
+
+func TestOptionPresets(t *testing.T) {
+	for _, o := range []Options{DefaultOptions(), QuickOptions(), PaperOptions()} {
+		if o.Scale <= 0 || o.Budget <= 0 || o.NumCandidates <= 0 {
+			t.Errorf("invalid preset: %+v", o)
+		}
+		cfg := o.engineConfig()
+		if cfg.Budget != o.Budget || cfg.NumCandidates != o.NumCandidates {
+			t.Errorf("engineConfig mismatch: %+v", cfg)
+		}
+	}
+	if PaperOptions().Scale != 1.0 {
+		t.Error("paper scale should be 1.0")
+	}
+}

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+
+	"math/rand"
+	"repro/internal/baselines"
+
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/oracle"
+	"repro/internal/snuba"
+)
+
+// SeedSizePoint is one x-position of Figures 7 and 8: the coverage obtained
+// by Snuba and by Darwin(HS) when both are initialized with the same labeled
+// seed of the given size.
+type SeedSizePoint struct {
+	SeedSize int
+	Snuba    float64
+	Darwin   float64
+}
+
+// SeedSizeResult is one panel of Figure 7 or Figure 8.
+type SeedSizeResult struct {
+	Dataset string
+	Biased  bool
+	// WithheldToken is the token excluded from the seed in the biased
+	// variant (Figure 8), empty otherwise.
+	WithheldToken string
+	Points        []SeedSizePoint
+}
+
+// Figure7 regenerates one panel of Figure 7: coverage vs. random seed-set
+// size for Snuba and Darwin(HS). The paper uses directions (panel a) and
+// musicians (panel b) with seed sizes from 25 to 1000-2000.
+func (o Options) Figure7(dataset string, seedSizes []int) (SeedSizeResult, error) {
+	return o.seedSizeExperiment(dataset, seedSizes, "")
+}
+
+// Figure8 regenerates one panel of Figure 8: the same comparison with a
+// biased seed that excludes every sentence containing the withheld token
+// ("shuttle" for directions, "composer" for musicians).
+func (o Options) Figure8(dataset string, seedSizes []int, withholdToken string) (SeedSizeResult, error) {
+	return o.seedSizeExperiment(dataset, seedSizes, withholdToken)
+}
+
+// WithheldTokenFor returns the paper's withheld token for Figure 8.
+func WithheldTokenFor(dataset string) string {
+	switch dataset {
+	case "directions":
+		return "shuttle"
+	case "musicians":
+		return "composer"
+	default:
+		return ""
+	}
+}
+
+func (o Options) seedSizeExperiment(dataset string, seedSizes []int, withhold string) (SeedSizeResult, error) {
+	c, err := o.Dataset(dataset)
+	if err != nil {
+		return SeedSizeResult{}, err
+	}
+	res := SeedSizeResult{Dataset: dataset, Biased: withhold != "", WithheldToken: withhold}
+	rng := newRand(o.Seed + 31)
+	for _, size := range seedSizes {
+		var seedIDs []int
+		if withhold == "" {
+			seedIDs = c.SampleIDs(size, rng)
+		} else {
+			seedIDs = c.SampleBiasedIDs(size, withhold, rng)
+		}
+		// Guarantee the labeled seed contains at least two positive
+		// instances (in a highly imbalanced corpus a tiny random sample can
+		// easily contain none, in which case neither technique can start;
+		// §4.2 notes the expert-sampled-positives variant for this reason).
+		// The augmented seed is shared by both techniques. Under the biased
+		// variant the added positives also avoid the withheld token.
+		seedIDs = ensurePositiveSeeds(c, seedIDs, 2, withhold, rng)
+
+		// Snuba: mine rules from the labeled seed only.
+		snubaRes := snuba.Run(c, seedIDs, snuba.DefaultConfig())
+		snubaCov := eval.CoverageOfSet(c, snubaRes.Coverage)
+
+		// Darwin(HS): initialized with the positive sentences of the same
+		// seed (§4.2 initializes both techniques with the same labeled set).
+		var seedPos []int
+		for _, id := range seedIDs {
+			if c.Sentence(id).Gold == corpus.Positive {
+				seedPos = append(seedPos, id)
+			}
+		}
+		darwinCov := 0.0
+		if len(seedPos) > 0 {
+			cfg := o.engineConfig()
+			cfg.Traversal = "hybrid"
+			run, err := runDarwin(c, cfg, "darwin-hs", nil, nil, seedPos,
+				oracle.NewGroundTruth(c), o.EvalEvery)
+			if err != nil {
+				return SeedSizeResult{}, err
+			}
+			darwinCov = eval.CoverageOfSet(c, run.Report.Positives)
+		}
+		res.Points = append(res.Points, SeedSizePoint{SeedSize: size, Snuba: snubaCov, Darwin: darwinCov})
+	}
+	return res, nil
+}
+
+// ensurePositiveSeeds augments seedIDs with gold positives (avoiding the
+// withheld token) until at least minPos positives are present.
+func ensurePositiveSeeds(c *corpus.Corpus, seedIDs []int, minPos int, withhold string, rng *rand.Rand) []int {
+	have := 0
+	inSeed := map[int]bool{}
+	for _, id := range seedIDs {
+		inSeed[id] = true
+		if c.Sentence(id).Gold == corpus.Positive {
+			have++
+		}
+	}
+	if have >= minPos {
+		return seedIDs
+	}
+	candidates := c.Positives()
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	for _, id := range candidates {
+		if have >= minPos {
+			break
+		}
+		if inSeed[id] {
+			continue
+		}
+		if withhold != "" && containsTokenIn(c.Sentence(id).Tokens, withhold) {
+			continue
+		}
+		seedIDs = append(seedIDs, id)
+		inSeed[id] = true
+		have++
+	}
+	return seedIDs
+}
+
+func containsTokenIn(tokens []string, tok string) bool {
+	for _, t := range tokens {
+		if t == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// MethodCurves holds the per-question coverage and F-score curves of every
+// technique on one dataset (one column of Figure 9, or Figure 10 for
+// professions).
+type MethodCurves struct {
+	Dataset  string
+	Coverage map[string]eval.Curve
+	FScore   map[string]eval.Curve
+}
+
+// Figure9Datasets lists the datasets of Figure 9 in paper order (a–d / e–h).
+func Figure9Datasets() []string {
+	return []string{"musicians", "cause-effect", "directions", "tweets"}
+}
+
+// Figure9 regenerates one column of Figure 9: rule coverage (top row) and
+// classifier F-score (bottom row) as a function of the number of questions,
+// for Darwin(HS), Darwin(US), Darwin(LS) and the HighP baseline, plus the
+// Active Learning and Keyword Sampling baselines for the F-score panel.
+func (o Options) Figure9(dataset string) (MethodCurves, error) {
+	c, err := o.Dataset(dataset)
+	if err != nil {
+		return MethodCurves{}, err
+	}
+	return o.methodCurves(c, dataset)
+}
+
+// Figure10 regenerates Figure 10: the same comparison on the professions
+// dataset (the largest, most imbalanced corpus).
+func (o Options) Figure10() (MethodCurves, error) {
+	c, err := o.Dataset("professions")
+	if err != nil {
+		return MethodCurves{}, err
+	}
+	return o.methodCurves(c, "professions")
+}
+
+func (o Options) methodCurves(c *corpus.Corpus, dataset string) (MethodCurves, error) {
+	res := MethodCurves{
+		Dataset:  dataset,
+		Coverage: map[string]eval.Curve{},
+		FScore:   map[string]eval.Curve{},
+	}
+
+	// Darwin variants.
+	for _, variant := range []string{"hybrid", "universal", "local"} {
+		run, err := o.darwinVariant(c, dataset, variant)
+		if err != nil {
+			return MethodCurves{}, err
+		}
+		res.Coverage[run.Method] = run.Coverage
+		res.FScore[run.Method] = run.FScore
+	}
+
+	// HighP baseline (rule verification with a precision-greedy selector).
+	cfg := o.engineConfig()
+	highP, err := runDarwin(c, cfg, "highP", baselines.NewHighP(),
+		[]string{SeedRuleFor(dataset)}, nil, oracle.NewGroundTruth(c), o.EvalEvery)
+	if err != nil {
+		return MethodCurves{}, err
+	}
+	res.Coverage["highP"] = highP.Coverage
+	res.FScore["highP"] = highP.FScore
+
+	// Instance-labeling baselines (F-score panels only, as in the paper).
+	emb := o.embeddingModel(c)
+	seedPos := seedPositivesFor(c, dataset, o)
+	alCfg := baselines.InstanceLabelingConfig{
+		Budget:          o.Budget,
+		SeedPositiveIDs: seedPos,
+		Classifier:      o.classifierConfig(),
+		Embedding:       o.embeddingConfig(),
+		RetrainEvery:    1,
+		EvalEvery:       o.EvalEvery,
+		Seed:            o.Seed,
+	}
+	al := baselines.ActiveLearning(c, emb, alCfg)
+	res.FScore["AL"] = al.FScore
+	res.Coverage["AL"] = al.Coverage
+
+	ks := baselines.KeywordSampling(c, emb, KeywordsFor(dataset), alCfg)
+	res.FScore["KS"] = ks.FScore
+	res.Coverage["KS"] = ks.Coverage
+
+	return res, nil
+}
+
+// seedPositivesFor returns the positive instances matched by the dataset's
+// seed rule, so the instance-labeling baselines start from the same
+// information as the Darwin runs.
+func seedPositivesFor(c *corpus.Corpus, dataset string, o Options) []int {
+	spec := SeedRuleFor(dataset)
+	if spec == "" {
+		return nil
+	}
+	cfg := o.engineConfig()
+	_ = cfg
+	var out []int
+	for _, s := range c.Sentences {
+		if s.Gold != corpus.Positive {
+			continue
+		}
+		if containsPhrase(s.Tokens, spec) {
+			out = append(out, s.ID)
+		}
+		if len(out) >= 5 {
+			break
+		}
+	}
+	return out
+}
+
+func containsPhrase(tokens []string, phrase string) bool {
+	var want []string
+	start := 0
+	for i := 0; i <= len(phrase); i++ {
+		if i == len(phrase) || phrase[i] == ' ' {
+			if i > start {
+				want = append(want, phrase[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if len(want) == 0 || len(want) > len(tokens) {
+		return false
+	}
+	for i := 0; i+len(want) <= len(tokens); i++ {
+		ok := true
+		for j := range want {
+			if tokens[i+j] != want[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TraversalTrace is the qualitative Figure 11 output: the sequence of rules
+// Darwin(HS) queried on a dataset, with the oracle's answers.
+type TraversalTrace struct {
+	Dataset string
+	Seed    string
+	Steps   []TraversalStep
+}
+
+// TraversalStep is one queried rule.
+type TraversalStep struct {
+	Question int
+	Rule     string
+	Coverage int
+	Accepted bool
+}
+
+// Figure11 regenerates the Figure 11 traversal examples on the directions and
+// cause-effect datasets: it returns the sequence of rules queried by
+// Darwin(HS), which should wander from the seed rule to structurally distant
+// but precise rules (e.g. from 'best way to get to' to 'shuttle to').
+func (o Options) Figure11() ([]TraversalTrace, error) {
+	var traces []TraversalTrace
+	for _, dataset := range []string{"directions", "cause-effect"} {
+		c, err := o.Dataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		run, err := o.darwinVariant(c, dataset, "hybrid")
+		if err != nil {
+			return nil, err
+		}
+		trace := TraversalTrace{Dataset: dataset, Seed: SeedRuleFor(dataset)}
+		for _, rec := range run.Report.History {
+			trace.Steps = append(trace.Steps, TraversalStep{
+				Question: rec.Question,
+				Rule:     rec.Rule,
+				Coverage: rec.Coverage,
+				Accepted: rec.Accepted,
+			})
+		}
+		traces = append(traces, trace)
+	}
+	return traces, nil
+}
+
+// String renders a trace as the paper's arrow notation (accepted rules only).
+func (t TraversalTrace) String() string {
+	s := fmt.Sprintf("[%s] %s", t.Dataset, t.Seed)
+	for _, step := range t.Steps {
+		if step.Accepted {
+			s += " -> " + step.Rule
+		}
+	}
+	return s
+}

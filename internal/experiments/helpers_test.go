@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+)
+
+func TestCoverageCurveReconstruction(t *testing.T) {
+	c := corpus.New("h", "t")
+	for i := 0; i < 10; i++ {
+		if i < 4 {
+			c.Add("positive", corpus.Positive)
+		} else {
+			c.Add("negative", corpus.Negative)
+		}
+	}
+	report := &core.Report{
+		Positives: map[int]bool{0: true, 1: true, 2: true},
+		Accepted: []core.RuleRecord{
+			{Question: 0, Rule: "'seed'", AddedIDs: []int{0}},
+		},
+		History: []core.RuleRecord{
+			{Question: 1, Rule: "'a'", Accepted: true, AddedIDs: []int{1}},
+			{Question: 2, Rule: "'b'", Accepted: false},
+			{Question: 3, Rule: "'c'", Accepted: true, AddedIDs: []int{2, 5}},
+		},
+	}
+	curve := coverageCurve(c, report, "test")
+	if curve.Name != "test" {
+		t.Errorf("curve name = %q", curve.Name)
+	}
+	// Seed covers 1/4 positives, question 1 adds another, question 3 a third
+	// (id 5 is a negative and does not count toward coverage).
+	if got := curve.At(0); got != 0.25 {
+		t.Errorf("At(0) = %f", got)
+	}
+	if got := curve.At(1); got != 0.5 {
+		t.Errorf("At(1) = %f", got)
+	}
+	if got := curve.At(2); got != 0.5 {
+		t.Errorf("At(2) = %f (rejected rule must not change coverage)", got)
+	}
+	if got := curve.Final(); got != 0.75 {
+		t.Errorf("Final = %f", got)
+	}
+	// Monotone.
+	prev := 0.0
+	for _, p := range curve.Points {
+		if p.Value < prev {
+			t.Errorf("curve decreased at q=%d", p.Questions)
+		}
+		prev = p.Value
+	}
+}
+
+func TestContainsPhraseAndSentenceSeed(t *testing.T) {
+	tokens := []string{"what", "is", "the", "best", "way", "to", "get"}
+	if !containsPhrase(tokens, "best way to") {
+		t.Error("containsPhrase missed a present phrase")
+	}
+	if containsPhrase(tokens, "way best") {
+		t.Error("containsPhrase matched out-of-order tokens")
+	}
+	if containsPhrase(tokens, "") {
+		t.Error("empty phrase should not match")
+	}
+	if containsPhrase(nil, "best") {
+		t.Error("empty tokens should not match")
+	}
+
+	if phrase, ok := sentenceSeed("@sentence:taught piano to"); !ok || phrase != "taught piano to" {
+		t.Errorf("sentenceSeed = %q, %v", phrase, ok)
+	}
+	if _, ok := sentenceSeed("composer"); ok {
+		t.Error("plain seed misidentified as sentence seed")
+	}
+}
+
+func TestFindSentenceWith(t *testing.T) {
+	c := corpus.New("f", "t")
+	c.Add("Mozart taught piano to the children of the count", corpus.Positive)
+	c.Add("The weather was mild", corpus.Negative)
+	c.Preprocess(corpus.PreprocessOptions{})
+	if got := findSentenceWith(c, "taught piano to"); got == "" {
+		t.Error("findSentenceWith missed the sentence")
+	}
+	if got := findSentenceWith(c, "nonexistent phrase"); got != "" {
+		t.Errorf("findSentenceWith returned %q for a missing phrase", got)
+	}
+	if got := findSentenceWith(c, ""); got != "" {
+		t.Error("empty phrase should return empty")
+	}
+}
+
+func TestEnsurePositiveSeeds(t *testing.T) {
+	c := corpus.New("s", "t")
+	c.Add("the shuttle to the airport", corpus.Positive)
+	c.Add("which bus goes downtown", corpus.Positive)
+	c.Add("order a pizza", corpus.Negative)
+	c.Add("late checkout please", corpus.Negative)
+	c.Preprocess(corpus.PreprocessOptions{})
+	rng := newRand(1)
+
+	// A seed with no positives gets augmented to two.
+	seed := ensurePositiveSeeds(c, []int{2, 3}, 2, "", rng)
+	pos := 0
+	for _, id := range seed {
+		if c.Sentence(id).Gold == corpus.Positive {
+			pos++
+		}
+	}
+	if pos < 2 {
+		t.Errorf("augmented seed has %d positives", pos)
+	}
+	// Withheld token is respected: only the bus sentence qualifies.
+	seed = ensurePositiveSeeds(c, []int{2}, 1, "shuttle", rng)
+	for _, id := range seed {
+		s := c.Sentence(id)
+		if s.Gold != corpus.Positive {
+			continue
+		}
+		for _, tok := range s.Tokens {
+			if tok == "shuttle" {
+				t.Error("augmentation added a sentence with the withheld token")
+			}
+		}
+	}
+	// Already-sufficient seeds are unchanged.
+	orig := []int{0, 1}
+	if got := ensurePositiveSeeds(c, orig, 2, "", rng); len(got) != 2 {
+		t.Errorf("sufficient seed was modified: %v", got)
+	}
+}
+
+func TestRunDarwinErrorPropagation(t *testing.T) {
+	o := tinyOptions()
+	c, err := o.Dataset("directions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.engineConfig()
+	if _, err := runDarwin(c, cfg, "bad", nil, []string{"@@@!!"}, nil, nil, 5); err == nil {
+		t.Error("missing oracle / bad seed should error")
+	}
+}
+
+func TestShortName(t *testing.T) {
+	if shortName("hybrid") != "hs" || shortName("universal") != "us" || shortName("local") != "ls" {
+		t.Error("shortName mapping wrong")
+	}
+	if shortName("other") != "other" {
+		t.Error("shortName should pass through unknown names")
+	}
+}
+
+func TestFinalF1FallsBackToPositiveSet(t *testing.T) {
+	c := corpus.New("f1", "t")
+	for i := 0; i < 10; i++ {
+		if i < 3 {
+			c.Add("p", corpus.Positive)
+		} else {
+			c.Add("n", corpus.Negative)
+		}
+	}
+	run := DarwinRun{Report: &core.Report{Positives: map[int]bool{0: true, 1: true, 2: true}}}
+	if f1 := finalF1(c, run); f1 < 0.99 {
+		t.Errorf("finalF1 = %f, want ~1.0 for a perfect positive set", f1)
+	}
+	// Sanity: eval and this helper agree on an imperfect set.
+	run.Report.Positives = map[int]bool{0: true, 5: true}
+	f1 := finalF1(c, run)
+	conf := eval.Confusion{TP: 1, FP: 1, FN: 2, TN: 6}
+	if diff := f1 - conf.F1(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("finalF1 = %f, want %f", f1, conf.F1())
+	}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/oracle"
+)
+
+// ParamCurve is one sensitivity series: a parameter value and the resulting
+// per-question coverage curve.
+type ParamCurve struct {
+	Label string
+	Value float64
+	Curve eval.Curve
+}
+
+// Figure12Tau regenerates Figure 12a: the sensitivity of Darwin(HS) to the
+// mode-switching parameter τ on the musicians dataset (τ ∈ {3,5,7,9}).
+func (o Options) Figure12Tau(taus []int) ([]ParamCurve, error) {
+	if len(taus) == 0 {
+		taus = []int{3, 5, 7, 9}
+	}
+	c, err := o.Dataset("musicians")
+	if err != nil {
+		return nil, err
+	}
+	var out []ParamCurve
+	for _, tau := range taus {
+		cfg := o.engineConfig()
+		cfg.Traversal = "hybrid"
+		cfg.Tau = tau
+		run, err := runDarwin(c, cfg, "darwin-hs", nil,
+			[]string{SeedRuleFor("musicians")}, nil, oracle.NewGroundTruth(c), o.EvalEvery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParamCurve{Label: "tau=" + itoa(tau), Value: float64(tau), Curve: run.Coverage})
+	}
+	return out, nil
+}
+
+// Figure12SeedRules returns the three seed rules of Figure 12b for the
+// musicians dataset: a precise keyword ('composer'), a broader keyword
+// ('piano'), and a full seed sentence (resolved against the generated corpus
+// at run time, mirroring the paper's 'Beethoven taught piano to the
+// daughters of ...' example).
+func Figure12SeedRules() []string {
+	return []string{
+		"composer",
+		"piano",
+		"@sentence:taught piano to",
+	}
+}
+
+// Figure12Seeds regenerates Figure 12b: the sensitivity of Darwin(HS) to the
+// choice of seed rule on the musicians dataset. Seed specifications of the
+// form "@sentence:<phrase>" are resolved to the full text of the first corpus
+// sentence containing the phrase (a whole-sentence seed rule, the paper's
+// Rule 3).
+func (o Options) Figure12Seeds(seedRules []string) ([]ParamCurve, error) {
+	if len(seedRules) == 0 {
+		seedRules = Figure12SeedRules()
+	}
+	c, err := o.Dataset("musicians")
+	if err != nil {
+		return nil, err
+	}
+	resolved := make([]string, 0, len(seedRules))
+	for _, seed := range seedRules {
+		if phrase, ok := sentenceSeed(seed); ok {
+			if text := findSentenceWith(c, phrase); text != "" {
+				seed = text
+			} else {
+				seed = phrase
+			}
+		}
+		resolved = append(resolved, seed)
+	}
+	var out []ParamCurve
+	for i, seed := range resolved {
+		cfg := o.engineConfig()
+		cfg.Traversal = "hybrid"
+		run, err := runDarwin(c, cfg, "darwin-hs", nil,
+			[]string{seed}, nil, oracle.NewGroundTruth(c), o.EvalEvery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParamCurve{Label: "rule " + itoa(i+1), Value: float64(i + 1), Curve: run.Coverage})
+	}
+	return out, nil
+}
+
+// Figure13Candidates regenerates Figure 13: the sensitivity of Darwin(HS) to
+// the number of candidates generated per iteration ({5K, 10K, 20K} in the
+// paper, scaled alongside everything else here).
+func (o Options) Figure13Candidates(candidateCounts []int) ([]ParamCurve, error) {
+	if len(candidateCounts) == 0 {
+		candidateCounts = []int{o.NumCandidates / 2, o.NumCandidates, o.NumCandidates * 2}
+	}
+	c, err := o.Dataset("musicians")
+	if err != nil {
+		return nil, err
+	}
+	var out []ParamCurve
+	for _, k := range candidateCounts {
+		cfg := o.engineConfig()
+		cfg.Traversal = "hybrid"
+		cfg.NumCandidates = k
+		run, err := runDarwin(c, cfg, "darwin-hs", nil,
+			[]string{SeedRuleFor("musicians")}, nil, oracle.NewGroundTruth(c), o.EvalEvery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParamCurve{Label: itoa(k) + " candidates", Value: float64(k), Curve: run.Coverage})
+	}
+	return out, nil
+}
+
+// EpochsPoint is one x-position of Figure 14: classifier training epochs vs.
+// the number of questions Darwin(HS) needs to reach the target coverage.
+type EpochsPoint struct {
+	Epochs            int
+	QuestionsToTarget int
+	FinalCoverage     float64
+}
+
+// Figure14Epochs regenerates Figure 14: the effect of classifier quality
+// (training epochs, a proxy for over/under-fitting) on the number of
+// questions needed to label at least targetCoverage of the positives on the
+// musicians dataset.
+func (o Options) Figure14Epochs(epochs []int, targetCoverage float64) ([]EpochsPoint, error) {
+	if len(epochs) == 0 {
+		epochs = []int{4, 6, 8, 10, 12}
+	}
+	if targetCoverage <= 0 {
+		targetCoverage = 0.75
+	}
+	c, err := o.Dataset("musicians")
+	if err != nil {
+		return nil, err
+	}
+	var out []EpochsPoint
+	for _, ep := range epochs {
+		cfg := o.engineConfig()
+		cfg.Traversal = "hybrid"
+		cfg.Classifier.Epochs = ep
+		run, err := runDarwin(c, cfg, "darwin-hs", nil,
+			[]string{SeedRuleFor("musicians")}, nil, oracle.NewGroundTruth(c), o.EvalEvery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EpochsPoint{
+			Epochs:            ep,
+			QuestionsToTarget: run.Coverage.QuestionsToReach(targetCoverage),
+			FinalCoverage:     run.Coverage.Final(),
+		})
+	}
+	return out, nil
+}
+
+// EfficiencyResult is one row of the §4.5 efficiency study.
+type EfficiencyResult struct {
+	Dataset    string
+	Sentences  int
+	IndexBuild time.Duration
+	TotalRun   time.Duration
+	Questions  int
+	Coverage   float64
+}
+
+// Efficiency measures index-construction and end-to-end label-collection time
+// on the professions dataset at increasing corpus sizes (the paper reports
+// <5 min index construction and an end-to-end run of ~65 min on 1M sentences
+// with the lazy-scoring optimization).
+func (o Options) Efficiency(sizes []int) ([]EfficiencyResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{5000, 20000, 50000}
+	}
+	var out []EfficiencyResult
+	for _, n := range sizes {
+		spec := datagen.ProfessionsSpec()
+		spec.NumSentences = n
+		c := datagen.Generate(spec, o.Seed)
+		c.Preprocess(corpus.PreprocessOptions{Parse: o.UseTreeMatch})
+		cfg := o.engineConfig()
+		cfg.Traversal = "hybrid"
+		cfg.LazyScoring = true
+		run, err := runDarwin(c, cfg, "darwin-hs", nil,
+			[]string{SeedRuleFor("professions")}, nil, oracle.NewGroundTruth(c), o.EvalEvery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EfficiencyResult{
+			Dataset:    "professions",
+			Sentences:  n,
+			IndexBuild: run.Report.IndexBuild,
+			TotalRun:   run.Report.Total,
+			Questions:  run.Report.Questions,
+			Coverage:   run.Coverage.Final(),
+		})
+	}
+	return out, nil
+}
+
+func itoa(x int) string { return strconv.Itoa(x) }
+
+// sentenceSeed recognizes the "@sentence:<phrase>" seed specification.
+func sentenceSeed(spec string) (string, bool) {
+	const prefix = "@sentence:"
+	if len(spec) > len(prefix) && spec[:len(prefix)] == prefix {
+		return spec[len(prefix):], true
+	}
+	return "", false
+}
+
+// findSentenceWith returns the text of the first corpus sentence whose text
+// contains the phrase (case-insensitive on the tokenized form), or "".
+func findSentenceWith(c *corpus.Corpus, phrase string) string {
+	var want []string
+	start := 0
+	for i := 0; i <= len(phrase); i++ {
+		if i == len(phrase) || phrase[i] == ' ' {
+			if i > start {
+				want = append(want, phrase[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if len(want) == 0 {
+		return ""
+	}
+	for _, s := range c.Sentences {
+		toks := s.Tokens
+		for i := 0; i+len(want) <= len(toks); i++ {
+			ok := true
+			for j := range want {
+				if toks[i+j] != want[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return s.Text
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,169 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// fakeHeuristic and fakeGrammar provide a minimal grammar for registry tests
+// without importing the concrete grammar packages (which would create an
+// import cycle in tests).
+type fakeHeuristic struct {
+	word string
+}
+
+func (f fakeHeuristic) Key() string         { return "fake:" + f.word }
+func (f fakeHeuristic) String() string      { return f.word }
+func (f fakeHeuristic) GrammarName() string { return "fake" }
+func (f fakeHeuristic) Depth() int          { return 1 }
+func (f fakeHeuristic) Matches(s *corpus.Sentence) bool {
+	if s == nil {
+		return false
+	}
+	for _, t := range s.Tokens {
+		if t == f.word {
+			return true
+		}
+	}
+	return false
+}
+func (f fakeHeuristic) Parents() []Heuristic { return []Heuristic{Root()} }
+
+type fakeGrammar struct{}
+
+func (fakeGrammar) Name() string { return "fake" }
+func (fakeGrammar) Sketch(s *corpus.Sentence, maxDepth int) []Heuristic {
+	var out []Heuristic
+	seen := map[string]bool{}
+	for _, t := range s.Tokens {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, fakeHeuristic{word: t})
+		}
+	}
+	return out
+}
+func (fakeGrammar) Parse(spec string) (Heuristic, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.Contains(spec, " ") {
+		return nil, fmt.Errorf("fake: bad spec %q", spec)
+	}
+	return fakeHeuristic{word: spec}, nil
+}
+func (fakeGrammar) Specialize(h Heuristic, s *corpus.Sentence, maxDepth int) []Heuristic {
+	return nil
+}
+
+func testCorpus() *corpus.Corpus {
+	c := corpus.New("g", "t")
+	c.Add("the shuttle goes to the airport", corpus.Positive)
+	c.Add("order a pizza tonight", corpus.Negative)
+	c.Preprocess(corpus.PreprocessOptions{})
+	return c
+}
+
+func TestRoot(t *testing.T) {
+	r := Root()
+	if r.Key() != RootKey || r.Depth() != 0 {
+		t.Errorf("root = %v", r)
+	}
+	if !r.Matches(nil) || !r.Matches(&corpus.Sentence{}) {
+		t.Error("root must match everything")
+	}
+	if r.Parents() != nil {
+		t.Error("root has parents")
+	}
+	if !IsRoot(r) {
+		t.Error("IsRoot(Root()) = false")
+	}
+	if IsRoot(nil) {
+		t.Error("IsRoot(nil) = true")
+	}
+	if IsRoot(fakeHeuristic{word: "x"}) {
+		t.Error("IsRoot(fake) = true")
+	}
+	if r.String() != "*" || r.GrammarName() != "root" {
+		t.Error("root metadata wrong")
+	}
+}
+
+func TestRegistryParse(t *testing.T) {
+	r := NewRegistry(fakeGrammar{})
+	h, err := r.Parse("fake:shuttle")
+	if err != nil || h.Key() != "fake:shuttle" {
+		t.Errorf("prefixed parse: %v %v", h, err)
+	}
+	h, err = r.Parse("shuttle")
+	if err != nil || h.Key() != "fake:shuttle" {
+		t.Errorf("unprefixed parse: %v %v", h, err)
+	}
+	if _, err := r.Parse("two words"); err == nil {
+		t.Error("bad spec should error")
+	}
+	h, err = r.Parse("*")
+	if err != nil || !IsRoot(h) {
+		t.Errorf("root parse: %v %v", h, err)
+	}
+	empty := NewRegistry()
+	if _, err := empty.Parse("anything"); err == nil {
+		t.Error("empty registry should error")
+	}
+}
+
+func TestRegistrySketchAndSpecialize(t *testing.T) {
+	r := NewRegistry(fakeGrammar{})
+	c := testCorpus()
+	hs := r.Sketch(c.Sentence(0), 3)
+	if len(hs) == 0 {
+		t.Fatal("empty sketch")
+	}
+	// Sorted and deduplicated by key.
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1].Key() >= hs[i].Key() {
+			t.Errorf("sketch not sorted/deduped: %s >= %s", hs[i-1].Key(), hs[i].Key())
+		}
+	}
+	kids := r.Specialize(Root(), c.Sentence(0), 3)
+	if len(kids) == 0 {
+		t.Error("root specialize empty")
+	}
+	if got := r.Specialize(fakeHeuristic{word: "x"}, c.Sentence(0), 3); got != nil {
+		t.Errorf("fake specialize = %v, want nil", got)
+	}
+	// Unknown grammar name.
+	if got := r.Specialize(unknownGrammarHeuristic{}, c.Sentence(0), 3); got != nil {
+		t.Error("unknown grammar should return nil")
+	}
+}
+
+type unknownGrammarHeuristic struct{ fakeHeuristic }
+
+func (unknownGrammarHeuristic) GrammarName() string { return "unknown" }
+
+func TestRegistryRegisterReplaces(t *testing.T) {
+	r := NewRegistry(fakeGrammar{})
+	r.Register(fakeGrammar{})
+	if len(r.Grammars()) != 1 {
+		t.Errorf("duplicate registration grew the registry: %d", len(r.Grammars()))
+	}
+	if _, ok := r.Get("fake"); !ok {
+		t.Error("Get(fake) failed")
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Error("Get(missing) succeeded")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	c := testCorpus()
+	ids := Coverage(fakeHeuristic{word: "shuttle"}, c)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("Coverage = %v", ids)
+	}
+	if ids := Coverage(Root(), c); len(ids) != c.Len() {
+		t.Errorf("root coverage = %v", ids)
+	}
+}

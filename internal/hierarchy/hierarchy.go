@@ -1,0 +1,285 @@
+// Package hierarchy implements the heuristic-hierarchy generation component
+// of §3.2: candidate generation (Algorithm 2 — a greedy best-first expansion
+// of the index picking heuristics with high coverage over the discovered
+// positives) and the hierarchical arrangement of the candidates with
+// subset/superset edges plus the cleanup pass that drops heuristics adding no
+// new positives.
+package hierarchy
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/grammar"
+	"repro/internal/index"
+)
+
+// Node is one candidate heuristic arranged in the hierarchy.
+type Node struct {
+	// Key is the heuristic's canonical key.
+	Key string
+	// Heuristic is the candidate labeling rule.
+	Heuristic grammar.Heuristic
+	// Coverage is the sorted sentence-ID list covered by the rule.
+	Coverage []int
+	// Parents and Children are hierarchy edges (superset / subset).
+	Parents  []string
+	Children []string
+}
+
+// Hierarchy is the arrangement of candidate heuristics produced each
+// iteration of the Darwin pipeline.
+type Hierarchy struct {
+	nodes map[string]*Node
+	order []string // insertion order of keys, root first
+}
+
+// Root returns the hierarchy's root node (the universal heuristic '*').
+func (h *Hierarchy) Root() *Node { return h.nodes[grammar.RootKey] }
+
+// Node returns the node with the given key, or nil.
+func (h *Hierarchy) Node(key string) *Node { return h.nodes[key] }
+
+// Len returns the number of nodes including the root.
+func (h *Hierarchy) Len() int { return len(h.nodes) }
+
+// Keys returns all node keys (root first, then insertion order).
+func (h *Hierarchy) Keys() []string {
+	out := make([]string, len(h.order))
+	copy(out, h.order)
+	return out
+}
+
+// NonRootKeys returns all keys except the root.
+func (h *Hierarchy) NonRootKeys() []string {
+	var out []string
+	for _, k := range h.order {
+		if k != grammar.RootKey {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the hierarchy holds the key.
+func (h *Hierarchy) Contains(key string) bool {
+	_, ok := h.nodes[key]
+	return ok
+}
+
+// Add inserts a node for the heuristic with the given coverage if absent and
+// returns it. Edges are not recomputed automatically; call LinkEdges after a
+// batch of additions.
+func (h *Hierarchy) Add(heur grammar.Heuristic, coverage []int) *Node {
+	key := heur.Key()
+	if n, ok := h.nodes[key]; ok {
+		return n
+	}
+	n := &Node{Key: key, Heuristic: heur, Coverage: coverage}
+	h.nodes[key] = n
+	h.order = append(h.order, key)
+	return n
+}
+
+// Config controls candidate generation.
+type Config struct {
+	// NumCandidates is k in Algorithm 2: how many candidate heuristics to
+	// generate per iteration (the paper uses 10K).
+	NumCandidates int
+	// MaxRuleDepth drops candidates deeper than this many derivation rules
+	// (0 = no limit).
+	MaxRuleDepth int
+	// MinCoverage drops candidates covering fewer sentences than this.
+	MinCoverage int
+	// Cleanup removes candidates that add no new positives relative to the
+	// already-discovered set P (§3.2 cleanup pass).
+	Cleanup bool
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{NumCandidates: 10000, MaxRuleDepth: 10, MinCoverage: 2, Cleanup: true}
+}
+
+// cand is one candidate heuristic scored by its overlap with the discovered
+// positives (primary) and its total coverage (tie-break).
+type cand struct {
+	key     string
+	overlap int
+	total   int
+}
+
+// candHeap is a max-heap of candidates ordered by (overlap, total, key).
+type candHeap []cand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].overlap != h[j].overlap {
+		return h[i].overlap > h[j].overlap
+	}
+	if h[i].total != h[j].total {
+		return h[i].total > h[j].total
+	}
+	return h[i].key < h[j].key
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// GenerateCandidates implements Algorithm 2: a greedy best-first expansion of
+// the index starting from the root, repeatedly materializing the children of
+// the best candidate so far (by coverage over the discovered positives P,
+// with total coverage as tie-break) until k candidates are selected. The
+// candidate list of the paper's pseudocode is kept as a max-heap, making each
+// iteration logarithmic rather than a full re-sort.
+func GenerateCandidates(ix *index.Index, positives map[int]bool, cfg Config) []string {
+	k := cfg.NumCandidates
+	if k <= 0 {
+		k = 10000
+	}
+	score := func(key string) cand {
+		return cand{
+			key:     key,
+			overlap: ix.CoverageOverlap(key, positives),
+			total:   ix.Count(key),
+		}
+	}
+
+	selected := make([]string, 0, k)
+	inSelected := map[string]bool{grammar.RootKey: true}
+	inCandidates := map[string]bool{}
+	candidates := &candHeap{}
+	heap.Init(candidates)
+
+	eligible := func(key string) bool {
+		if inSelected[key] || inCandidates[key] {
+			return false
+		}
+		n := ix.Node(key)
+		if n == nil {
+			return false
+		}
+		if cfg.MaxRuleDepth > 0 && n.Heuristic.Depth() > cfg.MaxRuleDepth {
+			return false
+		}
+		if cfg.MinCoverage > 0 && n.Count() < cfg.MinCoverage {
+			return false
+		}
+		return true
+	}
+
+	recent := grammar.RootKey
+	for len(selected) < k {
+		// Add children of the most recently selected heuristic (line 3).
+		for _, ck := range ix.Children(recent) {
+			if eligible(ck) {
+				inCandidates[ck] = true
+				heap.Push(candidates, score(ck))
+			}
+		}
+		if candidates.Len() == 0 {
+			break
+		}
+		// Take the candidate with the highest coverage over P (lines 4-7).
+		best := heap.Pop(candidates).(cand)
+		delete(inCandidates, best.key)
+		inSelected[best.key] = true
+		selected = append(selected, best.key)
+		recent = best.key
+	}
+	return selected
+}
+
+// Build arranges the candidate keys into a hierarchy following the index's
+// parent/child relationships (§3.2 "Hierarchical Arrangement and edge
+// discovery"). If cfg.Cleanup is set, candidates that add no new positives
+// beyond P are dropped first.
+func Build(ix *index.Index, candidateKeys []string, positives map[int]bool, cfg Config) *Hierarchy {
+	h := &Hierarchy{nodes: make(map[string]*Node)}
+	h.Add(grammar.Root(), ix.Root().Postings)
+
+	for _, key := range candidateKeys {
+		n := ix.Node(key)
+		if n == nil {
+			continue
+		}
+		if cfg.Cleanup && len(positives) > 0 && ix.NewCoverage(key, positives) == 0 {
+			continue
+		}
+		h.Add(n.Heuristic, n.Postings)
+	}
+	h.LinkEdges(ix)
+	return h
+}
+
+// LinkEdges recomputes parent/child edges between hierarchy nodes: a node's
+// parent is its nearest materialized ancestor in the index (walking up
+// grammatical parents), falling back to the root.
+func (h *Hierarchy) LinkEdges(ix *index.Index) {
+	for _, n := range h.nodes {
+		n.Parents = n.Parents[:0]
+		n.Children = n.Children[:0]
+	}
+	for _, key := range h.order {
+		if key == grammar.RootKey {
+			continue
+		}
+		n := h.nodes[key]
+		parents := h.nearestAncestors(key, ix)
+		for _, pk := range parents {
+			p := h.nodes[pk]
+			p.Children = append(p.Children, key)
+			n.Parents = append(n.Parents, pk)
+		}
+	}
+	for _, n := range h.nodes {
+		sort.Strings(n.Parents)
+		sort.Strings(n.Children)
+	}
+}
+
+// nearestAncestors walks up the index's parent edges from key and returns the
+// nearest ancestors that are materialized in the hierarchy (the root if none
+// are found).
+func (h *Hierarchy) nearestAncestors(key string, ix *index.Index) []string {
+	found := map[string]bool{}
+	visited := map[string]bool{key: true}
+	frontier := ix.Parents(key)
+	for len(frontier) > 0 && len(found) == 0 {
+		var next []string
+		for _, pk := range frontier {
+			if visited[pk] {
+				continue
+			}
+			visited[pk] = true
+			if pk != key && h.Contains(pk) {
+				found[pk] = true
+				continue
+			}
+			next = append(next, ix.Parents(pk)...)
+		}
+		frontier = next
+	}
+	if len(found) == 0 {
+		return []string{grammar.RootKey}
+	}
+	out := make([]string, 0, len(found))
+	for k := range found {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate runs candidate generation and arrangement in one call (the
+// "heuristic-hierarchy generation" box of Figure 4).
+func Generate(ix *index.Index, positives map[int]bool, cfg Config) *Hierarchy {
+	keys := GenerateCandidates(ix, positives, cfg)
+	return Build(ix, keys, positives, cfg)
+}

@@ -1,0 +1,340 @@
+// Package index implements the corpus index of §3.1 (Figure 6): a trie-like
+// structure obtained by merging per-sentence derivation sketches. Each node
+// represents one heuristic and stores its coverage count, an inverted list of
+// the sentences that satisfy it, and parent/child edges capturing the
+// superset/subset relationship between heuristics.
+//
+// The index is the single source of coverage truth for candidate generation,
+// hierarchy construction and traversal. It is built in linear time in the
+// number of sentences (for bounded-depth sketches), supports sharded parallel
+// construction via Merge, and has O(1) amortized update time for adding one
+// sentence's sketch.
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+	"repro/internal/sketch"
+)
+
+// Node is one heuristic materialized in the index.
+type Node struct {
+	// Heuristic is the labeling heuristic this node represents. The root
+	// node holds grammar.Root().
+	Heuristic grammar.Heuristic
+	// Postings is the sorted inverted list of sentence IDs satisfying the
+	// heuristic.
+	Postings []int
+
+	parents  []string
+	children []string
+}
+
+// Key returns the node's heuristic key.
+func (n *Node) Key() string { return n.Heuristic.Key() }
+
+// Count returns the coverage |C_r| of the node's heuristic.
+func (n *Node) Count() int { return len(n.Postings) }
+
+// Parents returns the keys of the node's parent nodes (generalizations).
+func (n *Node) Parents() []string { return n.parents }
+
+// Children returns the keys of the node's child nodes (specializations).
+func (n *Node) Children() []string { return n.children }
+
+// Index is the merged sketch trie over a corpus.
+type Index struct {
+	nodes map[string]*Node
+	// edgesBuilt records whether parent/child edges are up to date.
+	edgesBuilt bool
+}
+
+// New returns an empty index containing only the root node (with no
+// postings; the root conceptually covers every sentence).
+func New() *Index {
+	ix := &Index{nodes: make(map[string]*Node)}
+	ix.nodes[grammar.RootKey] = &Node{Heuristic: grammar.Root()}
+	return ix
+}
+
+// Build constructs the index of a corpus using the given sketch builder,
+// sharding the work across CPUs and merging the shards (the parallel
+// construction described in §3.1).
+func Build(c *corpus.Corpus, b *sketch.Builder) *Index {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 1 {
+		shards = 1
+	}
+	if c.Len() < 256 {
+		shards = 1
+	}
+	if shards == 1 {
+		ix := New()
+		for id := 0; id < c.Len(); id++ {
+			ix.AddSketch(b.Build(c.Sentence(id)))
+		}
+		ix.BuildEdges()
+		return ix
+	}
+	parts := make([]*Index, shards)
+	var wg sync.WaitGroup
+	per := (c.Len() + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > c.Len() {
+			hi = c.Len()
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			part := New()
+			for id := lo; id < hi; id++ {
+				part.AddSketch(b.Build(c.Sentence(id)))
+			}
+			parts[s] = part
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	ix := parts[0]
+	for _, part := range parts[1:] {
+		ix.Merge(part)
+	}
+	ix.BuildEdges()
+	return ix
+}
+
+// AddSketch merges one sentence's derivation sketch into the index,
+// incrementing counts and extending inverted lists. Edges are invalidated and
+// rebuilt lazily.
+func (ix *Index) AddSketch(sk sketch.Sketch) {
+	if sk.SentenceID < 0 {
+		return
+	}
+	root := ix.nodes[grammar.RootKey]
+	root.Postings = insertSorted(root.Postings, sk.SentenceID)
+	for _, h := range sk.Heuristics {
+		key := h.Key()
+		n, ok := ix.nodes[key]
+		if !ok {
+			n = &Node{Heuristic: h}
+			ix.nodes[key] = n
+		}
+		n.Postings = insertSorted(n.Postings, sk.SentenceID)
+	}
+	ix.edgesBuilt = false
+}
+
+// insertSorted appends id keeping the slice sorted and deduplicated. In the
+// common case (ids arrive in increasing order) this is O(1).
+func insertSorted(xs []int, id int) []int {
+	if n := len(xs); n == 0 || xs[n-1] < id {
+		return append(xs, id)
+	}
+	i := sort.SearchInts(xs, id)
+	if i < len(xs) && xs[i] == id {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = id
+	return xs
+}
+
+// Merge folds another index into this one (union of postings per key). Edges
+// are invalidated and must be rebuilt with BuildEdges.
+func (ix *Index) Merge(other *Index) {
+	for key, on := range other.nodes {
+		n, ok := ix.nodes[key]
+		if !ok {
+			ix.nodes[key] = &Node{Heuristic: on.Heuristic, Postings: append([]int(nil), on.Postings...)}
+			continue
+		}
+		n.Postings = mergeSorted(n.Postings, on.Postings)
+	}
+	ix.edgesBuilt = false
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// BuildEdges (re)computes parent/child edges between materialized nodes. A
+// heuristic whose grammatical parents are not materialized (e.g. stop-word
+// unigrams filtered from sketches) is attached directly to the root.
+func (ix *Index) BuildEdges() {
+	for _, n := range ix.nodes {
+		n.parents = n.parents[:0]
+		n.children = n.children[:0]
+	}
+	keys := ix.Keys()
+	for _, key := range keys {
+		if key == grammar.RootKey {
+			continue
+		}
+		n := ix.nodes[key]
+		attached := false
+		for _, p := range n.Heuristic.Parents() {
+			pk := p.Key()
+			pn, ok := ix.nodes[pk]
+			if !ok {
+				continue
+			}
+			pn.children = append(pn.children, key)
+			n.parents = append(n.parents, pk)
+			attached = true
+		}
+		if !attached {
+			root := ix.nodes[grammar.RootKey]
+			root.children = append(root.children, key)
+			n.parents = append(n.parents, grammar.RootKey)
+		}
+	}
+	// Deterministic ordering of edge lists.
+	for _, n := range ix.nodes {
+		sort.Strings(n.parents)
+		sort.Strings(n.children)
+	}
+	ix.edgesBuilt = true
+}
+
+// Prune removes all non-root nodes with coverage below minCount, then
+// rebuilds edges. Low-coverage heuristics can never be useful labeling rules
+// (the paper targets rules with coverage Ω(log n)), and pruning keeps the
+// index small on large corpora.
+func (ix *Index) Prune(minCount int) {
+	if minCount <= 1 {
+		return
+	}
+	for key, n := range ix.nodes {
+		if key == grammar.RootKey {
+			continue
+		}
+		if n.Count() < minCount {
+			delete(ix.nodes, key)
+		}
+	}
+	ix.BuildEdges()
+}
+
+// Node returns the node for a heuristic key, or nil if not materialized.
+func (ix *Index) Node(key string) *Node {
+	return ix.nodes[key]
+}
+
+// Root returns the root node.
+func (ix *Index) Root() *Node { return ix.nodes[grammar.RootKey] }
+
+// Len returns the number of nodes (including the root).
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Keys returns all node keys in sorted order.
+func (ix *Index) Keys() []string {
+	out := make([]string, 0, len(ix.nodes))
+	for k := range ix.nodes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Coverage returns the posting list (sorted sentence IDs) of the heuristic
+// with the given key, or nil if the key is not materialized. The returned
+// slice must not be modified.
+func (ix *Index) Coverage(key string) []int {
+	if n, ok := ix.nodes[key]; ok {
+		return n.Postings
+	}
+	return nil
+}
+
+// Count returns the coverage size of the heuristic with the given key (0 for
+// unknown keys).
+func (ix *Index) Count(key string) int {
+	if n, ok := ix.nodes[key]; ok {
+		return n.Count()
+	}
+	return 0
+}
+
+// Children returns the child keys of the node with the given key. The edges
+// are built on demand.
+func (ix *Index) Children(key string) []string {
+	if !ix.edgesBuilt {
+		ix.BuildEdges()
+	}
+	if n, ok := ix.nodes[key]; ok {
+		return n.children
+	}
+	return nil
+}
+
+// Parents returns the parent keys of the node with the given key.
+func (ix *Index) Parents(key string) []string {
+	if !ix.edgesBuilt {
+		ix.BuildEdges()
+	}
+	if n, ok := ix.nodes[key]; ok {
+		return n.parents
+	}
+	return nil
+}
+
+// CoverageOverlap returns |C_r ∩ P| for the heuristic with the given key and
+// a set P of sentence IDs.
+func (ix *Index) CoverageOverlap(key string, p map[int]bool) int {
+	n := 0
+	for _, id := range ix.Coverage(key) {
+		if p[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// NewCoverage returns |C_r \ P|: how many sentences the heuristic would add
+// beyond the already-discovered set P.
+func (ix *Index) NewCoverage(key string, p map[int]bool) int {
+	n := 0
+	for _, id := range ix.Coverage(key) {
+		if !p[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// EnsureHeuristic materializes an ad-hoc heuristic (e.g. a parsed seed rule
+// or a specialization generated during traversal) by scanning the corpus for
+// its coverage, unless it is already present. It returns the node.
+func (ix *Index) EnsureHeuristic(h grammar.Heuristic, c *corpus.Corpus) *Node {
+	if n, ok := ix.nodes[h.Key()]; ok {
+		return n
+	}
+	n := &Node{Heuristic: h, Postings: grammar.Coverage(h, c)}
+	ix.nodes[h.Key()] = n
+	ix.edgesBuilt = false
+	return n
+}

@@ -1,0 +1,171 @@
+package labelmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(5)
+	if m.NumSentences() != 5 || m.NumRules() != 0 {
+		t.Fatalf("empty matrix: %d sentences, %d rules", m.NumSentences(), m.NumRules())
+	}
+	m.AddRule("r1", []int{0, 1, 2}, VotePositive)
+	m.AddRule("r2", []int{2, 3}, VotePositive)
+	m.AddRule("neg", []int{4}, VoteNegative)
+	m.AddRule("dangling", []int{-1, 99}, VotePositive) // out of range ignored
+	if m.NumRules() != 4 {
+		t.Errorf("NumRules = %d", m.NumRules())
+	}
+	if got := m.CoverageCount(); got != 5 {
+		t.Errorf("CoverageCount = %d, want 5", got)
+	}
+	votes := m.Votes(2)
+	if votes[0] != VotePositive || votes[1] != VotePositive || votes[2] != VoteAbstain {
+		t.Errorf("Votes(2) = %v", votes)
+	}
+	names := m.RuleNames()
+	if len(names) != 4 || names[0] != "r1" {
+		t.Errorf("RuleNames = %v", names)
+	}
+	m.AddVotes("fromvec", []Vote{VoteNegative, VotePositive})
+	if m.Votes(0)[4] != VoteNegative || m.Votes(1)[4] != VotePositive || m.Votes(4)[4] != VoteAbstain {
+		t.Error("AddVotes misplaced votes")
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	m := NewMatrix(4)
+	m.AddRule("a", []int{0, 1}, VotePositive)
+	m.AddRule("b", []int{1}, VotePositive)
+	m.AddRule("c", []int{1, 2}, VoteNegative)
+	probs := m.MajorityVote(0.25)
+	if probs[0] != 1.0 {
+		t.Errorf("p(0) = %f", probs[0])
+	}
+	if math.Abs(probs[1]-2.0/3.0) > 1e-12 {
+		t.Errorf("p(1) = %f", probs[1])
+	}
+	if probs[2] != 0.0 {
+		t.Errorf("p(2) = %f", probs[2])
+	}
+	if probs[3] != 0.25 {
+		t.Errorf("uncovered default = %f", probs[3])
+	}
+}
+
+func TestGenerativeModelLearnsAccuracies(t *testing.T) {
+	// Ground truth: sentences 0-9 positive, 10-29 negative.
+	const n = 30
+	isPos := func(id int) bool { return id < 10 }
+
+	m := NewMatrix(n)
+	// good1 and good2 are accurate positive rules; noisy fires mostly on
+	// negatives; a weak negative-evidence rule covers part of the negative
+	// region (the same construction the Table 2 pipeline uses).
+	var good1, good2, noisy, negEvidence []int
+	for id := 0; id < n; id++ {
+		if isPos(id) {
+			good1 = append(good1, id)
+			if id%2 == 0 {
+				good2 = append(good2, id)
+			}
+		}
+		if id%3 == 0 {
+			noisy = append(noisy, id)
+		}
+		if !isPos(id) && id%2 == 1 {
+			negEvidence = append(negEvidence, id)
+		}
+	}
+	// Give good rules a little noise so EM has something to estimate.
+	good1 = append(good1, 10)
+	m.AddRule("good1", good1, VotePositive)
+	m.AddRule("good2", good2, VotePositive)
+	m.AddRule("noisy", noisy, VotePositive)
+	m.AddRule("neg-evidence", negEvidence, VoteNegative)
+
+	g := FitGenerative(m, DefaultGenerativeConfig())
+	if len(g.Accuracies) != 4 {
+		t.Fatalf("accuracies = %v", g.Accuracies)
+	}
+	if g.Accuracies[0] <= g.Accuracies[2] {
+		t.Errorf("EM did not rank good1 (%f) above noisy (%f)", g.Accuracies[0], g.Accuracies[2])
+	}
+	probs := g.Probabilities()
+	var posAvg, negAvg float64
+	for id := 0; id < n; id++ {
+		if isPos(id) {
+			posAvg += probs[id]
+		} else {
+			negAvg += probs[id]
+		}
+	}
+	posAvg /= 10
+	negAvg /= 20
+	if posAvg <= negAvg {
+		t.Errorf("posterior does not separate classes: pos=%.3f neg=%.3f", posAvg, negAvg)
+	}
+}
+
+func TestGenerativeProbabilitiesBounded(t *testing.T) {
+	m := NewMatrix(10)
+	m.AddRule("a", []int{0, 1, 2}, VotePositive)
+	m.AddRule("b", []int{3, 4}, VoteNegative)
+	g := FitGenerative(m, GenerativeConfig{Iterations: 5, PriorPositive: 0.3, InitialAccuracy: 0.8})
+	for id, p := range g.Probabilities() {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("posterior(%d) = %f", id, p)
+		}
+	}
+	// Invalid config values fall back to defaults without panicking.
+	g2 := FitGenerative(m, GenerativeConfig{Iterations: -1, PriorPositive: 2, InitialAccuracy: 0.2})
+	if len(g2.Accuracies) != 2 {
+		t.Error("fallback config failed")
+	}
+}
+
+func TestTrainingSet(t *testing.T) {
+	probs := []float64{0.9, 0.8, 0.5, 0.1, 0.05}
+	ids, labels := TrainingSet(probs, 0.7, 0.2)
+	if len(ids) != 4 || len(labels) != 4 {
+		t.Fatalf("TrainingSet = %v %v", ids, labels)
+	}
+	want := map[int]int{0: 1, 1: 1, 3: 0, 4: 0}
+	for i, id := range ids {
+		if want[id] != labels[i] {
+			t.Errorf("id %d labeled %d", id, labels[i])
+		}
+	}
+	if ids2, _ := TrainingSet(nil, 0.7, 0.2); ids2 != nil {
+		t.Error("empty probs should give empty training set")
+	}
+}
+
+// Property: majority-vote probabilities are always in [0,1] and abstain-only
+// sentences get the default.
+func TestMajorityVoteProperty(t *testing.T) {
+	f := func(cov1, cov2 []uint8, def float64) bool {
+		def = math.Mod(math.Abs(def), 1)
+		m := NewMatrix(20)
+		var c1, c2 []int
+		for _, x := range cov1 {
+			c1 = append(c1, int(x)%20)
+		}
+		for _, x := range cov2 {
+			c2 = append(c2, int(x)%20)
+		}
+		m.AddRule("a", c1, VotePositive)
+		m.AddRule("b", c2, VoteNegative)
+		for _, p := range m.MajorityVote(def) {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package oracle implements the oracle abstraction of Definition 4: a
+// function that, given a candidate heuristic and a few sample sentences from
+// its coverage set, answers YES/NO — is the heuristic adequately precise?
+//
+// The package provides the perfect ground-truth oracle used to simulate
+// annotators in the experiments (§4.1: answer YES iff at least 80% of the
+// coverage set is positive), a noisy single-annotator oracle, and a
+// crowd oracle that majority-votes several noisy annotators over small
+// samples (reproducing the Figure-eight study of §4.5).
+package oracle
+
+import (
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+)
+
+// Query is one question posed to an oracle: a candidate heuristic, its full
+// coverage set, and the sample of sentences that a human annotator would be
+// shown (Figure 2 of the paper).
+type Query struct {
+	// Heuristic is the candidate labeling rule.
+	Heuristic grammar.Heuristic
+	// Coverage is the full set of sentence IDs matching the rule.
+	Coverage []int
+	// Samples is the subset of Coverage shown to the annotator.
+	Samples []int
+}
+
+// Oracle answers queries about candidate heuristics.
+type Oracle interface {
+	// Answer returns true if the heuristic is judged adequately precise.
+	Answer(q Query) bool
+}
+
+// DefaultPrecisionThreshold is the precision at which annotators empirically
+// accept a rule (§2: "users label a heuristic as precise only when the
+// heuristic has precision at least 0.8").
+const DefaultPrecisionThreshold = 0.8
+
+// DefaultSampleSize is the number of example sentences shown per query
+// (Figure 2 shows 5).
+const DefaultSampleSize = 5
+
+// GroundTruth is a perfect oracle: it answers YES iff the precision of the
+// full coverage set against the corpus's gold labels is at least Threshold.
+type GroundTruth struct {
+	Corpus    *corpus.Corpus
+	Threshold float64
+}
+
+// NewGroundTruth returns a perfect oracle with the default 0.8 threshold.
+func NewGroundTruth(c *corpus.Corpus) *GroundTruth {
+	return &GroundTruth{Corpus: c, Threshold: DefaultPrecisionThreshold}
+}
+
+// Answer implements Oracle.
+func (o *GroundTruth) Answer(q Query) bool {
+	if len(q.Coverage) == 0 {
+		return false
+	}
+	thr := o.Threshold
+	if thr <= 0 {
+		thr = DefaultPrecisionThreshold
+	}
+	pos := 0
+	for _, id := range q.Coverage {
+		if s := o.Corpus.Sentence(id); s != nil && s.Gold == corpus.Positive {
+			pos++
+		}
+	}
+	return float64(pos)/float64(len(q.Coverage)) >= thr
+}
+
+// Noisy wraps another oracle and flips its answer with probability FlipRate,
+// modeling a single imperfect annotator.
+type Noisy struct {
+	Inner    Oracle
+	FlipRate float64
+	rng      *rand.Rand
+}
+
+// NewNoisy returns a noisy oracle with the given flip rate and seed.
+func NewNoisy(inner Oracle, flipRate float64, seed int64) *Noisy {
+	return &Noisy{Inner: inner, FlipRate: flipRate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Answer implements Oracle.
+func (o *Noisy) Answer(q Query) bool {
+	ans := o.Inner.Answer(q)
+	if o.rng.Float64() < o.FlipRate {
+		return !ans
+	}
+	return ans
+}
+
+// Crowd simulates the §4.5 crowdsourcing study: each of Votes annotators sees
+// only the (small) sample of the rule's coverage, judges the rule precise if
+// the sample precision is at least Threshold, and errs with probability
+// FlipRate; the final answer is the majority vote. With few samples an
+// imprecise rule can look precise by chance, which is exactly the failure
+// mode observed in the paper.
+type Crowd struct {
+	Corpus    *corpus.Corpus
+	Votes     int
+	Threshold float64
+	FlipRate  float64
+	rng       *rand.Rand
+}
+
+// NewCrowd returns a crowd oracle with the paper's protocol: 3 votes, 0.8
+// threshold.
+func NewCrowd(c *corpus.Corpus, flipRate float64, seed int64) *Crowd {
+	return &Crowd{
+		Corpus:    c,
+		Votes:     3,
+		Threshold: DefaultPrecisionThreshold,
+		FlipRate:  flipRate,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Answer implements Oracle.
+func (o *Crowd) Answer(q Query) bool {
+	sample := q.Samples
+	if len(sample) == 0 {
+		sample = q.Coverage
+	}
+	if len(sample) == 0 {
+		return false
+	}
+	votes := o.Votes
+	if votes <= 0 {
+		votes = 3
+	}
+	thr := o.Threshold
+	if thr <= 0 {
+		thr = DefaultPrecisionThreshold
+	}
+	yes := 0
+	for v := 0; v < votes; v++ {
+		pos := 0
+		for _, id := range sample {
+			if s := o.Corpus.Sentence(id); s != nil && s.Gold == corpus.Positive {
+				pos++
+			}
+		}
+		vote := float64(pos)/float64(len(sample)) >= thr
+		if o.rng.Float64() < o.FlipRate {
+			vote = !vote
+		}
+		if vote {
+			yes++
+		}
+	}
+	return yes*2 > votes
+}
+
+// Recording wraps an oracle and records every query and answer, for the
+// qualitative traversal analysis of Figure 11 and for annotator-cost
+// accounting.
+type Recording struct {
+	Inner   Oracle
+	Queries []RecordedQuery
+}
+
+// RecordedQuery is one recorded (query, answer) pair.
+type RecordedQuery struct {
+	Rule     string
+	Coverage int
+	Answer   bool
+}
+
+// NewRecording wraps an oracle.
+func NewRecording(inner Oracle) *Recording {
+	return &Recording{Inner: inner}
+}
+
+// Answer implements Oracle.
+func (o *Recording) Answer(q Query) bool {
+	ans := o.Inner.Answer(q)
+	rule := ""
+	if q.Heuristic != nil {
+		rule = q.Heuristic.String()
+	}
+	o.Queries = append(o.Queries, RecordedQuery{Rule: rule, Coverage: len(q.Coverage), Answer: ans})
+	return ans
+}
+
+// Count returns the number of queries answered so far.
+func (o *Recording) Count() int { return len(o.Queries) }
+
+// SampleCoverage draws up to n sample sentence IDs from a coverage set using
+// rng, for presentation to annotators.
+func SampleCoverage(coverage []int, n int, rng *rand.Rand) []int {
+	if n <= 0 {
+		n = DefaultSampleSize
+	}
+	if len(coverage) <= n {
+		out := make([]int, len(coverage))
+		copy(out, coverage)
+		return out
+	}
+	idx := rng.Perm(len(coverage))[:n]
+	out := make([]int, n)
+	for i, j := range idx {
+		out[i] = coverage[j]
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/tokensregex"
+)
+
+// buildCorpus returns a corpus where sentences 0-7 are positive and 8-9
+// negative.
+func buildCorpus() *corpus.Corpus {
+	c := corpus.New("o", "t")
+	for i := 0; i < 8; i++ {
+		c.Add("shuttle to the airport", corpus.Positive)
+	}
+	c.Add("order a pizza", corpus.Negative)
+	c.Add("wifi password please", corpus.Negative)
+	c.Preprocess(corpus.PreprocessOptions{})
+	return c
+}
+
+func ruleQuery(coverage []int) Query {
+	h := tokensregex.NewHeuristic([]string{"shuttle"})
+	return Query{Heuristic: h, Coverage: coverage}
+}
+
+func TestGroundTruthThreshold(t *testing.T) {
+	c := buildCorpus()
+	o := NewGroundTruth(c)
+	// 100% precise.
+	if !o.Answer(ruleQuery([]int{0, 1, 2, 3})) {
+		t.Error("precise rule rejected")
+	}
+	// Exactly 80% precise (4 pos, 1 neg): accepted.
+	if !o.Answer(ruleQuery([]int{0, 1, 2, 3, 8})) {
+		t.Error("rule at exactly the threshold rejected")
+	}
+	// 50% precise: rejected.
+	if o.Answer(ruleQuery([]int{0, 1, 8, 9})) {
+		t.Error("noisy rule accepted")
+	}
+	// Empty coverage: rejected.
+	if o.Answer(ruleQuery(nil)) {
+		t.Error("empty-coverage rule accepted")
+	}
+	// Out-of-range IDs are ignored (count as absent, lowering precision).
+	if o.Answer(ruleQuery([]int{0, 999, 998, 997, 996})) {
+		t.Error("rule with mostly dangling IDs accepted")
+	}
+	// Zero threshold falls back to the default.
+	o2 := &GroundTruth{Corpus: c}
+	if o2.Answer(ruleQuery([]int{0, 8, 9})) {
+		t.Error("default threshold not applied")
+	}
+}
+
+func TestNoisyOracle(t *testing.T) {
+	c := buildCorpus()
+	base := NewGroundTruth(c)
+	alwaysFlip := NewNoisy(base, 1.0, 1)
+	if alwaysFlip.Answer(ruleQuery([]int{0, 1, 2})) {
+		t.Error("flip rate 1.0 should invert YES to NO")
+	}
+	neverFlip := NewNoisy(base, 0.0, 1)
+	if !neverFlip.Answer(ruleQuery([]int{0, 1, 2})) {
+		t.Error("flip rate 0.0 should preserve the answer")
+	}
+	// Statistical check: ~20% flips.
+	some := NewNoisy(base, 0.2, 7)
+	flips := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		if !some.Answer(ruleQuery([]int{0, 1, 2})) {
+			flips++
+		}
+	}
+	if flips < trials/10 || flips > trials/2 {
+		t.Errorf("flip count %d out of expected range for rate 0.2", flips)
+	}
+}
+
+func TestCrowdOracle(t *testing.T) {
+	c := buildCorpus()
+	o := NewCrowd(c, 0, 3)
+	// Perfect sample of positives: YES.
+	q := ruleQuery([]int{0, 1, 2, 3, 8})
+	q.Samples = []int{0, 1, 2, 3, 4}
+	if !o.Answer(q) {
+		t.Error("crowd rejected a clean sample")
+	}
+	// Mostly-negative sample: NO.
+	q.Samples = []int{8, 9, 0, 8, 9}
+	if o.Answer(q) {
+		t.Error("crowd accepted a dirty sample")
+	}
+	// The crowd can be fooled: full coverage is imprecise but the sample
+	// happens to be clean — this is the §4.5 false-positive failure mode.
+	q2 := ruleQuery([]int{0, 1, 8, 9, 9, 9})
+	q2.Samples = []int{0, 1}
+	if !o.Answer(q2) {
+		t.Error("crowd with a lucky clean sample should say YES")
+	}
+	// Empty query: NO.
+	if o.Answer(Query{}) {
+		t.Error("crowd accepted an empty query")
+	}
+	// No samples provided: falls back to full coverage.
+	q3 := ruleQuery([]int{0, 1, 2, 3})
+	if !o.Answer(q3) {
+		t.Error("crowd with no sample should use coverage")
+	}
+	// With a high flip rate the majority vote still often corrects a single
+	// error; with flip rate 1.0 every vote is inverted.
+	bad := &Crowd{Corpus: c, Votes: 3, Threshold: 0.8, FlipRate: 1.0, rng: rand.New(rand.NewSource(1))}
+	if bad.Answer(q3) {
+		t.Error("all-flipping crowd should say NO to a precise rule")
+	}
+}
+
+func TestRecordingOracle(t *testing.T) {
+	c := buildCorpus()
+	rec := NewRecording(NewGroundTruth(c))
+	rec.Answer(ruleQuery([]int{0, 1}))
+	rec.Answer(ruleQuery([]int{8, 9}))
+	rec.Answer(Query{Coverage: []int{0}}) // nil heuristic
+	if rec.Count() != 3 {
+		t.Fatalf("Count = %d", rec.Count())
+	}
+	if !rec.Queries[0].Answer || rec.Queries[1].Answer {
+		t.Errorf("recorded answers wrong: %+v", rec.Queries)
+	}
+	if rec.Queries[0].Rule == "" {
+		t.Error("rule string not recorded")
+	}
+	if rec.Queries[2].Rule != "" {
+		t.Error("nil heuristic should record empty rule string")
+	}
+	if rec.Queries[0].Coverage != 2 {
+		t.Errorf("coverage not recorded: %+v", rec.Queries[0])
+	}
+}
+
+func TestSampleCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cov := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := SampleCoverage(cov, 5, rng)
+	if len(s) != 5 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, id := range s {
+		if seen[id] {
+			t.Error("duplicate in sample")
+		}
+		seen[id] = true
+		found := false
+		for _, c := range cov {
+			if c == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sampled id %d not in coverage", id)
+		}
+	}
+	// Small coverage returns everything.
+	small := SampleCoverage([]int{1, 2}, 5, rng)
+	if len(small) != 2 {
+		t.Errorf("small sample = %v", small)
+	}
+	// Default size.
+	if got := SampleCoverage(cov, 0, rng); len(got) != DefaultSampleSize {
+		t.Errorf("default sample size = %d", len(got))
+	}
+}

@@ -1,0 +1,265 @@
+// Package postag implements a deterministic part-of-speech tagger over the
+// Universal POS tagset (Petrov et al., 2011), the tagset the TreeMatch
+// grammar of the paper references (NOUN, VERB, ADJ, ...).
+//
+// The paper uses SpaCy's statistical tagger; this package substitutes a
+// lexicon + suffix + context heuristic tagger. TreeMatch rules only condition
+// on coarse POS categories, so a deterministic tagger with the same tagset
+// exercises the same code paths in the index, hierarchy and traversal
+// components.
+package postag
+
+import "strings"
+
+// Tag is a Universal POS tag.
+type Tag string
+
+// The Universal POS tagset.
+const (
+	NOUN  Tag = "NOUN"
+	VERB  Tag = "VERB"
+	ADJ   Tag = "ADJ"
+	ADV   Tag = "ADV"
+	PRON  Tag = "PRON"
+	DET   Tag = "DET"
+	ADP   Tag = "ADP"
+	NUM   Tag = "NUM"
+	CONJ  Tag = "CONJ"
+	PRT   Tag = "PRT"
+	PROPN Tag = "PROPN"
+	PUNCT Tag = "PUNCT"
+	X     Tag = "X"
+)
+
+// AllTags lists every tag the tagger can emit, in a stable order.
+var AllTags = []Tag{NOUN, VERB, ADJ, ADV, PRON, DET, ADP, NUM, CONJ, PRT, PROPN, PUNCT, X}
+
+// IsTag reports whether s names a Universal POS tag (used by TreeMatch rule
+// parsing to distinguish POS terminals from token terminals).
+func IsTag(s string) bool {
+	switch Tag(strings.ToUpper(s)) {
+	case NOUN, VERB, ADJ, ADV, PRON, DET, ADP, NUM, CONJ, PRT, PROPN, PUNCT, X:
+		return true
+	}
+	return false
+}
+
+// Tagger assigns Universal POS tags to token sequences. The zero value uses
+// the built-in lexicon; Lexicon entries added by the caller take precedence.
+type Tagger struct {
+	// Lexicon maps lowercase tokens to their tag, overriding the built-in
+	// dictionary. Dataset generators use this to tag domain entities (e.g.
+	// musician names as PROPN).
+	Lexicon map[string]Tag
+}
+
+// New returns a Tagger with an empty override lexicon.
+func New() *Tagger {
+	return &Tagger{Lexicon: make(map[string]Tag)}
+}
+
+// AddLexicon registers an override tag for a (lowercased) token.
+func (t *Tagger) AddLexicon(token string, tag Tag) {
+	if t.Lexicon == nil {
+		t.Lexicon = make(map[string]Tag)
+	}
+	t.Lexicon[strings.ToLower(token)] = tag
+}
+
+// Tag tags a single token without sentence context. Surface is the original
+// form (capitalization is used as a PROPN signal when not sentence-initial).
+func (t *Tagger) Tag(surface string, sentenceInitial bool) Tag {
+	lower := strings.ToLower(surface)
+	if t != nil && t.Lexicon != nil {
+		if tag, ok := t.Lexicon[lower]; ok {
+			return tag
+		}
+	}
+	if tag, ok := closedClass[lower]; ok {
+		return tag
+	}
+	if isNumeric(lower) {
+		return NUM
+	}
+	if isPunct(surface) {
+		return PUNCT
+	}
+	if !sentenceInitial && isCapitalized(surface) {
+		return PROPN
+	}
+	if tag, ok := commonLexicon[lower]; ok {
+		return tag
+	}
+	return suffixTag(lower)
+}
+
+// TagSentence tags an already-tokenized sentence. The returned slice is
+// parallel to tokens. A lightweight contextual pass fixes the most common
+// ambiguities (e.g. a word after a determiner is a noun, a word after "to"
+// following an auxiliary is a verb).
+func (t *Tagger) TagSentence(tokens []string) []Tag {
+	tags := make([]Tag, len(tokens))
+	for i, tok := range tokens {
+		tags[i] = t.Tag(tok, i == 0)
+	}
+	// Contextual repair pass.
+	for i := range tags {
+		lower := strings.ToLower(tokens[i])
+		// Determiner or adjective followed by an X/VERB guess: prefer NOUN.
+		if i > 0 && (tags[i-1] == DET || tags[i-1] == ADJ) {
+			if tags[i] == X {
+				tags[i] = NOUN
+			}
+		}
+		// "to" + base verb: the word after "to" is a VERB if it was guessed
+		// NOUN/X and is not followed by a determiner context.
+		if i > 0 && strings.ToLower(tokens[i-1]) == "to" && (tags[i] == X) {
+			tags[i] = VERB
+		}
+		// Sentence-initial wh-words are PRON/ADV already via closed class.
+		// Word before a noun that ends in -ing after "is/are" is a VERB.
+		if lower != "" && strings.HasSuffix(lower, "ing") && i > 0 {
+			prev := strings.ToLower(tokens[i-1])
+			if prev == "is" || prev == "are" || prev == "was" || prev == "were" || prev == "be" {
+				tags[i] = VERB
+			}
+		}
+	}
+	return tags
+}
+
+func isCapitalized(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c >= 'A' && c <= 'Z'
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			digits++
+		} else if r != '.' && r != ',' && r != '-' && r != ':' {
+			return false
+		}
+	}
+	return digits > 0
+}
+
+func isPunct(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// suffixTag guesses a tag from common English suffixes.
+func suffixTag(lower string) Tag {
+	switch {
+	case strings.HasSuffix(lower, "ly"):
+		return ADV
+	case strings.HasSuffix(lower, "ing"), strings.HasSuffix(lower, "ed"),
+		strings.HasSuffix(lower, "ize"), strings.HasSuffix(lower, "ise"),
+		strings.HasSuffix(lower, "ify"):
+		return VERB
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "able"), strings.HasSuffix(lower, "ible"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "est"),
+		strings.HasSuffix(lower, "ic"), strings.HasSuffix(lower, "al"),
+		strings.HasSuffix(lower, "less"):
+		return ADJ
+	case strings.HasSuffix(lower, "tion"), strings.HasSuffix(lower, "sion"),
+		strings.HasSuffix(lower, "ment"), strings.HasSuffix(lower, "ness"),
+		strings.HasSuffix(lower, "ity"), strings.HasSuffix(lower, "er"),
+		strings.HasSuffix(lower, "or"), strings.HasSuffix(lower, "ist"),
+		strings.HasSuffix(lower, "ship"), strings.HasSuffix(lower, "ism"),
+		strings.HasSuffix(lower, "ure"), strings.HasSuffix(lower, "age"):
+		return NOUN
+	}
+	if len(lower) > 0 && strings.HasSuffix(lower, "s") && len(lower) > 3 {
+		return NOUN // crude plural guess
+	}
+	return X
+}
+
+// closedClass contains function words with essentially unambiguous coarse
+// tags.
+var closedClass = map[string]Tag{
+	// determiners
+	"the": DET, "a": DET, "an": DET, "this": DET, "that": DET, "these": DET,
+	"those": DET, "some": DET, "any": DET, "each": DET, "every": DET,
+	"no": DET, "another": DET, "both": DET, "either": DET, "neither": DET,
+	// pronouns
+	"i": PRON, "you": PRON, "he": PRON, "she": PRON, "it": PRON, "we": PRON,
+	"they": PRON, "me": PRON, "him": PRON, "her": PRON, "us": PRON,
+	"them": PRON, "my": PRON, "your": PRON, "his": PRON, "its": PRON,
+	"our": PRON, "their": PRON, "who": PRON, "whom": PRON, "which": PRON,
+	"what": PRON, "there": PRON, "someone": PRON, "anyone": PRON,
+	"everyone": PRON, "something": PRON, "anything": PRON, "nothing": PRON,
+	// adpositions
+	"of": ADP, "in": ADP, "on": ADP, "at": ADP, "by": ADP, "for": ADP,
+	"with": ADP, "from": ADP, "into": ADP, "onto": ADP, "about": ADP,
+	"over": ADP, "under": ADP, "between": ADP, "through": ADP, "during": ADP,
+	"after": ADP, "before": ADP, "against": ADP, "near": ADP, "across": ADP,
+	"around": ADP, "behind": ADP, "beyond": ADP, "via": ADP, "within": ADP,
+	"without": ADP, "upon": ADP, "off": ADP, "toward": ADP, "towards": ADP,
+	// the paper's parse-tree example tags "to" as ADP
+	"to": ADP,
+	// conjunctions
+	"and": CONJ, "or": CONJ, "but": CONJ, "nor": CONJ, "so": CONJ,
+	"yet": CONJ, "because": CONJ, "although": CONJ, "while": CONJ,
+	"if": CONJ, "unless": CONJ, "since": CONJ, "whether": CONJ,
+	// particles
+	"not": PRT, "n't": PRT, "'s": PRT, "too": PRT, "also": PRT,
+	// auxiliaries / common verbs
+	"is": VERB, "are": VERB, "was": VERB, "were": VERB, "be": VERB,
+	"been": VERB, "being": VERB, "am": VERB, "do": VERB, "does": VERB,
+	"did": VERB, "have": VERB, "has": VERB, "had": VERB, "will": VERB,
+	"would": VERB, "can": VERB, "could": VERB, "should": VERB, "shall": VERB,
+	"may": VERB, "might": VERB, "must": VERB, "get": VERB, "got": VERB,
+	"go": VERB, "goes": VERB, "went": VERB, "take": VERB, "took": VERB,
+	"make": VERB, "made": VERB, "need": VERB, "want": VERB, "know": VERB,
+	"order": VERB, "check": VERB, "ask": VERB, "tell": VERB, "find": VERB,
+	// adverbs
+	"very": ADV, "here": ADV, "now": ADV, "then": ADV, "always": ADV,
+	"never": ADV, "often": ADV, "again": ADV, "soon": ADV, "still": ADV,
+	"how": ADV, "when": ADV, "where": ADV, "why": ADV, "just": ADV,
+	"really": ADV, "quite": ADV, "rather": ADV, "almost": ADV,
+}
+
+// commonLexicon covers frequent open-class words in the synthetic corpora so
+// that parse trees look reasonable. It is intentionally small; everything
+// else falls through to suffix rules.
+var commonLexicon = map[string]Tag{
+	"way": NOUN, "hotel": NOUN, "airport": NOUN, "shuttle": NOUN, "bus": NOUN,
+	"train": NOUN, "taxi": NOUN, "uber": PROPN, "bart": PROPN, "food": NOUN,
+	"room": NOUN, "question": NOUN, "direction": NOUN, "directions": NOUN,
+	"best": ADJ, "fastest": ADJ, "cheapest": ADJ, "good": ADJ, "great": ADJ,
+	"new": ADJ, "old": ADJ, "big": ADJ, "small": ADJ, "long": ADJ,
+	"piano": NOUN, "guitar": NOUN, "violin": NOUN, "music": NOUN,
+	"composer": NOUN, "musician": NOUN, "singer": NOUN, "band": NOUN,
+	"album": NOUN, "song": NOUN, "songs": NOUN, "symphony": NOUN,
+	"teacher": NOUN, "scientist": NOUN, "engineer": NOUN, "doctor": NOUN,
+	"lawyer": NOUN, "nurse": NOUN, "professor": NOUN, "job": NOUN,
+	"work": NOUN, "works": VERB, "worked": VERB, "working": VERB,
+	"cause": NOUN, "effect": NOUN, "caused": VERB, "causes": VERB,
+	"result": NOUN, "resulted": VERB, "triggered": VERB, "led": VERB,
+	"damage": NOUN, "street": NOUN, "city": NOUN, "station": NOUN,
+	"breakfast": NOUN, "dinner": NOUN, "lunch": NOUN, "pizza": NOUN,
+	"coffee": NOUN, "restaurant": NOUN, "menu": NOUN,
+	"travel": NOUN, "trip": NOUN, "flight": NOUN, "career": NOUN,
+	"eat": VERB, "eating": VERB, "drink": VERB, "book": VERB, "booked": VERB,
+	"play": VERB, "plays": VERB, "played": VERB, "wrote": VERB, "write": VERB,
+	"born": VERB, "died": VERB, "perform": VERB, "performed": VERB,
+	"craving": VERB, "hungry": ADJ, "delicious": ADJ,
+}

@@ -1,0 +1,121 @@
+package postag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTagClosedClass(t *testing.T) {
+	tg := New()
+	tests := []struct {
+		tok  string
+		want Tag
+	}{
+		{"the", DET}, {"The", DET}, {"is", VERB}, {"to", ADP}, {"and", CONJ},
+		{"not", PRT}, {"she", PRON}, {"very", ADV}, {"from", ADP},
+	}
+	for _, tt := range tests {
+		if got := tg.Tag(tt.tok, true); got != tt.want {
+			t.Errorf("Tag(%q) = %s, want %s", tt.tok, got, tt.want)
+		}
+	}
+}
+
+func TestTagSuffixHeuristics(t *testing.T) {
+	tg := New()
+	tests := []struct {
+		tok  string
+		want Tag
+	}{
+		{"quickly", ADV}, {"walking", VERB}, {"organized", VERB},
+		{"wonderful", ADJ}, {"education", NOUN}, {"happiness", NOUN},
+		{"42", NUM}, {"3.5", NUM}, {"!!!", PUNCT},
+	}
+	for _, tt := range tests {
+		if got := tg.Tag(tt.tok, true); got != tt.want {
+			t.Errorf("Tag(%q) = %s, want %s", tt.tok, got, tt.want)
+		}
+	}
+}
+
+func TestTagProperNoun(t *testing.T) {
+	tg := New()
+	if got := tg.Tag("Beethoven", false); got != PROPN {
+		t.Errorf("mid-sentence capitalized word = %s, want PROPN", got)
+	}
+	// Sentence-initial capitalization is not a PROPN signal on its own.
+	if got := tg.Tag("Directions", true); got == PROPN {
+		t.Errorf("sentence-initial capitalized common word tagged PROPN")
+	}
+}
+
+func TestLexiconOverride(t *testing.T) {
+	tg := New()
+	tg.AddLexicon("bart", PROPN)
+	if got := tg.Tag("bart", true); got != PROPN {
+		t.Errorf("lexicon override ignored: %s", got)
+	}
+	// Zero-value tagger also works.
+	var zero Tagger
+	if got := zero.Tag("the", true); got != DET {
+		t.Errorf("zero-value tagger broken: %s", got)
+	}
+	zero.AddLexicon("foo", VERB)
+	if got := zero.Tag("foo", true); got != VERB {
+		t.Errorf("AddLexicon on zero value: %s", got)
+	}
+}
+
+func TestTagSentenceParseTreeExample(t *testing.T) {
+	// Paper Figure 3: "Is Uber the best way to our hotel" — approximately.
+	tg := New()
+	tokens := []string{"Is", "Uber", "the", "best", "way", "to", "our", "hotel"}
+	tags := tg.TagSentence(tokens)
+	want := map[int]Tag{0: VERB, 1: PROPN, 2: DET, 3: ADJ, 4: NOUN, 5: ADP, 7: NOUN}
+	for i, w := range want {
+		if tags[i] != w {
+			t.Errorf("token %q tagged %s, want %s", tokens[i], tags[i], w)
+		}
+	}
+}
+
+func TestTagSentenceContextRepair(t *testing.T) {
+	tg := New()
+	tags := tg.TagSentence([]string{"the", "zzyx"})
+	if tags[1] != NOUN {
+		t.Errorf("unknown word after determiner = %s, want NOUN", tags[1])
+	}
+}
+
+func TestTagSentenceLength(t *testing.T) {
+	tg := New()
+	f := func(words []string) bool {
+		tags := tg.TagSentence(words)
+		if len(tags) != len(words) {
+			return false
+		}
+		for _, tag := range tags {
+			if !IsTag(string(tag)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsTag(t *testing.T) {
+	for _, tag := range AllTags {
+		if !IsTag(string(tag)) {
+			t.Errorf("IsTag(%s) = false", tag)
+		}
+	}
+	if IsTag("shuttle") {
+		t.Error("IsTag(shuttle) = true")
+	}
+	if !IsTag("noun") {
+		t.Error("IsTag should be case-insensitive")
+	}
+}

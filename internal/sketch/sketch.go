@@ -1,0 +1,95 @@
+// Package sketch builds per-sentence derivation sketches (§3.1, Figure 5 of
+// the paper): the summary of all bounded-depth heuristics a sentence
+// satisfies, for every registered heuristic grammar. Sketches are the unit
+// that the index merges (Figure 6).
+package sketch
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+)
+
+// Sketch is the derivation sketch of one sentence: the heuristics (across all
+// grammars) that the sentence satisfies, bounded by the builder's MaxDepth.
+type Sketch struct {
+	// SentenceID is the ID of the sketched sentence.
+	SentenceID int
+	// Heuristics lists the satisfied heuristics, deduplicated by key and
+	// sorted by key.
+	Heuristics []grammar.Heuristic
+}
+
+// Builder creates derivation sketches.
+type Builder struct {
+	// Registry provides the heuristic grammars.
+	Registry *grammar.Registry
+	// MaxDepth bounds the number of derivation rules per heuristic. The
+	// paper uses a maximum depth of 10 for generating derivation sketches;
+	// phrase-style grammars rarely benefit from more than 5-6.
+	MaxDepth int
+	// Workers bounds the number of goroutines used by BuildCorpus
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NewBuilder returns a Builder over the registry with the given max depth.
+func NewBuilder(reg *grammar.Registry, maxDepth int) *Builder {
+	if maxDepth <= 0 {
+		maxDepth = 10
+	}
+	return &Builder{Registry: reg, MaxDepth: maxDepth}
+}
+
+// Build returns the derivation sketch of a single sentence.
+func (b *Builder) Build(s *corpus.Sentence) Sketch {
+	if s == nil {
+		return Sketch{SentenceID: -1}
+	}
+	return Sketch{
+		SentenceID: s.ID,
+		Heuristics: b.Registry.Sketch(s, b.MaxDepth),
+	}
+}
+
+// BuildCorpus sketches every sentence of the corpus in parallel and returns
+// the sketches indexed by sentence ID. The result order is deterministic.
+func (b *Builder) BuildCorpus(c *corpus.Corpus) []Sketch {
+	n := c.Len()
+	out := make([]Sketch, n)
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = b.Build(c.Sentence(i))
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ch {
+				out[id] = b.Build(c.Sentence(id))
+			}
+		}()
+	}
+	for id := 0; id < n; id++ {
+		ch <- id
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// Size returns the number of heuristics in the sketch.
+func (s Sketch) Size() int { return len(s.Heuristics) }

@@ -1,0 +1,221 @@
+// Package snuba re-implements the behaviour of the Snuba baseline (Varma &
+// Ré, PVLDB 2019) that the paper compares against in §4.2: given a labeled
+// subset of the corpus, automatically mine labeling heuristics from the
+// evidence present in that subset, without any oracle interaction.
+//
+// The defining property this reproduction preserves — and the one Figures 7
+// and 8 hinge on — is that Snuba can only propose heuristics whose pattern
+// occurs in the labeled seed: patterns with no seed evidence (e.g. "shuttle"
+// when every seed sentence mentioning a shuttle was withheld) are never
+// discovered, no matter how prevalent they are in the unlabeled corpus.
+package snuba
+
+import (
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+	"repro/internal/textproc"
+	"repro/internal/tokensregex"
+)
+
+// Config controls the heuristic miner.
+type Config struct {
+	// MaxRules bounds the size of the committee of heuristics.
+	MaxRules int
+	// MaxPhraseLen bounds candidate phrase length (in tokens).
+	MaxPhraseLen int
+	// MinPrecision is the minimum precision a candidate must reach on the
+	// labeled subset to be considered (Snuba's abstain/threshold tuning,
+	// simplified to a precision floor).
+	MinPrecision float64
+	// MinSeedCoverage is the minimum number of labeled positives a candidate
+	// must cover.
+	MinSeedCoverage int
+}
+
+// DefaultConfig mirrors the committee sizes Snuba typically converges to.
+func DefaultConfig() Config {
+	return Config{MaxRules: 25, MaxPhraseLen: 4, MinPrecision: 0.8, MinSeedCoverage: 2}
+}
+
+// Rule is one mined heuristic with its statistics on the labeled subset.
+type Rule struct {
+	Heuristic     grammar.Heuristic
+	SeedPrecision float64
+	SeedRecall    float64
+	SeedF1        float64
+}
+
+// Result is the output of a Snuba run.
+type Result struct {
+	// Rules is the selected committee.
+	Rules []Rule
+	// Coverage is the union of the rules' coverage over the full corpus.
+	Coverage map[int]bool
+}
+
+// Run mines heuristics from the labeled subset (seedIDs with the corpus's
+// gold labels standing in for the user-provided labels) and applies them to
+// the full corpus.
+func Run(c *corpus.Corpus, seedIDs []int, cfg Config) Result {
+	if cfg.MaxRules <= 0 {
+		cfg.MaxRules = 25
+	}
+	if cfg.MaxPhraseLen <= 0 {
+		cfg.MaxPhraseLen = 4
+	}
+	if cfg.MinPrecision <= 0 {
+		cfg.MinPrecision = 0.8
+	}
+	if cfg.MinSeedCoverage <= 0 {
+		cfg.MinSeedCoverage = 1
+	}
+
+	seedSet := map[int]bool{}
+	var posSeeds, negSeeds []int
+	for _, id := range seedIDs {
+		s := c.Sentence(id)
+		if s == nil || seedSet[id] {
+			continue
+		}
+		seedSet[id] = true
+		if s.Gold == corpus.Positive {
+			posSeeds = append(posSeeds, id)
+		} else {
+			negSeeds = append(negSeeds, id)
+		}
+	}
+	res := Result{Coverage: map[int]bool{}}
+	if len(posSeeds) == 0 {
+		return res // no positive evidence: Snuba cannot mine anything
+	}
+
+	// Candidate generation: every n-gram present in a labeled positive.
+	type stats struct {
+		phrase   string
+		posCover map[int]bool
+		negCover int
+	}
+	candidates := map[string]*stats{}
+	for _, id := range posSeeds {
+		toks := c.Sentence(id).Tokens
+		for _, gram := range textproc.NGrams(toks, 1, cfg.MaxPhraseLen) {
+			if isStopPhrase(gram) {
+				continue
+			}
+			st, ok := candidates[gram]
+			if !ok {
+				st = &stats{phrase: gram, posCover: map[int]bool{}}
+				candidates[gram] = st
+			}
+			st.posCover[id] = true
+		}
+	}
+	// Score candidates on the labeled subset.
+	for _, id := range negSeeds {
+		toks := c.Sentence(id).Tokens
+		for _, gram := range textproc.NGrams(toks, 1, cfg.MaxPhraseLen) {
+			if st, ok := candidates[gram]; ok {
+				st.negCover++
+			}
+		}
+	}
+
+	type scored struct {
+		phrase    string
+		precision float64
+		recall    float64
+		f1        float64
+		posIDs    map[int]bool
+	}
+	var pool []scored
+	for _, st := range candidates {
+		posCov := len(st.posCover)
+		if posCov < cfg.MinSeedCoverage {
+			continue
+		}
+		precision := float64(posCov) / float64(posCov+st.negCover)
+		if precision < cfg.MinPrecision {
+			continue
+		}
+		recall := float64(posCov) / float64(len(posSeeds))
+		f1 := 0.0
+		if precision+recall > 0 {
+			f1 = 2 * precision * recall / (precision + recall)
+		}
+		pool = append(pool, scored{phrase: st.phrase, precision: precision, recall: recall, f1: f1, posIDs: st.posCover})
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].f1 != pool[j].f1 {
+			return pool[i].f1 > pool[j].f1
+		}
+		if pool[i].precision != pool[j].precision {
+			return pool[i].precision > pool[j].precision
+		}
+		return pool[i].phrase < pool[j].phrase
+	})
+
+	// Greedy diverse committee selection: repeatedly take the best-F1 rule
+	// that covers at least one labeled positive not yet covered by the
+	// committee (Snuba's diversity criterion).
+	covered := map[int]bool{}
+	for _, cand := range pool {
+		if len(res.Rules) >= cfg.MaxRules {
+			break
+		}
+		adds := false
+		for id := range cand.posIDs {
+			if !covered[id] {
+				adds = true
+				break
+			}
+		}
+		if !adds {
+			continue
+		}
+		for id := range cand.posIDs {
+			covered[id] = true
+		}
+		h := tokensregex.NewHeuristic(splitPhrase(cand.phrase))
+		res.Rules = append(res.Rules, Rule{
+			Heuristic:     h,
+			SeedPrecision: cand.precision,
+			SeedRecall:    cand.recall,
+			SeedF1:        cand.f1,
+		})
+	}
+
+	// Apply the committee to the full corpus.
+	for _, r := range res.Rules {
+		for _, id := range grammar.Coverage(r.Heuristic, c) {
+			res.Coverage[id] = true
+		}
+	}
+	return res
+}
+
+// isStopPhrase drops unigram stop words and phrases made only of stop words.
+func isStopPhrase(gram string) bool {
+	toks := splitPhrase(gram)
+	for _, t := range toks {
+		if !textproc.IsStopWord(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func splitPhrase(gram string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(gram); i++ {
+		if i == len(gram) || gram[i] == ' ' {
+			if i > start {
+				out = append(out, gram[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

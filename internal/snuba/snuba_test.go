@@ -1,0 +1,144 @@
+package snuba
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+)
+
+func directionsCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c, err := datagen.ByName("directions", 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Preprocess(corpus.PreprocessOptions{})
+	return c
+}
+
+func TestRunRequiresPositiveEvidence(t *testing.T) {
+	c := directionsCorpus(t)
+	// All-negative seed: nothing can be mined.
+	var negs []int
+	for _, s := range c.Sentences {
+		if s.Gold == corpus.Negative {
+			negs = append(negs, s.ID)
+			if len(negs) == 50 {
+				break
+			}
+		}
+	}
+	res := Run(c, negs, DefaultConfig())
+	if len(res.Rules) != 0 || len(res.Coverage) != 0 {
+		t.Errorf("mined %d rules from negative-only seed", len(res.Rules))
+	}
+	// Empty seed.
+	if res := Run(c, nil, DefaultConfig()); len(res.Rules) != 0 {
+		t.Error("mined rules from empty seed")
+	}
+	// Invalid IDs are ignored.
+	if res := Run(c, []int{-5, 1 << 30}, DefaultConfig()); len(res.Rules) != 0 {
+		t.Error("mined rules from invalid seed IDs")
+	}
+}
+
+func TestRunMinesRulesFromLargeSeed(t *testing.T) {
+	c := directionsCorpus(t)
+	rng := rand.New(rand.NewSource(3))
+	seed := c.SampleIDs(800, rng) // large random sample: plenty of positive evidence
+	res := Run(c, seed, DefaultConfig())
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules mined from a large seed")
+	}
+	cov := eval.CoverageOfSet(c, res.Coverage)
+	if cov < 0.3 {
+		t.Errorf("coverage from large seed = %.2f, want >= 0.3", cov)
+	}
+	// Every mined rule has seed precision above the configured floor and
+	// statistics in [0,1].
+	for _, r := range res.Rules {
+		if r.SeedPrecision < DefaultConfig().MinPrecision {
+			t.Errorf("rule %s precision %.2f below floor", r.Heuristic, r.SeedPrecision)
+		}
+		if r.SeedRecall < 0 || r.SeedRecall > 1 || r.SeedF1 < 0 || r.SeedF1 > 1 {
+			t.Errorf("rule %s has out-of-range stats", r.Heuristic)
+		}
+	}
+}
+
+func TestSmallSeedCoversLessThanLargeSeed(t *testing.T) {
+	// The defining Snuba behaviour for Figure 7: coverage grows with the
+	// size of the random labeled seed, and tiny seeds in imbalanced corpora
+	// are nearly useless.
+	c := directionsCorpus(t)
+	rng := rand.New(rand.NewSource(5))
+	small := Run(c, c.SampleIDs(25, rng), DefaultConfig())
+	large := Run(c, c.SampleIDs(1000, rng), DefaultConfig())
+	covSmall := eval.CoverageOfSet(c, small.Coverage)
+	covLarge := eval.CoverageOfSet(c, large.Coverage)
+	if covSmall >= covLarge {
+		t.Errorf("small-seed coverage %.2f >= large-seed coverage %.2f", covSmall, covLarge)
+	}
+}
+
+func TestBiasedSeedMissesWithheldCluster(t *testing.T) {
+	// Figure 8: if the seed excludes every sentence containing "shuttle",
+	// Snuba never discovers a shuttle rule and misses those positives.
+	c := directionsCorpus(t)
+	rng := rand.New(rand.NewSource(7))
+	seed := c.SampleBiasedIDs(1000, "shuttle", rng)
+	res := Run(c, seed, DefaultConfig())
+	for _, r := range res.Rules {
+		if strings.Contains(r.Heuristic.Key(), "shuttle") {
+			t.Errorf("biased seed produced shuttle rule %s", r.Heuristic)
+		}
+	}
+	// Positives that mention shuttle remain uncovered.
+	missed := 0
+	for _, s := range c.Sentences {
+		if s.Gold != corpus.Positive {
+			continue
+		}
+		for _, tok := range s.Tokens {
+			if tok == "shuttle" && !res.Coverage[s.ID] {
+				missed++
+				break
+			}
+		}
+	}
+	if missed == 0 {
+		t.Error("expected some shuttle positives to be missed under a biased seed")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	c := directionsCorpus(t)
+	rng := rand.New(rand.NewSource(9))
+	seed := c.SampleIDs(500, rng)
+	res := Run(c, seed, Config{}) // all zero: defaults kick in
+	if len(res.Rules) == 0 {
+		t.Error("zero config mined nothing")
+	}
+	if len(res.Rules) > 25 {
+		t.Errorf("default MaxRules exceeded: %d", len(res.Rules))
+	}
+}
+
+func TestSplitPhraseAndStopPhrase(t *testing.T) {
+	if got := splitPhrase("best way to"); len(got) != 3 || got[0] != "best" {
+		t.Errorf("splitPhrase = %v", got)
+	}
+	if got := splitPhrase(""); got != nil {
+		t.Errorf("splitPhrase empty = %v", got)
+	}
+	if !isStopPhrase("to the") {
+		t.Error("'to the' should be a stop phrase")
+	}
+	if isStopPhrase("shuttle to") {
+		t.Error("'shuttle to' should not be a stop phrase")
+	}
+}

@@ -1,0 +1,258 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "What is the best way to get to SFO airport?",
+			[]string{"what", "is", "the", "best", "way", "to", "get", "to", "sfo", "airport"}},
+		{"empty", "", nil},
+		{"whitespace only", "   \t\n ", nil},
+		{"punctuation stripped", "Hello, world!!!", []string{"hello", "world"}},
+		{"hyphenated", "drop-off at the check-in desk", []string{"drop-off", "at", "the", "check-in", "desk"}},
+		{"apostrophe internal", "Uber's driver won't wait", []string{"uber's", "driver", "won't", "wait"}},
+		{"digits", "Take bus 42 to terminal 3", []string{"take", "bus", "42", "to", "terminal", "3"}},
+		{"unicode letters", "café près de l'hôtel", []string{"café", "près", "de", "l'hôtel"}},
+		{"mixed case normalized", "BART from SFO", []string{"bart", "from", "sfo"}},
+	}
+	var tok Tokenizer
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tok.TokenizeWords(tt.in)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("TokenizeWords(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	var tok Tokenizer
+	text := "Is there a bart from SFO?"
+	toks := tok.Tokenize(text)
+	for _, tk := range toks {
+		if tk.Start < 0 || tk.End > len(text) || tk.Start >= tk.End {
+			t.Fatalf("bad offsets for %q: [%d,%d)", tk.Text, tk.Start, tk.End)
+		}
+		if text[tk.Start:tk.End] != tk.Text {
+			t.Errorf("offset slice %q != token text %q", text[tk.Start:tk.End], tk.Text)
+		}
+	}
+}
+
+func TestTokenizeKeepPunct(t *testing.T) {
+	tok := Tokenizer{KeepPunct: true}
+	got := tok.TokenizeWords("Hello, world!")
+	want := []string{"hello", ",", "world", "!"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeSplitContractions(t *testing.T) {
+	tok := Tokenizer{SplitContractions: true}
+	got := tok.TokenizeWords("I don't know")
+	want := []string{"i", "do", "n't", "know"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want int
+	}{
+		{"two sentences", "I like trains. The station is far away.", 2},
+		{"question and statement", "Where is the airport? It is north of town.", 2},
+		{"abbreviation", "Dr. Smith arrived late. He apologized.", 2},
+		{"exclamations", "Wow!! That was fast. Really fast.", 3},
+		{"single", "No terminal punctuation here", 1},
+		{"empty", "", 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SplitSentences(tt.in)
+			if len(got) != tt.want {
+				t.Errorf("SplitSentences(%q) = %v (%d sentences), want %d", tt.in, got, len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestSplitSentencesPreservesText(t *testing.T) {
+	in := "The shuttle leaves at 9. Is Uber faster? Maybe."
+	got := SplitSentences(in)
+	joined := strings.Join(got, " ")
+	// Every non-space character of the input must survive the split.
+	strip := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' || r == '\n' {
+				return -1
+			}
+			return r
+		}, s)
+	}
+	if strip(joined) != strip(in) {
+		t.Errorf("sentence split lost characters: %q vs %q", joined, in)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	tokens := []string{"best", "way", "to", "get"}
+	got := NGrams(tokens, 1, 2)
+	want := []string{"best", "way", "to", "get", "best way", "way to", "to get"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+	if g := NGrams(tokens, 1, 10); len(g) != 4+3+2+1 {
+		t.Errorf("maxN clamp failed, got %d ngrams", len(g))
+	}
+	if g := NGrams(nil, 1, 3); g != nil {
+		t.Errorf("NGrams(nil) = %v, want nil", g)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Hello", "hello"},
+		{"'quoted'", "quoted"},
+		{"-dash-", "dash"},
+		{"BART", "bart"},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// Property: tokenization never produces empty tokens and all norms are
+// lowercase.
+func TestTokenizePropertyNonEmptyLowercase(t *testing.T) {
+	var tok Tokenizer
+	f := func(s string) bool {
+		for _, tk := range tok.Tokenize(s) {
+			if tk.Norm == "" && tk.Text == "" {
+				return false
+			}
+			if tk.Norm != strings.ToLower(tk.Norm) {
+				return false
+			}
+			if tk.Start < 0 || tk.End > len(s) || tk.Start > tk.End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: number of tokens is monotone under concatenation with a space.
+func TestTokenizePropertyConcat(t *testing.T) {
+	var tok Tokenizer
+	f := func(a, b string) bool {
+		na := len(tok.Tokenize(a))
+		nb := len(tok.Tokenize(b))
+		nab := len(tok.Tokenize(a + " " + b))
+		return nab >= na && nab >= nb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabBasic(t *testing.T) {
+	v := NewVocab()
+	id1 := v.Add("hotel")
+	id2 := v.Add("airport")
+	id3 := v.Add("hotel")
+	if id1 != id3 {
+		t.Errorf("re-adding token changed id: %d vs %d", id1, id3)
+	}
+	if id1 == id2 {
+		t.Errorf("distinct tokens share id %d", id1)
+	}
+	if v.Size() != 2 {
+		t.Errorf("Size = %d, want 2", v.Size())
+	}
+	if c := v.Count("hotel"); c != 2 {
+		t.Errorf("Count(hotel) = %d, want 2", c)
+	}
+	if c := v.Count("missing"); c != 0 {
+		t.Errorf("Count(missing) = %d, want 0", c)
+	}
+	if tok := v.Token(id2); tok != "airport" {
+		t.Errorf("Token(%d) = %q, want airport", id2, tok)
+	}
+	if _, ok := v.ID("missing"); ok {
+		t.Error("ID(missing) reported present")
+	}
+}
+
+func TestVocabTopKAndPrune(t *testing.T) {
+	v := NewVocab()
+	words := []string{"a", "a", "a", "b", "b", "c"}
+	for _, w := range words {
+		v.Add(w)
+	}
+	top := v.TopK(2)
+	if !reflect.DeepEqual(top, []string{"a", "b"}) {
+		t.Errorf("TopK = %v", top)
+	}
+	if top := v.TopK(99); len(top) != 3 {
+		t.Errorf("TopK over-size = %v", top)
+	}
+	p := v.Prune(2)
+	if p.Size() != 2 {
+		t.Errorf("Prune size = %d, want 2", p.Size())
+	}
+	if p.Count("a") != 3 {
+		t.Errorf("Prune lost counts: %d", p.Count("a"))
+	}
+	if _, ok := p.ID("c"); ok {
+		t.Error("Prune kept low-count token")
+	}
+}
+
+func TestVocabConcurrent(t *testing.T) {
+	v := NewVocab()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				v.Add("tok")
+				v.Count("tok")
+				v.Size()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if v.Count("tok") != 8*200 {
+		t.Errorf("concurrent count = %d, want %d", v.Count("tok"), 8*200)
+	}
+}
+
+func TestStopWords(t *testing.T) {
+	if !IsStopWord("the") {
+		t.Error("'the' should be a stop word")
+	}
+	if IsStopWord("shuttle") {
+		t.Error("'shuttle' should not be a stop word")
+	}
+}

@@ -1,0 +1,158 @@
+package textproc
+
+import (
+	"sort"
+	"sync"
+)
+
+// Vocab is a thread-safe bidirectional mapping between token strings and
+// dense integer ids, with document-frequency counts. It backs the embedding
+// trainer and the classifier's bag-of-words features.
+type Vocab struct {
+	mu     sync.RWMutex
+	ids    map[string]int
+	tokens []string
+	counts []int
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{ids: make(map[string]int)}
+}
+
+// Add inserts the token (if new) and increments its count, returning its id.
+func (v *Vocab) Add(token string) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok := v.ids[token]; ok {
+		v.counts[id]++
+		return id
+	}
+	id := len(v.tokens)
+	v.ids[token] = id
+	v.tokens = append(v.tokens, token)
+	v.counts = append(v.counts, 1)
+	return id
+}
+
+// AddAll adds every token of the slice and returns their ids.
+func (v *Vocab) AddAll(tokens []string) []int {
+	out := make([]int, len(tokens))
+	for i, t := range tokens {
+		out[i] = v.Add(t)
+	}
+	return out
+}
+
+// ID returns the id of token and whether it is present. It does not mutate
+// counts.
+func (v *Vocab) ID(token string) (int, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.ids[token]
+	return id, ok
+}
+
+// Token returns the token string for an id. It panics on out-of-range ids,
+// mirroring slice semantics.
+func (v *Vocab) Token(id int) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.tokens[id]
+}
+
+// Count returns the accumulated count of the token, or 0 if absent.
+func (v *Vocab) Count(token string) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if id, ok := v.ids[token]; ok {
+		return v.counts[id]
+	}
+	return 0
+}
+
+// Size returns the number of distinct tokens.
+func (v *Vocab) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.tokens)
+}
+
+// Tokens returns a copy of all tokens ordered by id.
+func (v *Vocab) Tokens() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, len(v.tokens))
+	copy(out, v.tokens)
+	return out
+}
+
+// TopK returns the k most frequent tokens (ties broken lexicographically for
+// determinism). If k exceeds the vocabulary size, all tokens are returned.
+func (v *Vocab) TopK(k int) []string {
+	v.mu.RLock()
+	type tc struct {
+		tok string
+		cnt int
+	}
+	all := make([]tc, len(v.tokens))
+	for i, t := range v.tokens {
+		all[i] = tc{t, v.counts[i]}
+	}
+	v.mu.RUnlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cnt != all[j].cnt {
+			return all[i].cnt > all[j].cnt
+		}
+		return all[i].tok < all[j].tok
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].tok
+	}
+	return out
+}
+
+// Prune returns a new vocabulary containing only tokens with count >= minCount.
+// Ids are re-assigned densely in the original id order.
+func (v *Vocab) Prune(minCount int) *Vocab {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := NewVocab()
+	for i, t := range v.tokens {
+		if v.counts[i] >= minCount {
+			id := out.Add(t)
+			out.counts[id] = v.counts[i]
+		}
+	}
+	return out
+}
+
+// StopWords is the default English stop-word list used when mining candidate
+// phrases and when the Snuba baseline filters degenerate rules.
+var StopWords = map[string]bool{
+	"a": true, "an": true, "the": true, "is": true, "are": true, "was": true,
+	"were": true, "be": true, "been": true, "being": true, "am": true,
+	"i": true, "you": true, "he": true, "she": true, "it": true, "we": true,
+	"they": true, "of": true, "to": true, "in": true, "on": true, "at": true,
+	"for": true, "with": true, "and": true, "or": true, "but": true,
+	"not": true, "no": true, "do": true, "does": true, "did": true,
+	"this": true, "that": true, "these": true, "those": true, "there": true,
+	"from": true, "by": true, "as": true, "would": true, "could": true,
+	"should": true, "will": true, "can": true, "may": true, "might": true,
+	"have": true, "has": true, "had": true, "my": true, "your": true,
+	"his": true, "her": true, "its": true, "our": true, "their": true,
+	"what": true, "which": true, "who": true, "whom": true, "how": true,
+	"when": true, "where": true, "why": true, "me": true, "him": true,
+	"them": true, "us": true, "so": true, "if": true, "than": true,
+	"then": true, "into": true, "about": true, "up": true, "down": true,
+	"out": true, "over": true, "under": true, "again": true, "very": true,
+	"s": true, "t": true, "just": true, "don": true, "now": true,
+}
+
+// IsStopWord reports whether tok is in the default stop-word list.
+func IsStopWord(tok string) bool { return StopWords[tok] }

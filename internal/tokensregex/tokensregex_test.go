@@ -1,0 +1,271 @@
+package tokensregex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+)
+
+func sentence(text string) *corpus.Sentence {
+	c := corpus.New("t", "t")
+	c.Add(text, corpus.Positive)
+	c.Preprocess(corpus.PreprocessOptions{})
+	return c.Sentence(0)
+}
+
+func TestHeuristicMatches(t *testing.T) {
+	s := sentence("What is the best way to get to SFO airport?")
+	tests := []struct {
+		phrase []string
+		want   bool
+	}{
+		{[]string{"best", "way", "to"}, true},
+		{[]string{"best", "way", "to", "get"}, true},
+		{[]string{"way", "best"}, false},
+		{[]string{"shuttle"}, false},
+		{[]string{"sfo", "airport"}, true},
+		{[]string{"BEST"}, true}, // normalization
+		{[]string{"best", "*", "to"}, true},
+		{[]string{"best", "*", "get"}, false},
+		{nil, false},
+	}
+	for _, tt := range tests {
+		h := NewHeuristic(tt.phrase)
+		if got := h.Matches(s); got != tt.want {
+			t.Errorf("Matches(%v) = %v, want %v", tt.phrase, got, tt.want)
+		}
+	}
+	h := NewHeuristic([]string{"best"})
+	if h.Matches(nil) {
+		t.Error("Matches(nil sentence) = true")
+	}
+}
+
+func TestHeuristicKeyAndString(t *testing.T) {
+	h := NewHeuristic([]string{"Best", "Way"})
+	if h.Key() != "tokensregex:best way" {
+		t.Errorf("Key = %q", h.Key())
+	}
+	if h.String() != "'best way'" {
+		t.Errorf("String = %q", h.String())
+	}
+	if h.GrammarName() != GrammarName {
+		t.Errorf("GrammarName = %q", h.GrammarName())
+	}
+	if h.Depth() != 2 {
+		t.Errorf("Depth = %d", h.Depth())
+	}
+	ph := h.Phrase()
+	ph[0] = "mutated"
+	if h.Phrase()[0] != "best" {
+		t.Error("Phrase() exposes internal state")
+	}
+}
+
+func TestHeuristicParents(t *testing.T) {
+	h := NewHeuristic([]string{"best", "way", "to"})
+	parents := h.Parents()
+	if len(parents) != 2 {
+		t.Fatalf("parents = %v", parents)
+	}
+	keys := map[string]bool{}
+	for _, p := range parents {
+		keys[p.Key()] = true
+		if p.Depth() != 2 {
+			t.Errorf("parent depth = %d", p.Depth())
+		}
+	}
+	if !keys["tokensregex:best way"] || !keys["tokensregex:way to"] {
+		t.Errorf("unexpected parents: %v", keys)
+	}
+
+	single := NewHeuristic([]string{"shuttle"})
+	sp := single.Parents()
+	if len(sp) != 1 || !grammar.IsRoot(sp[0]) {
+		t.Errorf("single-token parents = %v", sp)
+	}
+
+	// Identical first/last drop: "a a" -> only one parent "a".
+	dup := NewHeuristic([]string{"a", "a"})
+	if len(dup.Parents()) != 1 {
+		t.Errorf("duplicate-token parents = %v", dup.Parents())
+	}
+}
+
+func TestSketch(t *testing.T) {
+	g := New()
+	s := sentence("best way to get")
+	hs := g.Sketch(s, 2)
+	keys := map[string]bool{}
+	for _, h := range hs {
+		keys[h.Key()] = true
+		if !h.Matches(s) {
+			t.Errorf("sketch heuristic %s does not match its own sentence", h.Key())
+		}
+		if h.Depth() > 2 {
+			t.Errorf("sketch heuristic %s exceeds maxDepth", h.Key())
+		}
+	}
+	for _, want := range []string{"tokensregex:best", "tokensregex:best way", "tokensregex:way to", "tokensregex:to get", "tokensregex:get"} {
+		if !keys[want] {
+			t.Errorf("sketch missing %s (got %v)", want, keys)
+		}
+	}
+	// Stop-word unigrams are skipped by default.
+	if keys["tokensregex:to"] {
+		t.Error("stop-word unigram 'to' present in sketch")
+	}
+	g2 := &Grammar{SkipStopwordUnigrams: false}
+	keys2 := map[string]bool{}
+	for _, h := range g2.Sketch(s, 1) {
+		keys2[h.Key()] = true
+	}
+	if !keys2["tokensregex:to"] {
+		t.Error("stop-word unigram missing with SkipStopwordUnigrams=false")
+	}
+	if g.Sketch(nil, 2) != nil {
+		t.Error("Sketch(nil) should be nil")
+	}
+	if g.Sketch(s, 0) != nil {
+		t.Error("Sketch maxDepth=0 should be nil")
+	}
+}
+
+func TestSketchDeduplicates(t *testing.T) {
+	g := New()
+	s := sentence("shuttle shuttle shuttle")
+	hs := g.Sketch(s, 2)
+	seen := map[string]int{}
+	for _, h := range hs {
+		seen[h.Key()]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("duplicate sketch entry %s (%d times)", k, n)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	g := New()
+	h, err := g.Parse("Best way TO")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h.Key() != "tokensregex:best way to" {
+		t.Errorf("Key = %q", h.Key())
+	}
+	if _, err := g.Parse("   "); err == nil {
+		t.Error("empty rule should error")
+	}
+	if _, err := g.Parse("!!! ???"); err == nil {
+		t.Error("punctuation-only rule should error")
+	}
+	wc, err := g.Parse("shuttle * the hotel")
+	if err != nil {
+		t.Fatalf("wildcard parse: %v", err)
+	}
+	if wc.(*Heuristic).Phrase()[1] != Wildcard {
+		t.Errorf("wildcard lost: %v", wc.(*Heuristic).Phrase())
+	}
+}
+
+func TestSpecialize(t *testing.T) {
+	g := New()
+	s := sentence("the best way to get to the hotel")
+	h := NewHeuristic([]string{"way", "to"})
+	children := g.Specialize(h, s, 10)
+	keys := map[string]bool{}
+	for _, c := range children {
+		keys[c.Key()] = true
+		if c.Depth() != 3 {
+			t.Errorf("child depth = %d", c.Depth())
+		}
+		if !c.Matches(s) {
+			t.Errorf("child %s does not match witness", c.Key())
+		}
+	}
+	if !keys["tokensregex:best way to"] || !keys["tokensregex:way to get"] {
+		t.Errorf("expected extensions missing: %v", keys)
+	}
+	// Depth cap.
+	if got := g.Specialize(h, s, 2); got != nil {
+		t.Errorf("Specialize beyond maxDepth returned %v", got)
+	}
+	// Root specialization yields unigrams.
+	rootKids := g.Specialize(grammar.Root(), s, 10)
+	if len(rootKids) == 0 {
+		t.Error("root specialization empty")
+	}
+	// Nil sentence.
+	if g.Specialize(h, nil, 10) != nil {
+		t.Error("Specialize(nil sentence) should be nil")
+	}
+}
+
+// Property: every parent of a heuristic covers a superset of sentences (on a
+// fixed small corpus) — the anti-monotonicity the index relies on.
+func TestParentCoverageSuperset(t *testing.T) {
+	c := corpus.New("t", "t")
+	texts := []string{
+		"what is the best way to get to the airport",
+		"the best way to order food",
+		"is there a shuttle to the hotel",
+		"the shuttle to the airport leaves soon",
+		"best pizza in town",
+		"how do i get to the station",
+	}
+	for _, txt := range texts {
+		c.Add(txt, corpus.Negative)
+	}
+	c.Preprocess(corpus.PreprocessOptions{})
+	g := New()
+	for _, s := range c.Sentences {
+		for _, h := range g.Sketch(s, 3) {
+			cov := map[int]bool{}
+			for _, id := range grammar.Coverage(h, c) {
+				cov[id] = true
+			}
+			for _, p := range h.Parents() {
+				for _, id := range grammar.Coverage(h, c) {
+					_ = id
+				}
+				pcov := grammar.Coverage(p, c)
+				pset := map[int]bool{}
+				for _, id := range pcov {
+					pset[id] = true
+				}
+				for id := range cov {
+					if !pset[id] && !grammar.IsRoot(p) {
+						t.Fatalf("parent %s does not cover sentence %d covered by child %s", p.Key(), id, h.Key())
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: Matches never panics and Depth equals phrase length for random
+// phrases.
+func TestHeuristicProperty(t *testing.T) {
+	s := sentence("the quick brown fox jumps over the lazy dog")
+	f := func(words []string) bool {
+		if len(words) > 8 {
+			words = words[:8]
+		}
+		var phrase []string
+		for _, w := range words {
+			if w != "" {
+				phrase = append(phrase, w)
+			}
+		}
+		h := NewHeuristic(phrase)
+		_ = h.Matches(s)
+		return h.Depth() == len(phrase)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package traversal implements the three hierarchy-traversal strategies of
+// §3.3–3.6: LocalSearch (Algorithm 3), UniversalSearch (Algorithm 4) and
+// HybridSearch (Algorithm 5). A traversal decides which candidate heuristic
+// to submit to the oracle next, based on the benefit score
+//
+//	benefit(r) = Σ_{s ∈ C_r \ P} p_s
+//
+// where p_s is the classifier's probability that sentence s is positive.
+package traversal
+
+import (
+	"sort"
+
+	"repro/internal/grammar"
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+)
+
+// State is the shared, mutable view of the discovery loop that traversals
+// read: the current hierarchy, the index, the set of discovered positives,
+// the classifier scores, and the set of already-queried rule keys.
+type State struct {
+	Hierarchy *hierarchy.Hierarchy
+	Index     *index.Index
+	// Positives is the discovered positive set P (sentence IDs).
+	Positives map[int]bool
+	// Scores holds p_s for every sentence (indexed by sentence ID).
+	Scores []float64
+	// Queried marks rule keys already submitted to the oracle.
+	Queried map[string]bool
+}
+
+// coverageOf returns the coverage of a rule key, preferring the hierarchy
+// node (which is guaranteed present for hierarchy-generated candidates) and
+// falling back to the index.
+func (st *State) coverageOf(key string) []int {
+	if n := st.Hierarchy.Node(key); n != nil {
+		return n.Coverage
+	}
+	return st.Index.Coverage(key)
+}
+
+// Benefit computes Σ_{s ∈ cov \ P} p_s.
+func Benefit(cov []int, positives map[int]bool, scores []float64) float64 {
+	var b float64
+	for _, id := range cov {
+		if positives[id] {
+			continue
+		}
+		if id >= 0 && id < len(scores) {
+			b += scores[id]
+		}
+	}
+	return b
+}
+
+// AvgBenefit computes the benefit per (new) instance: Benefit / |cov \ P|.
+// Rules whose coverage is already fully contained in P have average benefit 0.
+func AvgBenefit(cov []int, positives map[int]bool, scores []float64) float64 {
+	newCount := 0
+	for _, id := range cov {
+		if !positives[id] {
+			newCount++
+		}
+	}
+	if newCount == 0 {
+		return 0
+	}
+	return Benefit(cov, positives, scores) / float64(newCount)
+}
+
+// BenefitOf scores a rule key against the state.
+func (st *State) BenefitOf(key string) float64 {
+	return Benefit(st.coverageOf(key), st.Positives, st.Scores)
+}
+
+// AvgBenefitOf returns the per-instance benefit of a rule key.
+func (st *State) AvgBenefitOf(key string) float64 {
+	return AvgBenefit(st.coverageOf(key), st.Positives, st.Scores)
+}
+
+// Traversal selects the next candidate heuristic to submit to the oracle.
+type Traversal interface {
+	// Name identifies the strategy ("local", "universal", "hybrid").
+	Name() string
+	// Next returns the key of the next rule to query, or false if the
+	// strategy has no candidate to propose.
+	Next(st *State) (string, bool)
+	// Feedback informs the strategy of the oracle's answer for a rule it
+	// proposed.
+	Feedback(st *State, key string, accepted bool)
+	// Reseed registers an accepted seed rule (or any externally accepted
+	// rule) so local strategies can explore around it.
+	Reseed(st *State, key string)
+}
+
+// pickBest returns the unqueried key with the highest benefit, breaking ties
+// by higher new coverage then lexicographic key for determinism. The boolean
+// reports whether any eligible candidate exists.
+func pickBest(st *State, keys []string, requireAvgBenefit float64) (string, bool) {
+	bestKey := ""
+	bestBenefit := -1.0
+	bestNew := -1
+	for _, key := range keys {
+		if st.Queried[key] || key == grammar.RootKey {
+			continue
+		}
+		cov := st.coverageOf(key)
+		if len(cov) == 0 {
+			continue
+		}
+		if requireAvgBenefit > 0 && AvgBenefit(cov, st.Positives, st.Scores) <= requireAvgBenefit {
+			continue
+		}
+		b := Benefit(cov, st.Positives, st.Scores)
+		newCov := 0
+		for _, id := range cov {
+			if !st.Positives[id] {
+				newCov++
+			}
+		}
+		if newCov == 0 {
+			continue
+		}
+		if b > bestBenefit || (b == bestBenefit && newCov > bestNew) ||
+			(b == bestBenefit && newCov == bestNew && (bestKey == "" || key < bestKey)) {
+			bestKey, bestBenefit, bestNew = key, b, newCov
+		}
+	}
+	return bestKey, bestKey != ""
+}
+
+// sortedKeys returns the keys of a string set in sorted order.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,509 @@
+// Package treematch implements the TreeMatch heuristic grammar of the paper
+// (Definition 3): heuristics over dependency parse trees built from three
+// operations — Child ('/'), Descendant ('//') and conjunction ('∧') — whose
+// terminals are tokens and Universal POS tags.
+//
+// A heuristic is a conjunction of paths; each path is a sequence of terminals
+// connected by / (direct child) or // (transitive descendant). A sentence
+// satisfies the heuristic if its dependency parse tree admits an assignment
+// of nodes to every path. Example from the paper: '/is/NOUN ∧ job'.
+package treematch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/depparse"
+	"repro/internal/grammar"
+	"repro/internal/postag"
+	"repro/internal/textproc"
+)
+
+// GrammarName is the registry name of this grammar.
+const GrammarName = "treematch"
+
+// Rel is the relation between two consecutive terms of a path.
+type Rel uint8
+
+// Path relations.
+const (
+	Child Rel = iota // '/'
+	Desc             // '//'
+)
+
+func (r Rel) String() string {
+	if r == Desc {
+		return "//"
+	}
+	return "/"
+}
+
+// Path is a chain of terminals connected by relations. Rels[i] relates
+// Terms[i] (ancestor side) to Terms[i+1] (descendant side).
+type Path struct {
+	Terms []string
+	Rels  []Rel
+}
+
+// String renders the path, e.g. "way/to//hotel".
+func (p Path) String() string {
+	var b strings.Builder
+	for i, t := range p.Terms {
+		if i > 0 {
+			b.WriteString(p.Rels[i-1].String())
+		}
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+// valid reports whether the path is structurally consistent.
+func (p Path) valid() bool {
+	return len(p.Terms) > 0 && len(p.Rels) == len(p.Terms)-1
+}
+
+// clonePath deep-copies a path.
+func clonePath(p Path) Path {
+	terms := make([]string, len(p.Terms))
+	copy(terms, p.Terms)
+	rels := make([]Rel, len(p.Rels))
+	copy(rels, p.Rels)
+	return Path{Terms: terms, Rels: rels}
+}
+
+// Heuristic is a TreeMatch heuristic: a conjunction of paths.
+type Heuristic struct {
+	paths []Path
+	key   string
+}
+
+var _ grammar.Heuristic = (*Heuristic)(nil)
+
+// NewHeuristic builds a heuristic from paths. Terminal tokens are normalized
+// to lower case; POS tags are upper-cased. Paths are canonically ordered so
+// logically equal conjunctions share a key.
+func NewHeuristic(paths []Path) *Heuristic {
+	norm := make([]Path, 0, len(paths))
+	for _, p := range paths {
+		if !p.valid() {
+			continue
+		}
+		q := clonePath(p)
+		for i, t := range q.Terms {
+			if postag.IsTag(t) {
+				q.Terms[i] = strings.ToUpper(t)
+			} else {
+				q.Terms[i] = textproc.Normalize(t)
+			}
+		}
+		norm = append(norm, q)
+	}
+	sort.Slice(norm, func(i, j int) bool { return norm[i].String() < norm[j].String() })
+	parts := make([]string, len(norm))
+	for i, p := range norm {
+		parts[i] = p.String()
+	}
+	return &Heuristic{paths: norm, key: GrammarName + ":" + strings.Join(parts, " & ")}
+}
+
+// Paths returns a deep copy of the heuristic's paths.
+func (h *Heuristic) Paths() []Path {
+	out := make([]Path, len(h.paths))
+	for i, p := range h.paths {
+		out[i] = clonePath(p)
+	}
+	return out
+}
+
+// Key implements grammar.Heuristic.
+func (h *Heuristic) Key() string { return h.key }
+
+// String implements grammar.Heuristic using the paper's '∧' notation.
+func (h *Heuristic) String() string {
+	parts := make([]string, len(h.paths))
+	for i, p := range h.paths {
+		parts[i] = p.String()
+	}
+	return "'" + strings.Join(parts, " ∧ ") + "'"
+}
+
+// GrammarName implements grammar.Heuristic.
+func (h *Heuristic) GrammarName() string { return GrammarName }
+
+// Depth implements grammar.Heuristic: one derivation rule per terminal.
+func (h *Heuristic) Depth() int {
+	d := 0
+	for _, p := range h.paths {
+		d += len(p.Terms)
+	}
+	return d
+}
+
+// termMatches reports whether a terminal matches tree node i: POS terminals
+// match the node's tag, token terminals match the node's token.
+func termMatches(term string, tree *depparse.Tree, i int) bool {
+	if postag.IsTag(term) {
+		return string(tree.Tags[i]) == term
+	}
+	return tree.Tokens[i] == term
+}
+
+// pathEndNodes returns the set of tree nodes that can terminate a satisfying
+// assignment of the path, or nil if the path cannot be satisfied.
+func pathEndNodes(p Path, tree *depparse.Tree) []int {
+	if tree == nil || tree.Len() == 0 || len(p.Terms) == 0 {
+		return nil
+	}
+	// current holds candidate nodes for the term processed so far.
+	var current []int
+	for i := 0; i < tree.Len(); i++ {
+		if termMatches(p.Terms[0], tree, i) {
+			current = append(current, i)
+		}
+	}
+	for step := 0; step < len(p.Rels) && len(current) > 0; step++ {
+		term := p.Terms[step+1]
+		rel := p.Rels[step]
+		nextSet := map[int]bool{}
+		for _, anc := range current {
+			var candidates []int
+			if rel == Child {
+				candidates = tree.Children(anc)
+			} else {
+				candidates = tree.Descendants(anc)
+			}
+			for _, c := range candidates {
+				if termMatches(term, tree, c) {
+					nextSet[c] = true
+				}
+			}
+		}
+		current = current[:0]
+		for c := range nextSet {
+			current = append(current, c)
+		}
+		sort.Ints(current)
+	}
+	return current
+}
+
+// Matches reports whether the sentence's dependency tree satisfies every path
+// of the conjunction. Sentences without a parse tree never match.
+func (h *Heuristic) Matches(s *corpus.Sentence) bool {
+	if s == nil || s.Tree == nil || len(h.paths) == 0 {
+		return false
+	}
+	for _, p := range h.paths {
+		if len(pathEndNodes(p, s.Tree)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Parents returns the generalizations of the heuristic: drop the last term of
+// one path, or drop an entire single-term path. A depth-1 heuristic
+// generalizes to the root.
+func (h *Heuristic) Parents() []grammar.Heuristic {
+	if h.Depth() <= 1 {
+		return []grammar.Heuristic{grammar.Root()}
+	}
+	seen := map[string]bool{}
+	var out []grammar.Heuristic
+	add := func(paths []Path) {
+		p := NewHeuristic(paths)
+		if p.Depth() == 0 {
+			return
+		}
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			out = append(out, p)
+		}
+	}
+	for i, p := range h.paths {
+		if len(p.Terms) > 1 {
+			// Drop the last term of path i.
+			var paths []Path
+			for j, q := range h.paths {
+				if j == i {
+					trimmed := clonePath(q)
+					trimmed.Terms = trimmed.Terms[:len(trimmed.Terms)-1]
+					trimmed.Rels = trimmed.Rels[:len(trimmed.Rels)-1]
+					paths = append(paths, trimmed)
+				} else {
+					paths = append(paths, clonePath(q))
+				}
+			}
+			add(paths)
+		} else if len(h.paths) > 1 {
+			// Drop the single-term path i entirely.
+			var paths []Path
+			for j, q := range h.paths {
+				if j != i {
+					paths = append(paths, clonePath(q))
+				}
+			}
+			add(paths)
+		}
+	}
+	if len(out) == 0 {
+		return []grammar.Heuristic{grammar.Root()}
+	}
+	return out
+}
+
+// Grammar is the TreeMatch grammar.
+type Grammar struct {
+	// SkipStopwordTerminals drops depth-1 token terminals that are stop words
+	// from sketches. Default true via New.
+	SkipStopwordTerminals bool
+	// MaxDescDistance bounds how deep '//' pairs are enumerated in sketches
+	// (ancestor/descendant pairs whose tree distance exceeds this are not
+	// materialized). Default 3 via New.
+	MaxDescDistance int
+}
+
+var _ grammar.Grammar = (*Grammar)(nil)
+
+// New returns the TreeMatch grammar with default settings.
+func New() *Grammar {
+	return &Grammar{SkipStopwordTerminals: true, MaxDescDistance: 3}
+}
+
+// Name implements grammar.Grammar.
+func (g *Grammar) Name() string { return GrammarName }
+
+// Sketch enumerates the bounded-depth heuristics satisfied by the sentence:
+// depth-1 terminals (tokens and POS tags) and depth-2 child/descendant pairs.
+// Conjunctions are not materialized in the sketch (they are reachable through
+// Specialize), mirroring the paper's observation that the parse tree itself
+// is the compact sketch for this grammar.
+func (g *Grammar) Sketch(s *corpus.Sentence, maxDepth int) []grammar.Heuristic {
+	if s == nil || s.Tree == nil || s.Tree.Len() == 0 || maxDepth < 1 {
+		return nil
+	}
+	tree := s.Tree
+	seen := map[string]bool{}
+	var out []grammar.Heuristic
+	add := func(h *Heuristic) {
+		if !seen[h.Key()] {
+			seen[h.Key()] = true
+			out = append(out, h)
+		}
+	}
+
+	// Depth 1: token terminals and POS terminals.
+	for i := 0; i < tree.Len(); i++ {
+		tok := tree.Tokens[i]
+		if !(g.SkipStopwordTerminals && textproc.IsStopWord(tok)) {
+			add(NewHeuristic([]Path{{Terms: []string{tok}}}))
+		}
+	}
+	if maxDepth < 2 {
+		return out
+	}
+
+	// Depth 2: parent/child pairs in token/token, token/POS and POS/token
+	// flavours (POS/POS pairs are too generic to ever be precise).
+	for c := 0; c < tree.Len(); c++ {
+		p := tree.Heads[c]
+		if p < 0 {
+			continue
+		}
+		ptok, ctok := tree.Tokens[p], tree.Tokens[c]
+		ptag, ctag := string(tree.Tags[p]), string(tree.Tags[c])
+		add(NewHeuristic([]Path{{Terms: []string{ptok, ctok}, Rels: []Rel{Child}}}))
+		add(NewHeuristic([]Path{{Terms: []string{ptok, ctag}, Rels: []Rel{Child}}}))
+		add(NewHeuristic([]Path{{Terms: []string{ptag, ctok}, Rels: []Rel{Child}}}))
+	}
+
+	// Depth 2: strict ancestor/descendant pairs (distance >= 2, bounded).
+	for a := 0; a < tree.Len(); a++ {
+		for _, d := range tree.Descendants(a) {
+			dist := treeDistance(tree, a, d)
+			if dist < 2 || (g.MaxDescDistance > 0 && dist > g.MaxDescDistance) {
+				continue
+			}
+			atok, dtok := tree.Tokens[a], tree.Tokens[d]
+			add(NewHeuristic([]Path{{Terms: []string{atok, dtok}, Rels: []Rel{Desc}}}))
+			add(NewHeuristic([]Path{{Terms: []string{atok, string(tree.Tags[d])}, Rels: []Rel{Desc}}}))
+		}
+	}
+	return out
+}
+
+// treeDistance returns the number of edges from ancestor a down to descendant
+// d (0 if a == d, -1 if d is not below a).
+func treeDistance(tree *depparse.Tree, a, d int) int {
+	dist := 0
+	for cur := d; cur >= 0; cur = tree.Heads[cur] {
+		if cur == a {
+			return dist
+		}
+		dist++
+		if dist > tree.Len() {
+			return -1
+		}
+	}
+	return -1
+}
+
+// Parse parses a TreeMatch specification such as "way/to", "way//hotel",
+// "/is/NOUN & job" or "caused/by ∧ storm". Leading '/' characters are
+// tolerated (the paper writes '/is/NOUN').
+func (g *Grammar) Parse(spec string) (grammar.Heuristic, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("treematch: empty rule")
+	}
+	spec = strings.ReplaceAll(spec, "∧", "&")
+	var paths []Path
+	for _, part := range strings.Split(spec, "&") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := parsePath(part)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("treematch: rule %q has no paths", spec)
+	}
+	h := NewHeuristic(paths)
+	if h.Depth() == 0 {
+		return nil, fmt.Errorf("treematch: rule %q has no terminals", spec)
+	}
+	return h, nil
+}
+
+// parsePath parses a single path such as "way/to//hotel" or "/is/NOUN".
+func parsePath(s string) (Path, error) {
+	s = strings.TrimPrefix(s, "//")
+	s = strings.TrimPrefix(s, "/")
+	var p Path
+	i := 0
+	for i < len(s) {
+		// Read a terminal up to the next '/' or end.
+		j := strings.IndexByte(s[i:], '/')
+		var term string
+		if j < 0 {
+			term = s[i:]
+			i = len(s)
+		} else {
+			term = s[i : i+j]
+			i += j
+		}
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return Path{}, fmt.Errorf("treematch: empty terminal in path %q", s)
+		}
+		p.Terms = append(p.Terms, term)
+		if i >= len(s) {
+			break
+		}
+		// Read the relation.
+		if strings.HasPrefix(s[i:], "//") {
+			p.Rels = append(p.Rels, Desc)
+			i += 2
+		} else {
+			p.Rels = append(p.Rels, Child)
+			i++
+		}
+	}
+	if !p.valid() {
+		return Path{}, fmt.Errorf("treematch: malformed path %q", s)
+	}
+	return p, nil
+}
+
+// Specialize returns children of h that still match the witness sentence:
+// extend the last node of one path with a /child or //descendant terminal, or
+// conjoin a new single-terminal path drawn from the sentence's tokens.
+func (g *Grammar) Specialize(h grammar.Heuristic, s *corpus.Sentence, maxDepth int) []grammar.Heuristic {
+	if s == nil || s.Tree == nil || s.Tree.Len() == 0 {
+		return nil
+	}
+	if grammar.IsRoot(h) {
+		return g.Sketch(s, 1)
+	}
+	th, ok := h.(*Heuristic)
+	if !ok {
+		return nil
+	}
+	if maxDepth > 0 && th.Depth() >= maxDepth {
+		return nil
+	}
+	tree := s.Tree
+	seen := map[string]bool{}
+	var out []grammar.Heuristic
+	add := func(c *Heuristic) {
+		if c.Key() == th.Key() || seen[c.Key()] {
+			return
+		}
+		if !c.Matches(s) {
+			return
+		}
+		seen[c.Key()] = true
+		out = append(out, c)
+	}
+
+	// Extend one path downward.
+	for i, p := range th.paths {
+		ends := pathEndNodes(p, tree)
+		for _, end := range ends {
+			for _, c := range tree.Children(end) {
+				for _, term := range []string{tree.Tokens[c], string(tree.Tags[c])} {
+					np := clonePath(p)
+					np.Terms = append(np.Terms, term)
+					np.Rels = append(np.Rels, Child)
+					add(replacePath(th.paths, i, np))
+				}
+			}
+			for _, d := range tree.Descendants(end) {
+				if tree.IsChild(end, d) {
+					continue // already covered by the Child extension
+				}
+				np := clonePath(p)
+				np.Terms = append(np.Terms, tree.Tokens[d])
+				np.Rels = append(np.Rels, Desc)
+				add(replacePath(th.paths, i, np))
+			}
+		}
+	}
+
+	// Conjoin a new single-terminal path (non-stopword tokens only).
+	existing := map[string]bool{}
+	for _, p := range th.paths {
+		for _, t := range p.Terms {
+			existing[t] = true
+		}
+	}
+	for i := 0; i < tree.Len(); i++ {
+		tok := tree.Tokens[i]
+		if existing[tok] || textproc.IsStopWord(tok) {
+			continue
+		}
+		paths := append(clonePaths(th.paths), Path{Terms: []string{tok}})
+		add(NewHeuristic(paths))
+	}
+	return out
+}
+
+func clonePaths(paths []Path) []Path {
+	out := make([]Path, len(paths))
+	for i, p := range paths {
+		out[i] = clonePath(p)
+	}
+	return out
+}
+
+func replacePath(paths []Path, idx int, np Path) *Heuristic {
+	out := clonePaths(paths)
+	out[idx] = np
+	return NewHeuristic(out)
+}

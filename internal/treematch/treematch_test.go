@@ -1,0 +1,296 @@
+package treematch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+)
+
+func parsedSentence(t *testing.T, text string) *corpus.Sentence {
+	t.Helper()
+	c := corpus.New("t", "t")
+	c.Add(text, corpus.Positive)
+	c.Preprocess(corpus.PreprocessOptions{Parse: true})
+	return c.Sentence(0)
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{Terms: []string{"way", "to", "hotel"}, Rels: []Rel{Child, Desc}}
+	if got := p.String(); got != "way/to//hotel" {
+		t.Errorf("Path.String = %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	g := New()
+	tests := []struct {
+		spec    string
+		wantErr bool
+		key     string
+	}{
+		{"way/to", false, "treematch:way/to"},
+		{"/is/NOUN & job", false, "treematch:is/NOUN & job"},
+		{"/is/NOUN ∧ job", false, "treematch:is/NOUN & job"},
+		{"way//hotel", false, "treematch:way//hotel"},
+		{"caused/by", false, "treematch:caused/by"},
+		{"", true, ""},
+		{"  &  ", true, ""},
+		{"a//", true, ""},
+	}
+	for _, tt := range tests {
+		h, err := g.Parse(tt.spec)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q) expected error, got %v", tt.spec, h)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.spec, err)
+			continue
+		}
+		if h.Key() != tt.key {
+			t.Errorf("Parse(%q).Key = %q, want %q", tt.spec, h.Key(), tt.key)
+		}
+	}
+}
+
+func TestParseCanonicalOrder(t *testing.T) {
+	g := New()
+	a, err1 := g.Parse("job & is/NOUN")
+	b, err2 := g.Parse("is/NOUN & job")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("conjunction order changes key: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestMatchesChildAndDescendant(t *testing.T) {
+	s := parsedSentence(t, "Is Uber the best way to our hotel")
+	g := New()
+
+	// A token terminal alone.
+	h, _ := g.Parse("hotel")
+	if !h.Matches(s) {
+		t.Error("'hotel' should match")
+	}
+	// POS terminal.
+	h, _ = g.Parse("PROPN")
+	if !h.Matches(s) {
+		t.Errorf("PROPN should match (tree: %s)", s.Tree)
+	}
+	// Child relation present in the tree: 'to' heads 'hotel' per our parser.
+	h, _ = g.Parse("to/hotel")
+	if !h.Matches(s) {
+		t.Errorf("to/hotel should match (tree: %s)", s.Tree)
+	}
+	// Descendant: root verb dominates 'hotel'.
+	h, _ = g.Parse("is//hotel")
+	if !h.Matches(s) {
+		t.Errorf("is//hotel should match (tree: %s)", s.Tree)
+	}
+	// Conjunction.
+	h, _ = g.Parse("to/hotel & uber")
+	if !h.Matches(s) {
+		t.Errorf("conjunction should match (tree: %s)", s.Tree)
+	}
+	// Absent token.
+	h, _ = g.Parse("shuttle")
+	if h.Matches(s) {
+		t.Error("'shuttle' should not match")
+	}
+	// Wrong direction.
+	h, _ = g.Parse("hotel/to")
+	if h.Matches(s) {
+		t.Error("hotel/to should not match")
+	}
+	// Sentence without a tree never matches.
+	noTree := &corpus.Sentence{Tokens: []string{"hotel"}}
+	h, _ = g.Parse("hotel")
+	if h.Matches(noTree) {
+		t.Error("sentence without parse tree matched a TreeMatch rule")
+	}
+}
+
+func TestDepthAndString(t *testing.T) {
+	g := New()
+	h, _ := g.Parse("is/NOUN & job")
+	if h.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", h.Depth())
+	}
+	if !strings.Contains(h.String(), "∧") {
+		t.Errorf("String should use ∧: %q", h.String())
+	}
+	if h.GrammarName() != GrammarName {
+		t.Errorf("GrammarName = %q", h.GrammarName())
+	}
+}
+
+func TestParents(t *testing.T) {
+	g := New()
+	h, _ := g.Parse("way/to//hotel & shuttle")
+	parents := h.Parents()
+	if len(parents) == 0 {
+		t.Fatal("no parents")
+	}
+	for _, p := range parents {
+		if p.Depth() != h.Depth()-1 {
+			t.Errorf("parent %s depth = %d, want %d", p.Key(), p.Depth(), h.Depth()-1)
+		}
+	}
+	keys := map[string]bool{}
+	for _, p := range parents {
+		keys[p.Key()] = true
+	}
+	if !keys["treematch:shuttle & way/to"] {
+		t.Errorf("expected truncated-path parent, got %v", keys)
+	}
+	if !keys["treematch:way/to//hotel"] {
+		t.Errorf("expected dropped-conjunct parent, got %v", keys)
+	}
+
+	single, _ := g.Parse("shuttle")
+	sp := single.Parents()
+	if len(sp) != 1 || !grammar.IsRoot(sp[0]) {
+		t.Errorf("depth-1 parents = %v", sp)
+	}
+}
+
+func TestSketch(t *testing.T) {
+	g := New()
+	s := parsedSentence(t, "The flooding was caused by heavy rainfall")
+	hs := g.Sketch(s, 2)
+	if len(hs) == 0 {
+		t.Fatal("empty sketch")
+	}
+	keys := map[string]bool{}
+	for _, h := range hs {
+		keys[h.Key()] = true
+		if !h.Matches(s) {
+			t.Errorf("sketch heuristic %s does not match its own sentence (tree %s)", h.Key(), s.Tree)
+		}
+		if h.Depth() > 2 {
+			t.Errorf("heuristic %s exceeds depth 2", h.Key())
+		}
+	}
+	if !keys["treematch:caused"] {
+		t.Errorf("missing 'caused' terminal: %v", keys)
+	}
+	if !keys["treematch:flooding"] {
+		t.Error("missing 'flooding' terminal")
+	}
+	// Depth-1-only sketch contains no '/'.
+	for _, h := range g.Sketch(s, 1) {
+		if strings.ContainsAny(h.Key(), "/") {
+			t.Errorf("depth-1 sketch contains relation: %s", h.Key())
+		}
+	}
+	if g.Sketch(nil, 2) != nil {
+		t.Error("Sketch(nil) != nil")
+	}
+	if g.Sketch(&corpus.Sentence{Tokens: []string{"x"}}, 2) != nil {
+		t.Error("Sketch of unparsed sentence != nil")
+	}
+}
+
+func TestSpecialize(t *testing.T) {
+	g := New()
+	s := parsedSentence(t, "The flooding was caused by heavy rainfall")
+	base, _ := g.Parse("caused")
+	kids := g.Specialize(base, s, 5)
+	if len(kids) == 0 {
+		t.Fatal("no specializations")
+	}
+	for _, c := range kids {
+		if !c.Matches(s) {
+			t.Errorf("specialization %s does not match witness", c.Key())
+		}
+		if c.Depth() != base.Depth()+1 {
+			t.Errorf("specialization %s depth = %d, want %d", c.Key(), c.Depth(), base.Depth()+1)
+		}
+	}
+	// At least one extension and one conjunction should be present.
+	hasExt, hasConj := false, false
+	for _, c := range kids {
+		if strings.Contains(c.Key(), "caused/") || strings.Contains(c.Key(), "caused//") {
+			hasExt = true
+		}
+		if strings.Contains(c.Key(), "&") {
+			hasConj = true
+		}
+	}
+	if !hasExt {
+		t.Error("no path extension among specializations")
+	}
+	if !hasConj {
+		t.Error("no conjunction among specializations")
+	}
+	// Depth cap respected.
+	if got := g.Specialize(base, s, 1); got != nil {
+		t.Errorf("Specialize beyond cap = %v", got)
+	}
+	// Root specialization.
+	if len(g.Specialize(grammar.Root(), s, 3)) == 0 {
+		t.Error("root specialization empty")
+	}
+}
+
+func TestSpecializeParentsRoundTrip(t *testing.T) {
+	// Every specialization of h must have h among its parents.
+	g := New()
+	s := parsedSentence(t, "Beethoven taught piano to the daughters of a wealthy family")
+	base, _ := g.Parse("piano")
+	for _, c := range g.Specialize(base, s, 4) {
+		found := false
+		for _, p := range c.Parents() {
+			if p.Key() == base.Key() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("specialization %s does not list %s among parents %v",
+				c.Key(), base.Key(), c.Parents())
+		}
+	}
+}
+
+func TestCoverageAntiMonotone(t *testing.T) {
+	// Parent coverage is a superset of child coverage over a small corpus.
+	c := corpus.New("t", "t")
+	texts := []string{
+		"The flooding was caused by heavy rainfall",
+		"The outage was caused by a software bug",
+		"The crash was triggered by driver fatigue",
+		"The company announced a new policy on Monday",
+		"The book about the flood was written by a journalist",
+	}
+	for _, txt := range texts {
+		c.Add(txt, corpus.Negative)
+	}
+	c.Preprocess(corpus.PreprocessOptions{Parse: true})
+	g := New()
+	for _, s := range c.Sentences {
+		for _, h := range g.Sketch(s, 2) {
+			childCov := grammar.Coverage(h, c)
+			for _, p := range h.Parents() {
+				if grammar.IsRoot(p) {
+					continue
+				}
+				parentCov := map[int]bool{}
+				for _, id := range grammar.Coverage(p, c) {
+					parentCov[id] = true
+				}
+				for _, id := range childCov {
+					if !parentCov[id] {
+						t.Fatalf("anti-monotonicity violated: parent %s misses %d covered by %s",
+							p.Key(), id, h.Key())
+					}
+				}
+			}
+		}
+	}
+}
