@@ -1,0 +1,154 @@
+// Command darwind serves concurrent interactive Darwin rule-discovery
+// sessions over HTTP. It loads one or more datasets (synthetic generators
+// and/or JSONL corpora written by cmd/datagen), builds a shared read-only
+// engine per dataset once at startup, and then hosts any number of
+// interactive labeling sessions against them (see internal/server for the
+// API).
+//
+// Examples:
+//
+//	darwind -addr :8080 -datasets directions,musicians -scale 0.2
+//	darwind -corpus mydata.jsonl -budget 50 -session-ttl 15m
+//
+// A minimal interactive transcript:
+//
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	     -d '{"dataset":"directions","seed_rules":["best way to get to"]}'
+//	curl -s localhost:8080/v1/sessions/$ID/suggest
+//	curl -s -X POST localhost:8080/v1/sessions/$ID/answer -d '{"key":"...","accept":true}'
+//	curl -s localhost:8080/v1/sessions/$ID/report
+//	curl -s localhost:8080/v1/sessions/$ID/export > labeled.jsonl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/datagen"
+	"repro/internal/embedding"
+	"repro/internal/grammar"
+	"repro/internal/server"
+	"repro/internal/tokensregex"
+	"repro/internal/treematch"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		datasets   = flag.String("datasets", "directions", "comma-separated synthetic dataset names to serve")
+		corpusPath = flag.String("corpus", "", "path to a JSONL corpus written by cmd/datagen (served in addition to -datasets)")
+		scale      = flag.Float64("scale", 0.2, "synthetic dataset scale factor")
+		seed       = flag.Int64("seed", 1, "random seed for dataset generation and engine defaults")
+		budget     = flag.Int("budget", 100, "default oracle query budget per session")
+		candidates = flag.Int("candidates", 2000, "candidate rules generated per iteration")
+		sketchD    = flag.Int("sketch-depth", 5, "derivation sketch depth")
+		useTree    = flag.Bool("treematch", false, "enable the TreeMatch grammar (dependency-parse rules)")
+		ttl        = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this")
+		maxSess    = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum number of live sessions")
+	)
+	flag.Parse()
+
+	var sets []*server.Dataset
+	for _, name := range splitList(*datasets) {
+		c, err := datagen.ByName(name, *scale, *seed)
+		if err != nil {
+			fatalf("dataset %q: %v", name, err)
+		}
+		sets = append(sets, buildDataset(name, c, *seed, *budget, *candidates, *sketchD, *useTree))
+	}
+	if *corpusPath != "" {
+		c, err := corpus.LoadJSONL(*corpusPath)
+		if err != nil {
+			fatalf("load corpus %s: %v", *corpusPath, err)
+		}
+		name := c.Name
+		if name == "" {
+			name = strings.TrimSuffix(*corpusPath, ".jsonl")
+		}
+		sets = append(sets, buildDataset(name, c, *seed, *budget, *candidates, *sketchD, *useTree))
+	}
+
+	srv, err := server.New(server.Config{
+		SessionTTL:    *ttl,
+		MaxSessions:   *maxSess,
+		DefaultBudget: *budget,
+	}, sets...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	stop := make(chan struct{})
+	go srv.Store().Janitor(time.Minute, stop)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		close(stop)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	log.Printf("darwind listening on %s (datasets: %s)", *addr, strings.Join(srv.DatasetNames(), ", "))
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+}
+
+// buildDataset preprocesses the corpus and builds the shared engine, logging
+// the one-time cost that every session then amortizes.
+func buildDataset(name string, c *corpus.Corpus, seed int64, budget, candidates, sketchDepth int, useTree bool) *server.Dataset {
+	grams := []grammar.Grammar{tokensregex.New()}
+	if useTree {
+		grams = append(grams, treematch.New())
+	}
+	cfg := core.DefaultConfig()
+	cfg.Grammars = grams
+	cfg.Budget = budget
+	cfg.NumCandidates = candidates
+	cfg.SketchDepth = sketchDepth
+	cfg.Seed = seed
+	cfg.Classifier = classifier.Config{Epochs: 10, LearningRate: 0.3, L2: 1e-4, Seed: seed}
+	cfg.Embedding = embedding.Config{Dim: 32, Window: 4, MinCount: 2, Seed: seed}
+
+	start := time.Now()
+	engine, err := core.New(c, cfg)
+	if err != nil {
+		fatalf("build engine for %q: %v", name, err)
+	}
+	log.Printf("dataset %q ready: %s (engine built in %v)", name, c, time.Since(start).Round(time.Millisecond))
+	return &server.Dataset{Name: name, Engine: engine}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(strings.ToLower(part)); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "darwind: "+format+"\n", args...)
+	os.Exit(1)
+}

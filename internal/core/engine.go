@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/classifier"
@@ -74,6 +75,26 @@ func (r *Report) PositiveIDs() []int {
 }
 
 // Engine is a Darwin instance bound to one corpus.
+//
+// # Goroutine safety
+//
+// After New returns, the corpus, grammar registry, embedding model and index
+// are treated as immutable shared state, with one exception: materializing an
+// ad-hoc seed rule inserts a node into the index. That single mutation is
+// guarded by ixMu (write-locked in Session init, read-locked around every
+// index-reading step), so these methods are safe for concurrent use:
+//
+//   - NewSession, and all methods of distinct Sessions
+//   - SuggestRules, MaterializeRule
+//   - ParseRule, Corpus, Index, Registry (but mutating methods of the
+//     returned Index — EnsureHeuristic, Prune, Merge — must never be called
+//     while sessions are live; use MaterializeRule instead)
+//
+// Run, Scores and Classifier belong to the legacy single-run mode: they share
+// the engine-owned classifier/score state so callbacks and post-run
+// inspection keep working, and therefore must not be used concurrently with
+// anything else on the same engine. A single Session is likewise owned by one
+// caller at a time.
 type Engine struct {
 	cfg  Config
 	corp *corpus.Corpus
@@ -82,6 +103,14 @@ type Engine struct {
 	emb  *embedding.Model
 	clf  *classifier.SentenceClassifier
 	rng  *rand.Rand
+
+	// ixMu guards the index against the one post-build mutation
+	// (EnsureHeuristic for seed rules) racing hierarchy generation and
+	// traversal reads in concurrent sessions.
+	ixMu sync.RWMutex
+	// rngMu serializes the engine-owned RNG, which SuggestRules uses for
+	// sampling presentation sentences.
+	rngMu sync.Mutex
 
 	scores       []float64
 	retrainCount int
@@ -145,16 +174,36 @@ func (e *Engine) Index() *index.Index { return e.ix }
 // Registry returns the engine's grammar registry.
 func (e *Engine) Registry() *grammar.Registry { return e.reg }
 
-// Scores returns the engine's current p_s estimates (indexed by sentence ID).
-// The slice is owned by the engine.
+// Scores returns the engine's current p_s estimates (indexed by sentence ID)
+// as updated by the legacy Run mode; sessions created with NewSession own
+// their scores and do not touch this slice. The slice is owned by the engine.
 func (e *Engine) Scores() []float64 { return e.scores }
 
-// Classifier returns the engine's sentence classifier.
+// Classifier returns the engine's sentence classifier (trained by the legacy
+// Run mode; sessions created with NewSession own their own classifier).
 func (e *Engine) Classifier() *classifier.SentenceClassifier { return e.clf }
 
 // ParseRule parses a textual rule specification using the engine's grammars.
 func (e *Engine) ParseRule(spec string) (grammar.Heuristic, error) {
 	return e.reg.Parse(spec)
+}
+
+// MaterializeRule parses a rule specification, materializes it in the shared
+// index under the engine's write lock, and returns its key and coverage (a
+// copy). It is the concurrency-safe way to resolve an ad-hoc rule's coverage
+// — e.g. to seed the positives map passed to SuggestRules — without going
+// through Index().EnsureHeuristic, which must not be called while sessions
+// are stepping.
+func (e *Engine) MaterializeRule(spec string) (string, []int, error) {
+	h, err := e.reg.Parse(spec)
+	if err != nil {
+		return "", nil, fmt.Errorf("core: rule %q: %w", spec, err)
+	}
+	e.ixMu.Lock()
+	node := e.ix.EnsureHeuristic(h, e.corp)
+	e.ix.BuildEdges()
+	e.ixMu.Unlock()
+	return h.Key(), append([]int(nil), node.Postings...), nil
 }
 
 // RunOptions configures one discovery run.
@@ -178,117 +227,42 @@ type RunOptions struct {
 // iteratively generates a candidate hierarchy, selects the most promising
 // rule with the configured traversal strategy, queries the oracle, and
 // updates the positive set and classifier, until the query budget is spent or
-// no candidates remain.
+// no candidates remain. It is a thin wrapper that drives a Session from the
+// oracle; interactive callers use NewSession directly. Run mutates the
+// engine-owned classifier and scores (see the Engine doc) and is therefore
+// not safe for concurrent use.
 func (e *Engine) Run(opts RunOptions) (*Report, error) {
 	if opts.Oracle == nil {
 		return nil, fmt.Errorf("core: RunOptions.Oracle is required")
 	}
 	start := time.Now()
-	report := &Report{Positives: make(map[int]bool)}
-	positives := report.Positives
-
-	// Seed P from rules and/or positive sentence IDs (Algorithm 1 line 3).
-	var seedKeys []string
-	for _, spec := range opts.SeedRules {
-		h, err := e.reg.Parse(spec)
-		if err != nil {
-			return nil, fmt.Errorf("core: seed rule %q: %w", spec, err)
-		}
-		node := e.ix.EnsureHeuristic(h, e.corp)
-		added := e.addCoverage(positives, node.Postings)
-		seedKeys = append(seedKeys, h.Key())
-		report.Accepted = append(report.Accepted, RuleRecord{
-			Question:       0,
-			Key:            h.Key(),
-			Rule:           h.String(),
-			Coverage:       node.Count(),
-			Accepted:       true,
-			CoverageIDs:    append([]int(nil), node.Postings...),
-			AddedIDs:       added,
-			PositivesAfter: len(positives),
-		})
+	s, err := e.newLegacySession(SessionOptions{
+		SeedRules:       opts.SeedRules,
+		SeedPositiveIDs: opts.SeedPositiveIDs,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, id := range opts.SeedPositiveIDs {
-		if s := e.corp.Sentence(id); s != nil {
-			positives[id] = true
-		}
-	}
-	if len(positives) == 0 {
-		return nil, fmt.Errorf("core: seeds produced no positive instances (need a seed rule with non-empty coverage or seed positive IDs)")
-	}
-
-	// Initial classifier (Algorithm 1 line 4).
-	e.retrain(positives)
-
-	trav := e.cfg.CustomTraversal
-	if trav == nil {
-		trav = traversal.New(e.cfg.Traversal, e.cfg.Tau, seedKeys...)
-	}
-	queried := make(map[string]bool)
-	for _, k := range seedKeys {
-		queried[k] = true
-	}
-
-	hierCfg := e.cfg.hierarchyConfig()
-	for q := 1; q <= e.cfg.Budget; q++ {
-		// Line 6: (re)generate the candidate hierarchy.
-		h := hierarchy.Generate(e.ix, positives, hierCfg)
-		st := &traversal.State{
-			Hierarchy: h,
-			Index:     e.ix,
-			Positives: positives,
-			Scores:    e.scores,
-			Queried:   queried,
-		}
-		// Make sure local strategies know about the seed rules' neighborhoods
-		// on the first iteration.
-		if q == 1 {
-			for _, k := range seedKeys {
-				trav.Reseed(st, k)
-			}
-		}
-
-		// Line 7: pick the next rule to verify.
-		key, ok := trav.Next(st)
+	for {
+		sug, ok := s.Next()
 		if !ok {
 			break
 		}
-		queried[key] = true
-		cov := e.coverageOf(h, key)
-		heur := e.heuristicOf(h, key)
-
 		// Line 8: ask the oracle.
-		query := oracle.Query{
-			Heuristic: heur,
-			Coverage:  cov,
-			Samples:   oracle.SampleCoverage(cov, e.cfg.OracleSampleSize, e.rng),
+		accepted := opts.Oracle.Answer(oracle.Query{
+			Heuristic: s.pending.heur,
+			Coverage:  s.pending.cov,
+			Samples:   sug.SampleIDs,
+		})
+		rec, err := s.Answer(sug.Key, accepted)
+		if err != nil {
+			return nil, err
 		}
-		accepted := opts.Oracle.Answer(query)
-
-		rec := RuleRecord{
-			Question: q,
-			Key:      key,
-			Rule:     ruleString(heur, key),
-			Coverage: len(cov),
-			Accepted: accepted,
-		}
-		if accepted {
-			// Lines 9-12: extend P, retrain, rescore.
-			rec.CoverageIDs = append([]int(nil), cov...)
-			rec.AddedIDs = e.addCoverage(positives, cov)
-			report.Accepted = append(report.Accepted, rec)
-			e.retrain(positives)
-		}
-		rec.PositivesAfter = len(positives)
-		report.History = append(report.History, rec)
-		report.Questions = q
-
-		trav.Feedback(st, key, accepted)
 		if opts.OnQuery != nil {
 			opts.OnQuery(rec, e)
 		}
 	}
-
+	report := s.report
 	report.IndexBuild = e.indexBuild
 	report.Total = time.Since(start)
 	return report, nil
@@ -311,6 +285,8 @@ type Suggestion struct {
 // paper's parallel-discovery mode: the returned suggestions can be dispatched
 // to different annotators simultaneously, and their answers fed back through
 // a subsequent Run (seeding it with the accepted rules) or used directly.
+// SuggestRules only reads shared engine state (plus the engine RNG, which has
+// its own lock) and is safe for concurrent use.
 func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k int) []Suggestion {
 	if k <= 0 {
 		k = 10
@@ -321,7 +297,9 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 	if exclude == nil {
 		exclude = map[string]bool{}
 	}
+	e.ixMu.RLock()
 	h := hierarchy.Generate(e.ix, positives, e.cfg.hierarchyConfig())
+	e.ixMu.RUnlock()
 	var out []Suggestion
 	for _, key := range h.NonRootKeys() {
 		if exclude[key] {
@@ -338,6 +316,9 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 			continue
 		}
 		benefit := traversal.Benefit(n.Coverage, positives, e.scores)
+		e.rngMu.Lock()
+		samples := oracle.SampleCoverage(n.Coverage, e.cfg.OracleSampleSize, e.rng)
+		e.rngMu.Unlock()
 		out = append(out, Suggestion{
 			Key:         key,
 			Rule:        n.Heuristic.String(),
@@ -345,7 +326,7 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 			NewCoverage: newCov,
 			Benefit:     benefit,
 			AvgBenefit:  traversal.AvgBenefit(n.Coverage, positives, e.scores),
-			SampleIDs:   oracle.SampleCoverage(n.Coverage, e.cfg.OracleSampleSize, e.rng),
+			SampleIDs:   samples,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -365,7 +346,7 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 
 // addCoverage inserts the coverage IDs into P and returns the newly added
 // ones (sorted).
-func (e *Engine) addCoverage(positives map[int]bool, cov []int) []int {
+func addCoverage(positives map[int]bool, cov []int) []int {
 	var added []int
 	for _, id := range cov {
 		if !positives[id] {
@@ -378,19 +359,19 @@ func (e *Engine) addCoverage(positives map[int]bool, cov []int) []int {
 }
 
 // coverageOf resolves a rule key's coverage from the hierarchy or the index.
-func (e *Engine) coverageOf(h *hierarchy.Hierarchy, key string) []int {
+func coverageOf(ix *index.Index, h *hierarchy.Hierarchy, key string) []int {
 	if n := h.Node(key); n != nil {
 		return n.Coverage
 	}
-	return e.ix.Coverage(key)
+	return ix.Coverage(key)
 }
 
 // heuristicOf resolves a rule key's heuristic from the hierarchy or the index.
-func (e *Engine) heuristicOf(h *hierarchy.Hierarchy, key string) grammar.Heuristic {
+func heuristicOf(ix *index.Index, h *hierarchy.Hierarchy, key string) grammar.Heuristic {
 	if n := h.Node(key); n != nil {
 		return n.Heuristic
 	}
-	if n := e.ix.Node(key); n != nil {
+	if n := ix.Node(key); n != nil {
 		return n.Heuristic
 	}
 	return nil
@@ -401,27 +382,4 @@ func ruleString(h grammar.Heuristic, key string) string {
 		return h.String()
 	}
 	return key
-}
-
-// retrain refits the classifier on the current positive set and refreshes the
-// p_s scores, honouring the lazy re-scoring optimization when enabled.
-func (e *Engine) retrain(positives map[int]bool) {
-	if err := e.clf.TrainFromPositives(positives); err != nil {
-		// Not enough signal to train (should not happen once P is non-empty);
-		// keep previous scores.
-		return
-	}
-	e.retrainCount++
-	fullRescore := !e.cfg.LazyScoring || e.retrainCount%3 == 1 || e.retrainCount <= 1
-	if fullRescore {
-		all := e.clf.ScoreAll()
-		copy(e.scores, all)
-		return
-	}
-	thr := e.cfg.LazyScoreThreshold
-	for id := 0; id < e.corp.Len(); id++ {
-		if e.scores[id] > thr || positives[id] {
-			e.scores[id] = e.clf.ScoreOne(id)
-		}
-	}
 }

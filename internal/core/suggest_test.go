@@ -14,17 +14,16 @@ func TestSuggestRules(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Seed P from the standard seed rule's coverage.
-	h, err := e.ParseRule("best way to get to")
+	seedKey, cov, err := e.MaterializeRule("best way to get to")
 	if err != nil {
 		t.Fatal(err)
 	}
-	node := e.Index().EnsureHeuristic(h, c)
 	positives := map[int]bool{}
-	for _, id := range node.Postings {
+	for _, id := range cov {
 		positives[id] = true
 	}
 
-	suggestions := e.SuggestRules(positives, map[string]bool{h.Key(): true}, 5)
+	suggestions := e.SuggestRules(positives, map[string]bool{seedKey: true}, 5)
 	if len(suggestions) == 0 {
 		t.Fatal("no suggestions")
 	}
@@ -33,7 +32,7 @@ func TestSuggestRules(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for i, s := range suggestions {
-		if s.Key == h.Key() {
+		if s.Key == seedKey {
 			t.Errorf("excluded rule %q suggested", s.Key)
 		}
 		if seen[s.Key] {
@@ -79,5 +78,68 @@ func TestSuggestRules(t *testing.T) {
 	def := e.SuggestRules(nil, nil, 0)
 	if len(def) == 0 || len(def) > 10 {
 		t.Errorf("default suggestion count = %d", len(def))
+	}
+}
+
+// TestSuggestRulesExclusion pins the exclusion semantics: excluded keys never
+// reappear, and iteratively excluding every returned key walks disjoint
+// batches down the ranking until the candidate space is exhausted.
+func TestSuggestRulesExclusion(t *testing.T) {
+	c := testCorpus(t, 0.05)
+	e, err := New(c, fastConfig("hybrid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cov, err := e.MaterializeRule("best way to get to")
+	if err != nil {
+		t.Fatal(err)
+	}
+	positives := map[int]bool{}
+	for _, id := range cov {
+		positives[id] = true
+	}
+
+	// The candidate space is bounded by the engine's NumCandidates per
+	// generation, so iterative exclusion must run dry within
+	// NumCandidates/batch rounds.
+	exclude := map[string]bool{}
+	seen := map[string]bool{}
+	rounds := 0
+	for ; rounds < 100; rounds++ {
+		batch := e.SuggestRules(positives, exclude, 25)
+		if len(batch) == 0 {
+			break
+		}
+		for _, s := range batch {
+			if exclude[s.Key] {
+				t.Fatalf("round %d suggested excluded key %q", rounds, s.Key)
+			}
+			if seen[s.Key] {
+				t.Fatalf("round %d re-suggested %q from an earlier batch", rounds, s.Key)
+			}
+			seen[s.Key] = true
+			exclude[s.Key] = true
+		}
+	}
+	if rounds < 2 {
+		t.Fatalf("expected at least 2 exclusion rounds, got %d (%d keys total)", rounds, len(seen))
+	}
+	// With every seen key excluded the engine must eventually run dry rather
+	// than loop; the empty batch above proves termination.
+	if got := e.SuggestRules(positives, exclude, 7); len(got) != 0 {
+		t.Errorf("exhausted candidate space still yielded %d suggestions", len(got))
+	}
+
+	// An exclusion set that covers nothing is a no-op relative to the
+	// baseline ranking.
+	base := e.SuggestRules(positives, nil, 5)
+	withBogus := e.SuggestRules(positives, map[string]bool{"no-such-rule": true}, 5)
+	if len(base) != len(withBogus) {
+		t.Fatalf("bogus exclusion changed result size: %d vs %d", len(base), len(withBogus))
+	}
+	for i := range base {
+		if base[i].Key != withBogus[i].Key {
+			t.Errorf("bogus exclusion changed ranking at %d: %q vs %q", i, base[i].Key, withBogus[i].Key)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -179,6 +180,39 @@ func TestJSONLFileRoundTrip(t *testing.T) {
 	}
 	if got.Len() != c.Len() {
 		t.Errorf("round trip length %d vs %d", got.Len(), c.Len())
+	}
+}
+
+func TestWriteLabeledJSONL(t *testing.T) {
+	c := buildTestCorpus()
+	positives := map[int]bool{0: true, 3: true}
+	var buf bytes.Buffer
+	if err := c.WriteLabeledJSONL(&buf, positives); err != nil {
+		t.Fatalf("WriteLabeledJSONL: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != c.Len() {
+		t.Fatalf("got %d lines, want %d", len(lines), c.Len())
+	}
+	for i, line := range lines {
+		var rec struct {
+			ID    int    `json:"id"`
+			Text  string `json:"text"`
+			Label int    `json:"label"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.ID != i || rec.Text != c.Sentences[i].Text {
+			t.Errorf("line %d: got %+v", i, rec)
+		}
+		want := 0
+		if positives[i] {
+			want = 1
+		}
+		if rec.Label != want {
+			t.Errorf("line %d: label = %d, want %d", i, rec.Label, want)
+		}
 	}
 }
 

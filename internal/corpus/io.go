@@ -51,6 +51,34 @@ func (c *Corpus) SaveJSONL(path string) error {
 	return f.Close()
 }
 
+// labeledRecord is the on-disk representation of one sentence labeled by a
+// discovery run: the sentence and whether it landed in the discovered
+// positive set P.
+type labeledRecord struct {
+	ID    int    `json:"id"`
+	Text  string `json:"text"`
+	Label int    `json:"label"`
+}
+
+// WriteLabeledJSONL writes the corpus to w as JSON lines labeled by the given
+// positive set: one {"id","text","label"} record per sentence, label 1 iff
+// the sentence ID is in positives. This is the export format of a discovery
+// session — the weakly labeled training set the accepted rules produce.
+func (c *Corpus) WriteLabeledJSONL(w io.Writer, positives map[int]bool) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range c.Sentences {
+		rec := labeledRecord{ID: s.ID, Text: s.Text}
+		if positives[s.ID] {
+			rec.Label = 1
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("write sentence %d: %w", s.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
 // ReadJSONL reads a corpus written by WriteJSONL.
 func ReadJSONL(r io.Reader) (*Corpus, error) {
 	sc := bufio.NewScanner(r)

@@ -1,0 +1,403 @@
+// Package server hosts concurrent interactive Darwin rule-discovery sessions
+// over HTTP. One read-only core.Engine is shared per loaded dataset, so the
+// expensive corpus preprocessing and index build are paid once and amortized
+// across every session; each session owns its mutable discovery state (see
+// core.Session) and is serialized by a per-session lock, while distinct
+// sessions run fully in parallel.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /healthz                      liveness + dataset/session counts
+//	POST /v1/sessions                  create a session {dataset, seed_rules, ...}
+//	GET  /v1/sessions/{id}/suggest     next candidate rule to verify
+//	POST /v1/sessions/{id}/answer      {key, accept} verdict for the pending rule
+//	GET  /v1/sessions/{id}/report      accepted rules + full query history
+//	GET  /v1/sessions/{id}/export      JSONL labeled corpus (text/plain lines)
+//	DELETE /v1/sessions/{id}           drop a session early
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Dataset is one corpus served by the server: a name and the shared engine
+// built over it. The engine (and the corpus and index behind it) must not be
+// mutated after the server starts; sessions only read it.
+type Dataset struct {
+	Name   string
+	Engine *core.Engine
+}
+
+// Config tunes the server.
+type Config struct {
+	// SessionTTL evicts sessions idle longer than this (default 30m).
+	SessionTTL time.Duration
+	// MaxSessions bounds the number of live sessions (default 1024).
+	MaxSessions int
+	// DefaultBudget is used for sessions that do not request a budget
+	// (0 keeps each engine's configured budget).
+	DefaultBudget int
+	// MaxSeedRules bounds how many seed rules one create request may carry
+	// (default 16), keeping a single request from monopolizing the index
+	// write lock.
+	MaxSeedRules int
+}
+
+// Server is the HTTP front end. It implements http.Handler.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	datasets map[string]*Dataset
+	store    *Store
+}
+
+// New creates a server over the given datasets.
+func New(cfg Config, datasets ...*Dataset) (*Server, error) {
+	if len(datasets) == 0 {
+		return nil, errors.New("server: at least one dataset is required")
+	}
+	if cfg.MaxSeedRules <= 0 {
+		cfg.MaxSeedRules = 16
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		datasets: make(map[string]*Dataset, len(datasets)),
+		store:    NewStore(cfg.SessionTTL, cfg.MaxSessions),
+	}
+	for _, d := range datasets {
+		if d == nil || d.Engine == nil || d.Name == "" {
+			return nil, errors.New("server: dataset must have a name and an engine")
+		}
+		if _, dup := s.datasets[d.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate dataset %q", d.Name)
+		}
+		s.datasets[d.Name] = d
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/suggest", s.handleSuggest)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/answer", s.handleAnswer)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store exposes the session store (for the janitor and diagnostics).
+func (s *Server) Store() *Store { return s.store }
+
+// DatasetNames returns the served dataset names, sorted.
+func (s *Server) DatasetNames() []string {
+	out := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- wire format ---
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type healthJSON struct {
+	Status   string   `json:"status"`
+	Datasets []string `json:"datasets"`
+	Sessions int      `json:"sessions"`
+}
+
+type createRequest struct {
+	Dataset         string   `json:"dataset"`
+	SeedRules       []string `json:"seed_rules,omitempty"`
+	SeedPositiveIDs []int    `json:"seed_positive_ids,omitempty"`
+	Budget          int      `json:"budget,omitempty"`
+	Seed            int64    `json:"seed,omitempty"`
+}
+
+type createResponse struct {
+	ID        string           `json:"id"`
+	Dataset   string           `json:"dataset"`
+	Budget    int              `json:"budget"`
+	Positives int              `json:"positives"`
+	SeedRules []ruleRecordJSON `json:"seed_rules,omitempty"`
+}
+
+type ruleRecordJSON struct {
+	Question       int    `json:"question"`
+	Key            string `json:"key"`
+	Rule           string `json:"rule"`
+	Coverage       int    `json:"coverage"`
+	Accepted       bool   `json:"accepted"`
+	AddedIDs       []int  `json:"added_ids,omitempty"`
+	PositivesAfter int    `json:"positives_after"`
+}
+
+type sampleJSON struct {
+	ID   int    `json:"id"`
+	Text string `json:"text"`
+}
+
+// suggestResponse carries the pending suggestion. The numeric fields must
+// not be omitempty: a zero benefit is a meaningful value the annotator (or a
+// driving program) reads.
+type suggestResponse struct {
+	Done        bool         `json:"done"`
+	Question    int          `json:"question"`
+	BudgetLeft  int          `json:"budget_left"`
+	Key         string       `json:"key,omitempty"`
+	Rule        string       `json:"rule,omitempty"`
+	Coverage    int          `json:"coverage"`
+	NewCoverage int          `json:"new_coverage"`
+	Benefit     float64      `json:"benefit"`
+	AvgBenefit  float64      `json:"avg_benefit"`
+	Samples     []sampleJSON `json:"samples,omitempty"`
+}
+
+type answerRequest struct {
+	Key    string `json:"key"`
+	Accept bool   `json:"accept"`
+}
+
+type answerResponse struct {
+	Record     ruleRecordJSON `json:"record"`
+	Done       bool           `json:"done"`
+	BudgetLeft int            `json:"budget_left"`
+	Positives  int            `json:"positives"`
+}
+
+type reportResponse struct {
+	ID        string           `json:"id"`
+	Dataset   string           `json:"dataset"`
+	Questions int              `json:"questions"`
+	Budget    int              `json:"budget"`
+	Done      bool             `json:"done"`
+	Positives int              `json:"positives"`
+	Accepted  []ruleRecordJSON `json:"accepted"`
+	History   []ruleRecordJSON `json:"history"`
+}
+
+func recordJSON(rec core.RuleRecord) ruleRecordJSON {
+	return ruleRecordJSON{
+		Question:       rec.Question,
+		Key:            rec.Key,
+		Rule:           rec.Rule,
+		Coverage:       rec.Coverage,
+		Accepted:       rec.Accepted,
+		AddedIDs:       rec.AddedIDs,
+		PositivesAfter: rec.PositivesAfter,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthJSON{
+		Status:   "ok",
+		Datasets: s.DatasetNames(),
+		Sessions: s.store.Len(),
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	d, ok := s.datasets[req.Dataset]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q (have %v)", req.Dataset, s.DatasetNames())
+		return
+	}
+	if len(req.SeedRules) > s.cfg.MaxSeedRules {
+		writeError(w, http.StatusBadRequest, "too many seed rules (%d > %d)", len(req.SeedRules), s.cfg.MaxSeedRules)
+		return
+	}
+	// Reject a full store before paying for session construction (classifier
+	// training plus the engine's index write lock); Create re-checks under
+	// its lock.
+	if !s.store.HasCapacity() {
+		writeError(w, http.StatusServiceUnavailable, "server: session limit reached")
+		return
+	}
+	budget := req.Budget
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	sess, err := d.Engine.NewSession(core.SessionOptions{
+		SeedRules:       req.SeedRules,
+		SeedPositiveIDs: req.SeedPositiveIDs,
+		Budget:          budget,
+		Seed:            req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	en, err := s.store.Create(d.Name, sess)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	rep := sess.Report()
+	resp := createResponse{
+		ID:        en.id,
+		Dataset:   d.Name,
+		Budget:    sess.Budget(),
+		Positives: len(rep.Positives),
+	}
+	for _, rec := range rep.Accepted {
+		resp.SeedRules = append(resp.SeedRules, recordJSON(rec))
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// session resolves the {id} path value to a live session entry, writing a 404
+// when it is unknown or expired.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*sessionEntry, bool) {
+	id := r.PathValue("id")
+	en, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired session %q", id)
+		return nil, false
+	}
+	return en, true
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	en, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	d := s.datasets[en.dataset]
+	en.mu.Lock()
+	sug, more := en.sess.Next()
+	questions := en.sess.Questions()
+	budget := en.sess.Budget()
+	en.mu.Unlock()
+	if !more {
+		writeJSON(w, http.StatusOK, suggestResponse{Done: true, BudgetLeft: budget - questions})
+		return
+	}
+	resp := suggestResponse{
+		Question:    questions + 1,
+		BudgetLeft:  budget - questions,
+		Key:         sug.Key,
+		Rule:        sug.Rule,
+		Coverage:    sug.Coverage,
+		NewCoverage: sug.NewCoverage,
+		Benefit:     sug.Benefit,
+		AvgBenefit:  sug.AvgBenefit,
+	}
+	for _, id := range sug.SampleIDs {
+		if sent := d.Engine.Corpus().Sentence(id); sent != nil {
+			resp.Samples = append(resp.Samples, sampleJSON{ID: id, Text: sent.Text})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	en, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	en.mu.Lock()
+	rec, err := en.sess.Answer(req.Key, req.Accept)
+	done := en.sess.Done()
+	questions := en.sess.Questions()
+	budget := en.sess.Budget()
+	en.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, answerResponse{
+		Record:     recordJSON(rec),
+		Done:       done,
+		BudgetLeft: budget - questions,
+		Positives:  rec.PositivesAfter,
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	en, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	en.mu.Lock()
+	rep := en.sess.Report()
+	done := en.sess.Done()
+	budget := en.sess.Budget()
+	en.mu.Unlock()
+	resp := reportResponse{
+		ID:        en.id,
+		Dataset:   en.dataset,
+		Questions: rep.Questions,
+		Budget:    budget,
+		Done:      done,
+		Positives: len(rep.Positives),
+		Accepted:  make([]ruleRecordJSON, 0, len(rep.Accepted)),
+		History:   make([]ruleRecordJSON, 0, len(rep.History)),
+	}
+	for _, rec := range rep.Accepted {
+		resp.Accepted = append(resp.Accepted, recordJSON(rec))
+	}
+	for _, rec := range rep.History {
+		resp.History = append(resp.History, recordJSON(rec))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	en, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	d := s.datasets[en.dataset]
+	en.mu.Lock()
+	positives := en.sess.Positives()
+	en.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := d.Engine.Corpus().WriteLabeledJSONL(w, positives); err != nil {
+		// Headers are already sent; the truncated body is all we can signal.
+		return
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.Delete(id) {
+		writeError(w, http.StatusNotFound, "unknown or expired session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// sessionEntry is one live interactive session in the store. The entry-level
+// mutex serializes HTTP handlers hitting the same session (a core.Session is
+// not goroutine-safe); distinct sessions proceed in parallel.
+type sessionEntry struct {
+	mu sync.Mutex
+
+	id      string
+	dataset string
+	sess    *core.Session
+
+	created  time.Time
+	lastUsed time.Time
+}
+
+// touch refreshes the entry's idle timer. Callers hold the store lock.
+func (en *sessionEntry) touch(now time.Time) { en.lastUsed = now }
+
+// Store is a mutex-guarded registry of live sessions with TTL eviction:
+// sessions idle longer than the TTL are dropped on the next sweep (sweeps run
+// lazily on create/get and periodically from the janitor).
+type Store struct {
+	mu    sync.Mutex
+	items map[string]*sessionEntry
+	ttl   time.Duration
+	max   int
+	now   func() time.Time
+}
+
+// Default store limits.
+const (
+	DefaultSessionTTL  = 30 * time.Minute
+	DefaultMaxSessions = 1024
+)
+
+// NewStore creates a session store. A non-positive ttl or max falls back to
+// the defaults.
+func NewStore(ttl time.Duration, max int) *Store {
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	return &Store{
+		items: make(map[string]*sessionEntry),
+		ttl:   ttl,
+		max:   max,
+		now:   time.Now,
+	}
+}
+
+// newSessionID returns a 128-bit random hex ID.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generate session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Create registers a new session and returns its entry. It fails when the
+// store is at capacity even after evicting expired sessions.
+func (st *Store) Create(dataset string, sess *core.Session) (*sessionEntry, error) {
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	st.sweepLocked(now)
+	if len(st.items) >= st.max {
+		return nil, fmt.Errorf("server: session limit reached (%d live sessions)", len(st.items))
+	}
+	en := &sessionEntry{id: id, dataset: dataset, sess: sess, created: now, lastUsed: now}
+	st.items[id] = en
+	return en, nil
+}
+
+// Get returns the live session with the given ID and refreshes its idle
+// timer. Expired sessions are treated as absent.
+func (st *Store) Get(id string) (*sessionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	en, ok := st.items[id]
+	if !ok {
+		return nil, false
+	}
+	now := st.now()
+	if now.Sub(en.lastUsed) > st.ttl {
+		delete(st.items, id)
+		return nil, false
+	}
+	en.touch(now)
+	return en, true
+}
+
+// HasCapacity reports whether the store can take another session after
+// evicting expired ones. It is a cheap pre-check: callers still race other
+// creators, and Create re-checks under the same lock.
+func (st *Store) HasCapacity() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	return len(st.items) < st.max
+}
+
+// Delete removes a session, reporting whether it existed.
+func (st *Store) Delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.items[id]
+	delete(st.items, id)
+	return ok
+}
+
+// Len returns the number of live (possibly expired, not yet swept) sessions.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.items)
+}
+
+// Sweep evicts all sessions idle longer than the TTL and returns how many
+// were removed.
+func (st *Store) Sweep() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sweepLocked(st.now())
+}
+
+func (st *Store) sweepLocked(now time.Time) int {
+	n := 0
+	for id, en := range st.items {
+		if now.Sub(en.lastUsed) > st.ttl {
+			delete(st.items, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Janitor sweeps the store every interval until stop is closed. Run it in a
+// goroutine: go store.Janitor(time.Minute, stopCh).
+func (st *Store) Janitor(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			st.Sweep()
+		case <-stop:
+			return
+		}
+	}
+}
