@@ -1,0 +1,228 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// mapOracle is the reference implementation: a plain map[int]bool set.
+type mapOracle map[int]bool
+
+func randomIDs(rng *rand.Rand, n, universe int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = rng.Intn(universe)
+	}
+	return ids
+}
+
+func oracleOf(ids []int) mapOracle {
+	m := mapOracle{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func (m mapOracle) sorted() []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestPropertyVsMapOracle drives random sets through every operation and
+// checks them against the map oracle, including universes at the word
+// boundaries 63/64/65 where off-by-one word sizing bugs live.
+func TestPropertyVsMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	universes := []int{1, 7, 63, 64, 65, 127, 128, 129, 1000}
+	for trial := 0; trial < 200; trial++ {
+		universe := universes[trial%len(universes)]
+		na, nb := rng.Intn(2*universe), rng.Intn(2*universe)
+		idsA, idsB := randomIDs(rng, na, universe), randomIDs(rng, nb, universe)
+		a, b := FromSorted(idsA), FromSorted(idsB)
+		ma, mb := oracleOf(idsA), oracleOf(idsB)
+
+		if got, want := a.Count(), len(ma); got != want {
+			t.Fatalf("universe %d: Count = %d, want %d", universe, got, want)
+		}
+		for id := -1; id <= universe+wordBits; id++ {
+			if a.Contains(id) != ma[id] {
+				t.Fatalf("universe %d: Contains(%d) = %v, oracle %v", universe, id, a.Contains(id), ma[id])
+			}
+		}
+
+		wantAnd, wantAndNot := 0, 0
+		for id := range ma {
+			if mb[id] {
+				wantAnd++
+			} else {
+				wantAndNot++
+			}
+		}
+		if got := AndCount(a, b); got != wantAnd {
+			t.Fatalf("universe %d: AndCount = %d, want %d", universe, got, wantAnd)
+		}
+		if got := AndNotCount(a, b); got != wantAndNot {
+			t.Fatalf("universe %d: AndNotCount = %d, want %d", universe, got, wantAndNot)
+		}
+		if got := And(a, b).Count(); got != wantAnd {
+			t.Fatalf("universe %d: And().Count = %d, want %d", universe, got, wantAnd)
+		}
+		if got := AndNot(a, b).Count(); got != wantAndNot {
+			t.Fatalf("universe %d: AndNot().Count = %d, want %d", universe, got, wantAndNot)
+		}
+
+		// Iteration yields exactly the oracle's ids, ascending.
+		var iterated []int
+		a.Range(func(id int) bool {
+			iterated = append(iterated, id)
+			return true
+		})
+		want := ma.sorted()
+		if len(iterated) != len(want) {
+			t.Fatalf("universe %d: Range yielded %d ids, want %d", universe, len(iterated), len(want))
+		}
+		for i := range want {
+			if iterated[i] != want[i] {
+				t.Fatalf("universe %d: Range[%d] = %d, want %d", universe, i, iterated[i], want[i])
+			}
+		}
+		appended := a.AppendTo(nil)
+		for i := range want {
+			if appended[i] != want[i] {
+				t.Fatalf("universe %d: AppendTo[%d] = %d, want %d", universe, i, appended[i], want[i])
+			}
+		}
+
+		// The weighted-difference kernel matches a sorted scan of the oracle.
+		scores := make([]float64, universe)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		var wantSum float64
+		wantCount := 0
+		for _, id := range ma.sorted() {
+			if !mb[id] {
+				wantSum += scores[id]
+				wantCount++
+			}
+		}
+		gotSum, gotCount := AndNotSum(a, b, scores)
+		if gotCount != wantCount || gotSum != wantSum {
+			t.Fatalf("universe %d: AndNotSum = (%v, %d), want (%v, %d)", universe, gotSum, gotCount, wantSum, wantCount)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	var nilSet Set
+	if nilSet.Count() != 0 || nilSet.Contains(0) || nilSet.Clone() != nil {
+		t.Error("nil set should behave as empty")
+	}
+	if New(0) != nil || New(-5) != nil {
+		t.Error("New with non-positive capacity should be nil")
+	}
+	if FromSorted(nil) != nil {
+		t.Error("FromSorted(nil) should be nil")
+	}
+	if got := AndCount(nilSet, FromSorted([]int{1, 2})); got != 0 {
+		t.Errorf("AndCount with nil = %d", got)
+	}
+	if got := AndNotCount(FromSorted([]int{1, 2}), nilSet); got != 2 {
+		t.Errorf("AndNotCount vs nil = %d", got)
+	}
+	sum, count := AndNotSum(FromSorted([]int{100}), nilSet, make([]float64, 10))
+	if sum != 0 || count != 1 {
+		t.Errorf("AndNotSum beyond scores = (%v, %d), want (0, 1)", sum, count)
+	}
+
+	s := New(65)
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	if s.Count() != 3 || !s.Contains(64) || s.Contains(65) {
+		t.Errorf("word-boundary adds broken: %v", s)
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("Clear left bits set")
+	}
+
+	// Range stops early when fn returns false.
+	s.Add(1)
+	s.Add(2)
+	seen := 0
+	s.Range(func(int) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Errorf("Range did not stop early: %d calls", seen)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := FromSorted([]int{1, 2, 3})
+	b := a.Clone()
+	b.Add(10 % (len(b) * 64)) // mutate the clone only
+	a2 := FromSorted([]int{1, 2, 3})
+	for i := range a {
+		if a[i] != a2[i] {
+			t.Fatal("mutating a clone changed the original")
+		}
+	}
+}
+
+// --- micro-benchmarks of the kernel ---
+
+func benchSets(n int) (Set, Set, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(n), New(n)
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = rng.Float64()
+		if rng.Intn(10) == 0 {
+			a.Add(i)
+		}
+		if rng.Intn(20) == 0 {
+			b.Add(i)
+		}
+	}
+	return a, b, scores
+}
+
+func BenchmarkAndCount10K(b *testing.B) {
+	x, y, _ := benchSets(10000)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += AndCount(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkAndNotCount10K(b *testing.B) {
+	x, y, _ := benchSets(10000)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += AndNotCount(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkAndNotSum10K(b *testing.B) {
+	x, y, scores := benchSets(10000)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		s, _ := AndNotSum(x, y, scores)
+		sink += s
+	}
+	_ = sink
+}

@@ -43,6 +43,10 @@ func NewFeaturizer(emb *embedding.Model, hashDim int) *Featurizer {
 // Dim returns the dimensionality of the produced feature vectors.
 func (f *Featurizer) Dim() int { return f.embDim + f.hashDim }
 
+// EmbDim returns the dimensionality of the embedding block (0 without an
+// embedding model).
+func (f *Featurizer) EmbDim() int { return f.embDim }
+
 // Features returns the feature vector of a tokenized sentence.
 func (f *Featurizer) Features(tokens []string) []float64 {
 	out := make([]float64, f.Dim())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/corpus"
 	"repro/internal/embedding"
@@ -36,7 +37,43 @@ type SentenceClassifier struct {
 	model  Model
 	scores []float64
 	scored bool
+
+	// cache holds each sentence's feature vector in sparse form. By default
+	// it is private to this classifier; classifiers over one shared corpus
+	// and embedding model should share a single cache via ShareFeatureCache
+	// so concurrent sessions do not each featurize the whole corpus.
+	cache   *FeatureCache
+	scratch []float64
 }
+
+// sparseFeatures is one cached feature vector: the dense embedding prefix
+// plus (index, value) pairs for the nonzero hashed entries.
+type sparseFeatures struct {
+	emb []float64
+	idx []int32
+	val []float64
+}
+
+// FeatureCache caches per-sentence sparse feature vectors. Entries are
+// immutable once published and slots are atomic pointers, so any number of
+// classifiers may read and fill the cache concurrently (a racing fill
+// recomputes the identical deterministic entry — last store wins, both are
+// equal). The cache depends only on the corpus tokens, the embedding model
+// and the hash dimension, all immutable after engine construction.
+type FeatureCache struct {
+	slots []atomic.Pointer[sparseFeatures]
+}
+
+// NewFeatureCache creates a cache for a corpus of n sentences.
+func NewFeatureCache(n int) *FeatureCache {
+	return &FeatureCache{slots: make([]atomic.Pointer[sparseFeatures], n)}
+}
+
+// get returns the cached entry for a sentence, or nil.
+func (fc *FeatureCache) get(id int) *sparseFeatures { return fc.slots[id].Load() }
+
+// put publishes an entry for a sentence.
+func (fc *FeatureCache) put(id int, sf *sparseFeatures) { fc.slots[id].Store(sf) }
 
 // NewSentenceClassifier creates a classifier over the given corpus. emb may
 // be nil to disable embedding features. The corpus must be preprocessed
@@ -65,6 +102,54 @@ func (sc *SentenceClassifier) newModel() Model {
 	}
 }
 
+// ShareFeatureCache replaces the classifier's private feature cache with a
+// shared one (created by NewFeatureCache for the same corpus). Call before
+// the first training round.
+func (sc *SentenceClassifier) ShareFeatureCache(fc *FeatureCache) {
+	if fc != nil && len(fc.slots) == sc.corp.Len() {
+		sc.cache = fc
+	}
+}
+
+// featuresInto fills dst (sized Dim) with sentence id's feature vector,
+// populating the sparse cache on first use, and returns dst.
+func (sc *SentenceClassifier) featuresInto(id int, dst []float64) []float64 {
+	if sc.cache == nil {
+		sc.cache = NewFeatureCache(sc.corp.Len())
+	}
+	fc := sc.cache.get(id)
+	if fc == nil {
+		full := sc.feat.Features(sc.corp.Sentence(id).Tokens)
+		fc = &sparseFeatures{}
+		embDim := sc.feat.EmbDim()
+		if embDim > 0 {
+			fc.emb = append([]float64(nil), full[:embDim]...)
+		}
+		for i := embDim; i < len(full); i++ {
+			if full[i] != 0 {
+				fc.idx = append(fc.idx, int32(i))
+				fc.val = append(fc.val, full[i])
+			}
+		}
+		sc.cache.put(id, fc)
+	}
+	clear(dst)
+	copy(dst, fc.emb)
+	for i, ix := range fc.idx {
+		dst[ix] = fc.val[i]
+	}
+	return dst
+}
+
+// features returns sentence id's feature vector in the classifier's scratch
+// buffer; the result is only valid until the next features/featuresInto call.
+func (sc *SentenceClassifier) features(id int) []float64 {
+	if sc.scratch == nil {
+		sc.scratch = make([]float64, sc.feat.Dim())
+	}
+	return sc.featuresInto(id, sc.scratch)
+}
+
 // TrainFromPositives retrains the classifier using the given positive
 // sentence IDs and randomly sampled negatives (skipping known positives).
 // It invalidates the cached scores.
@@ -76,7 +161,7 @@ func (sc *SentenceClassifier) TrainFromPositives(positiveIDs map[int]bool) error
 	var y []int
 	for id := 0; id < sc.corp.Len(); id++ {
 		if positiveIDs[id] {
-			X = append(X, sc.feat.Features(sc.corp.Sentence(id).Tokens))
+			X = append(X, sc.featuresInto(id, make([]float64, sc.feat.Dim())))
 			y = append(y, 1)
 		}
 	}
@@ -96,7 +181,7 @@ func (sc *SentenceClassifier) TrainFromPositives(positiveIDs map[int]bool) error
 			continue
 		}
 		negSeen[id] = true
-		X = append(X, sc.feat.Features(sc.corp.Sentence(id).Tokens))
+		X = append(X, sc.featuresInto(id, make([]float64, sc.feat.Dim())))
 		y = append(y, 0)
 	}
 	model := sc.newModel()
@@ -143,7 +228,7 @@ func (sc *SentenceClassifier) ensureScores() {
 			sc.scores[id] = 0.5
 			continue
 		}
-		sc.scores[id] = sc.model.Proba(sc.feat.Features(sc.corp.Sentence(id).Tokens))
+		sc.scores[id] = sc.model.Proba(sc.features(id))
 	}
 	sc.scored = true
 }
@@ -156,7 +241,7 @@ func (sc *SentenceClassifier) ScoreOne(id int) float64 {
 	if sc.model == nil || id < 0 || id >= sc.corp.Len() {
 		return 0.5
 	}
-	return sc.model.Proba(sc.feat.Features(sc.corp.Sentence(id).Tokens))
+	return sc.model.Proba(sc.features(id))
 }
 
 // PredictPositive returns the IDs of all sentences with p_s >= threshold.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/classifier"
 	"repro/internal/corpus"
 	"repro/internal/embedding"
@@ -103,6 +104,10 @@ type Engine struct {
 	emb  *embedding.Model
 	clf  *classifier.SentenceClassifier
 	rng  *rand.Rand
+	// featCache is the corpus-wide sparse feature cache shared by every
+	// session's classifier (features depend only on the immutable corpus and
+	// embedding model, and the cache is safe for concurrent use).
+	featCache *classifier.FeatureCache
 
 	// ixMu guards the index against the one post-build mutation
 	// (EnsureHeuristic for seed rules) racing hierarchy generation and
@@ -146,7 +151,9 @@ func New(c *corpus.Corpus, cfg Config) (*Engine, error) {
 	if clfCfg.Seed == 0 {
 		clfCfg.Seed = cfg.Seed
 	}
+	featCache := classifier.NewFeatureCache(c.Len())
 	clf := classifier.NewSentenceClassifier(c, emb, clfCfg, cfg.ClassifierKind)
+	clf.ShareFeatureCache(featCache)
 
 	e := &Engine{
 		cfg:        cfg,
@@ -156,6 +163,7 @@ func New(c *corpus.Corpus, cfg Config) (*Engine, error) {
 		emb:        emb,
 		clf:        clf,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		featCache:  featCache,
 		indexBuild: indexBuild,
 	}
 	e.scores = make([]float64, c.Len())
@@ -297,8 +305,9 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 	if exclude == nil {
 		exclude = map[string]bool{}
 	}
+	posBits := bitset.FromMap(positives)
 	e.ixMu.RLock()
-	h := hierarchy.Generate(e.ix, positives, e.cfg.hierarchyConfig())
+	h := hierarchy.GenerateBits(e.ix, posBits, e.cfg.hierarchyConfig())
 	e.ixMu.RUnlock()
 	var out []Suggestion
 	for _, key := range h.NonRootKeys() {
@@ -306,16 +315,22 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 			continue
 		}
 		n := h.Node(key)
-		newCov := 0
-		for _, id := range n.Coverage {
-			if !positives[id] {
-				newCov++
+		var benefit float64
+		var newCov int
+		if n.Bits != nil {
+			benefit, newCov = bitset.AndNotSum(n.Bits, posBits, e.scores)
+		} else {
+			benefit = traversal.Benefit(n.Coverage, positives, e.scores)
+			for _, id := range n.Coverage {
+				if !positives[id] {
+					newCov++
+				}
 			}
 		}
 		if newCov == 0 {
 			continue
 		}
-		benefit := traversal.Benefit(n.Coverage, positives, e.scores)
+		avgBenefit := benefit / float64(newCov)
 		e.rngMu.Lock()
 		samples := oracle.SampleCoverage(n.Coverage, e.cfg.OracleSampleSize, e.rng)
 		e.rngMu.Unlock()
@@ -325,7 +340,7 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 			Coverage:    len(n.Coverage),
 			NewCoverage: newCov,
 			Benefit:     benefit,
-			AvgBenefit:  traversal.AvgBenefit(n.Coverage, positives, e.scores),
+			AvgBenefit:  avgBenefit,
 			SampleIDs:   samples,
 		})
 	}

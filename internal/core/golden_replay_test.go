@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// goldenStep is one oracle interaction of the pinned pre-change session.
+type goldenStep struct {
+	key      string
+	accept   bool
+	coverage int
+	benefit  string // Benefit formatted to 6 decimals (bit-identical floats)
+}
+
+// goldenTranscript was recorded from the map-based engine BEFORE the bitset
+// kernel and incremental hierarchy reuse landed (directions corpus at scale
+// 0.05, datagen seed 7, fastConfig("hybrid"), session seed 42, budget 12,
+// seed rule "best way to get to", ground-truth oracle). The bitset engine
+// must reproduce it byte for byte: same suggestion sequence, same coverage
+// counts, same benefit floats, same final positive set.
+var goldenTranscript = []goldenStep{
+	{"tokensregex:way to get to", true, 6, "1.356743"},
+	{"tokensregex:best way to get", true, 5, "1.735721"},
+	{"tokensregex:best way to", false, 67, "26.558675"},
+	{"tokensregex:the best way to", false, 67, "26.558675"},
+	{"tokensregex:best way to order", false, 25, "15.162241"},
+	{"tokensregex:best way to check", false, 37, "11.396434"},
+	{"tokensregex:to get to", true, 6, "0.000000"},
+	{"tokensregex:get to", true, 6, "0.000000"},
+	{"tokensregex:get", false, 51, "5.147334"},
+	{"tokensregex:i get", false, 42, "5.147334"},
+	{"tokensregex:can i get", false, 41, "4.689860"},
+	{"tokensregex:can i get a", false, 41, "4.689860"},
+}
+
+var goldenPositives = []int{7, 75, 210, 211, 246, 262, 462, 499, 587}
+
+// TestSessionMatchesGoldenReplay pins bitset/map equivalence end to end: the
+// session replays the recorded answers and must propose exactly the recorded
+// rules with exactly the recorded statistics.
+func TestSessionMatchesGoldenReplay(t *testing.T) {
+	c := testCorpus(t, 0.05)
+	e, err := New(c, fastConfig("hybrid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession(SessionOptions{SeedRules: []string{"best way to get to"}, Budget: 12, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range goldenTranscript {
+		sug, ok := s.Next()
+		if !ok {
+			t.Fatalf("step %d: session ended early (want %q)", i, want.key)
+		}
+		if sug.Key != want.key {
+			t.Fatalf("step %d: proposed %q, golden transcript has %q", i, sug.Key, want.key)
+		}
+		if sug.Coverage != want.coverage {
+			t.Errorf("step %d (%s): coverage %d, want %d", i, sug.Key, sug.Coverage, want.coverage)
+		}
+		if got := fmt.Sprintf("%.6f", sug.Benefit); got != want.benefit {
+			t.Errorf("step %d (%s): benefit %s, want %s", i, sug.Key, got, want.benefit)
+		}
+		if _, err := s.Answer(sug.Key, want.accept); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("session continued past the golden budget")
+	}
+	if got := s.Report().PositiveIDs(); !reflect.DeepEqual(got, goldenPositives) {
+		t.Errorf("final positives %v, golden %v", got, goldenPositives)
+	}
+}
+
+// TestHierarchyReuseAcrossRejects pins the incremental-reuse contract: the
+// candidate hierarchy is regenerated only when the positive set changes (an
+// accepted answer) or the shared index grows — never for rejects or repeated
+// Next calls. A reject-heavy session (the acceptance scenario: ~20 rejects,
+// 1 accept) must invoke hierarchy generation exactly once per positive-set
+// change.
+func TestHierarchyReuseAcrossRejects(t *testing.T) {
+	c := testCorpus(t, 0.06)
+	e, err := New(c, fastConfig("hybrid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession(SessionOptions{SeedRules: []string{"best way to get to"}, Budget: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HierarchyGenerations() != 0 {
+		t.Fatalf("hierarchy generated before first Next: %d", s.HierarchyGenerations())
+	}
+
+	// One accept (the first suggestion that actually adds coverage), then
+	// rejects only.
+	accepts, rejects := 0, 0
+	for rejects < 20 {
+		sug, ok := s.Next()
+		if !ok {
+			break
+		}
+		// Repeated Next must serve the pending suggestion without touching
+		// the hierarchy.
+		gens := s.HierarchyGenerations()
+		if again, _ := s.Next(); again.Key != sug.Key || s.HierarchyGenerations() != gens {
+			t.Fatal("repeated Next regenerated the hierarchy or changed the suggestion")
+		}
+		accept := accepts == 0 && sug.NewCoverage > 0
+		if _, err := s.Answer(sug.Key, accept); err != nil {
+			t.Fatal(err)
+		}
+		if accept {
+			accepts++
+		} else {
+			rejects++
+		}
+	}
+	if accepts != 1 || rejects < 20 {
+		t.Fatalf("scenario not reached: %d accepts, %d rejects", accepts, rejects)
+	}
+	// Generations: one for the first Next, one after the accepted answer
+	// changed P. Rejects must not regenerate.
+	if got := s.HierarchyGenerations(); got != 1+accepts {
+		t.Errorf("hierarchy generated %d times over %d questions; want %d (one initial + one per accept)",
+			got, accepts+rejects, 1+accepts)
+	}
+
+	// Growing the shared index (another session materializing a rule beyond
+	// the sketch depth, so it is genuinely new) invalidates the cached
+	// hierarchy on the next step.
+	gens := s.HierarchyGenerations()
+	ixVer := e.Index().Version()
+	if _, _, err := e.MaterializeRule("what is the best way"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Index().Version() == ixVer {
+		t.Fatal("sanity: materialization did not grow the index")
+	}
+	if sug, ok := s.Next(); ok {
+		if _, err := s.Answer(sug.Key, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.HierarchyGenerations(); got != gens+1 {
+		t.Errorf("index growth did not invalidate the cached hierarchy: %d -> %d generations", gens, got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/classifier"
 	"repro/internal/grammar"
 	"repro/internal/hierarchy"
@@ -63,9 +64,28 @@ type Session struct {
 	seeded       bool
 
 	positives map[int]bool
-	report    *Report
-	budget    int
-	start     time.Time
+	// posBits mirrors positives as a dense bitset sized to the corpus; it is
+	// the set the scoring kernels run against.
+	posBits bitset.Set
+	report  *Report
+	budget  int
+	start   time.Time
+
+	// hier is the cached candidate hierarchy. It depends only on the shared
+	// index and the positive set, so it stays valid across rejected answers
+	// and repeated Next calls; hierPos and hierIxVer record |P| and the
+	// index version it was generated against, and hierGens counts
+	// regenerations (exposed for tests and benchmarks).
+	hier      *hierarchy.Hierarchy
+	hierPos   int
+	hierIxVer uint64
+	hierGens  int
+
+	// Step-latency tracking for the serving layer: duration of each Next
+	// that did real work (not a pending replay).
+	lastStep  time.Duration
+	stepTotal time.Duration
+	stepCount int
 
 	pending *pendingSuggestion
 	done    bool
@@ -105,10 +125,12 @@ func (e *Engine) NewSession(opts SessionOptions) (*Session, error) {
 		clfCfg.Seed = seed
 	}
 	count := 0
+	clf := classifier.NewSentenceClassifier(e.corp, e.emb, clfCfg, e.cfg.ClassifierKind)
+	clf.ShareFeatureCache(e.featCache)
 	s := &Session{
 		e:            e,
 		rng:          rand.New(rand.NewSource(seed)),
-		clf:          classifier.NewSentenceClassifier(e.corp, e.emb, clfCfg, e.cfg.ClassifierKind),
+		clf:          clf,
 		scores:       make([]float64, e.corp.Len()),
 		retrainCount: &count,
 		travOverride: opts.Traversal,
@@ -146,6 +168,7 @@ func (s *Session) init(opts SessionOptions) error {
 	}
 	s.report = &Report{Positives: make(map[int]bool)}
 	s.positives = s.report.Positives
+	s.posBits = bitset.New(e.corp.Len())
 	s.queried = make(map[string]bool)
 
 	// Parse the seed rules before touching shared state so a bad spec leaves
@@ -166,7 +189,7 @@ func (s *Session) init(opts SessionOptions) error {
 		e.ixMu.Lock()
 		for _, h := range heuristics {
 			node := e.ix.EnsureHeuristic(h, e.corp)
-			added := addCoverage(s.positives, node.Postings)
+			added := s.addPositives(node.Postings)
 			s.seedKeys = append(s.seedKeys, h.Key())
 			s.report.Accepted = append(s.report.Accepted, RuleRecord{
 				Question:       0,
@@ -185,6 +208,7 @@ func (s *Session) init(opts SessionOptions) error {
 	for _, id := range opts.SeedPositiveIDs {
 		if sent := e.corp.Sentence(id); sent != nil {
 			s.positives[id] = true
+			s.posBits.Add(id)
 		}
 	}
 	if len(s.positives) == 0 {
@@ -209,6 +233,12 @@ func (s *Session) init(opts SessionOptions) error {
 // before Answer returns the same pending suggestion. The heavy work — regrow
 // the candidate hierarchy around the current positive set and traverse it — is
 // done under the engine's read lock, so concurrent sessions step in parallel.
+//
+// The hierarchy depends only on the shared index and the positive set, and
+// the positive set changes only on an accepted answer, so Next after a
+// reject reuses the previous hierarchy and merely re-traverses it with the
+// current scores; the hierarchy is regenerated only when |P| or the index
+// version changed.
 func (s *Session) Next() (Suggestion, bool) {
 	if s.pending != nil {
 		return s.pending.sug, true
@@ -216,16 +246,31 @@ func (s *Session) Next() (Suggestion, bool) {
 	if s.done || s.report.Questions >= s.budget {
 		return Suggestion{}, false
 	}
+	stepStart := time.Now()
+	defer func() {
+		d := time.Since(stepStart)
+		s.lastStep = d
+		s.stepTotal += d
+		s.stepCount++
+	}()
 	e := s.e
 	e.ixMu.RLock()
 	defer e.ixMu.RUnlock()
 
-	// Line 6: (re)generate the candidate hierarchy.
-	h := hierarchy.Generate(e.ix, s.positives, e.cfg.hierarchyConfig())
+	// Line 6: (re)generate the candidate hierarchy, unless the cached one is
+	// still valid.
+	if ixVer := e.ix.Version(); s.hier == nil || s.hierPos != len(s.positives) || s.hierIxVer != ixVer {
+		s.hier = hierarchy.GenerateBits(e.ix, s.posBits, e.cfg.hierarchyConfig())
+		s.hierPos = len(s.positives)
+		s.hierIxVer = ixVer
+		s.hierGens++
+	}
+	h := s.hier
 	st := &traversal.State{
 		Hierarchy: h,
 		Index:     e.ix,
 		Positives: s.positives,
+		PosBits:   s.posBits,
 		Scores:    s.scores,
 		Queried:   s.queried,
 	}
@@ -248,11 +293,10 @@ func (s *Session) Next() (Suggestion, bool) {
 	cov := coverageOf(e.ix, h, key)
 	heur := heuristicOf(e.ix, h, key)
 
-	newCov := 0
-	for _, id := range cov {
-		if !s.positives[id] {
-			newCov++
-		}
+	benefit, newCov := st.BenefitNewOf(key)
+	avgBenefit := 0.0
+	if newCov > 0 {
+		avgBenefit = benefit / float64(newCov)
 	}
 	s.pending = &pendingSuggestion{
 		sug: Suggestion{
@@ -260,8 +304,8 @@ func (s *Session) Next() (Suggestion, bool) {
 			Rule:        ruleString(heur, key),
 			Coverage:    len(cov),
 			NewCoverage: newCov,
-			Benefit:     traversal.Benefit(cov, s.positives, s.scores),
-			AvgBenefit:  traversal.AvgBenefit(cov, s.positives, s.scores),
+			Benefit:     benefit,
+			AvgBenefit:  avgBenefit,
 			SampleIDs:   oracle.SampleCoverage(cov, e.cfg.OracleSampleSize, s.rng),
 		},
 		heur: heur,
@@ -296,7 +340,7 @@ func (s *Session) Answer(key string, accept bool) (RuleRecord, error) {
 	if accept {
 		// Lines 9-12: extend P, retrain, rescore.
 		rec.CoverageIDs = append([]int(nil), pending.cov...)
-		rec.AddedIDs = addCoverage(s.positives, pending.cov)
+		rec.AddedIDs = s.addPositives(pending.cov)
 		s.report.Accepted = append(s.report.Accepted, rec)
 		s.retrain()
 	}
@@ -309,6 +353,30 @@ func (s *Session) Answer(key string, accept bool) (RuleRecord, error) {
 	s.trav.Feedback(pending.st, key, accept)
 	s.e.ixMu.RUnlock()
 	return rec, nil
+}
+
+// addPositives inserts the coverage IDs into both representations of P (the
+// report map and the kernel bitset) and returns the newly added ids.
+func (s *Session) addPositives(cov []int) []int {
+	added := addCoverage(s.positives, cov)
+	for _, id := range added {
+		s.posBits.Add(id)
+	}
+	return added
+}
+
+// HierarchyGenerations returns how many times the session regenerated its
+// candidate hierarchy. With incremental reuse this equals one per
+// positive-set change (plus one per shared-index growth), not one per Next.
+func (s *Session) HierarchyGenerations() int { return s.hierGens }
+
+// StepLatency returns the duration of the last Next that did real work and
+// the average across all of them (zero before the first step).
+func (s *Session) StepLatency() (last, avg time.Duration) {
+	if s.stepCount > 0 {
+		avg = s.stepTotal / time.Duration(s.stepCount)
+	}
+	return s.lastStep, avg
 }
 
 // Done reports whether the session is over: the budget is spent or the

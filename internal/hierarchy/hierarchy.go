@@ -4,12 +4,20 @@
 // positives) and the hierarchical arrangement of the candidates with
 // subset/superset edges plus the cleanup pass that drops heuristics adding no
 // new positives.
+//
+// Candidate scoring runs on the dense bitset coverage kernel (word-wise
+// intersection + popcount against the positive set) and fans large scoring
+// batches across a bounded worker pool; the map-based Generate entry point
+// is a thin wrapper that converts the positive set once.
 package hierarchy
 
 import (
 	"container/heap"
+	"runtime"
 	"sort"
+	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/grammar"
 	"repro/internal/index"
 )
@@ -22,6 +30,10 @@ type Node struct {
 	Heuristic grammar.Heuristic
 	// Coverage is the sorted sentence-ID list covered by the rule.
 	Coverage []int
+	// Bits is the dense bitset mirror of Coverage (shared with the index
+	// node when the hierarchy was generated from an index; nil for nodes
+	// added by hand). Read-only.
+	Bits bitset.Set
 	// Parents and Children are hierarchy edges (superset / subset).
 	Parents  []string
 	Children []string
@@ -32,6 +44,9 @@ type Node struct {
 type Hierarchy struct {
 	nodes map[string]*Node
 	order []string // insertion order of keys, root first
+	// nonRoot is order minus the root, maintained on Add so NonRootKeys is
+	// allocation-free on the per-step hot path.
+	nonRoot []string
 }
 
 // Root returns the hierarchy's root node (the universal heuristic '*').
@@ -50,15 +65,11 @@ func (h *Hierarchy) Keys() []string {
 	return out
 }
 
-// NonRootKeys returns all keys except the root.
+// NonRootKeys returns all keys except the root, in insertion order. The
+// returned slice is owned by the hierarchy and must not be modified; it is
+// read on every traversal step.
 func (h *Hierarchy) NonRootKeys() []string {
-	var out []string
-	for _, k := range h.order {
-		if k != grammar.RootKey {
-			out = append(out, k)
-		}
-	}
-	return out
+	return h.nonRoot
 }
 
 // Contains reports whether the hierarchy holds the key.
@@ -71,6 +82,11 @@ func (h *Hierarchy) Contains(key string) bool {
 // returns it. Edges are not recomputed automatically; call LinkEdges after a
 // batch of additions.
 func (h *Hierarchy) Add(heur grammar.Heuristic, coverage []int) *Node {
+	n := h.add(heur, coverage)
+	return n
+}
+
+func (h *Hierarchy) add(heur grammar.Heuristic, coverage []int) *Node {
 	key := heur.Key()
 	if n, ok := h.nodes[key]; ok {
 		return n
@@ -78,6 +94,9 @@ func (h *Hierarchy) Add(heur grammar.Heuristic, coverage []int) *Node {
 	n := &Node{Key: key, Heuristic: heur, Coverage: coverage}
 	h.nodes[key] = n
 	h.order = append(h.order, key)
+	if key != grammar.RootKey {
+		h.nonRoot = append(h.nonRoot, key)
+	}
 	return n
 }
 
@@ -94,6 +113,9 @@ type Config struct {
 	// Cleanup removes candidates that add no new positives relative to the
 	// already-discovered set P (§3.2 cleanup pass).
 	Cleanup bool
+	// Workers bounds the candidate-scoring worker pool (0 = GOMAXPROCS,
+	// capped at 8; 1 = fully serial).
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's settings.
@@ -132,24 +154,79 @@ func (h *candHeap) Pop() any {
 	return x
 }
 
-// GenerateCandidates implements Algorithm 2: a greedy best-first expansion of
-// the index starting from the root, repeatedly materializing the children of
-// the best candidate so far (by coverage over the discovered positives P,
-// with total coverage as tie-break) until k candidates are selected. The
-// candidate list of the paper's pseudocode is kept as a max-heap, making each
-// iteration logarithmic rather than a full re-sort.
+// scoreParallelThreshold is the batch size above which candidate scoring
+// fans out across the worker pool. Below it the fixed goroutine cost
+// outweighs the word-wise kernel, which scores a candidate in well under a
+// microsecond.
+const scoreParallelThreshold = 2048
+
+// resolveWorkers returns the effective worker-pool size.
+func resolveWorkers(cfg Config) int {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	return w
+}
+
+// scoreBatch scores a batch of eligible keys against the positive set,
+// writing results in batch order (deterministic regardless of parallelism).
+func scoreBatch(ix *index.Index, keys []string, pos bitset.Set, workers int, out []cand) {
+	score := func(i int) {
+		key := keys[i]
+		out[i] = cand{key: key, overlap: ix.OverlapBits(key, pos), total: ix.Count(key)}
+	}
+	if workers <= 1 || len(keys) < scoreParallelThreshold {
+		for i := range keys {
+			score(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	per := (len(keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= len(keys) {
+			break
+		}
+		hi := lo + per
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				score(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// GenerateCandidates implements Algorithm 2 over a map positive set; it is a
+// thin wrapper around GenerateCandidatesBits (the set is converted once).
 func GenerateCandidates(ix *index.Index, positives map[int]bool, cfg Config) []string {
+	return GenerateCandidatesBits(ix, bitset.FromMap(positives), cfg)
+}
+
+// GenerateCandidatesBits implements Algorithm 2: a greedy best-first
+// expansion of the index starting from the root, repeatedly materializing
+// the children of the best candidate so far (by coverage over the discovered
+// positives P, with total coverage as tie-break) until k candidates are
+// selected. The candidate list of the paper's pseudocode is kept as a
+// max-heap, making each iteration logarithmic rather than a full re-sort;
+// overlap scoring runs on the bitset kernel, fanning large batches (e.g. the
+// root's children on the first expansion) across the worker pool.
+func GenerateCandidatesBits(ix *index.Index, positives bitset.Set, cfg Config) []string {
 	k := cfg.NumCandidates
 	if k <= 0 {
 		k = 10000
 	}
-	score := func(key string) cand {
-		return cand{
-			key:     key,
-			overlap: ix.CoverageOverlap(key, positives),
-			total:   ix.Count(key),
-		}
-	}
+	workers := resolveWorkers(cfg)
 
 	selected := make([]string, 0, k)
 	inSelected := map[string]bool{grammar.RootKey: true}
@@ -174,13 +251,26 @@ func GenerateCandidates(ix *index.Index, positives map[int]bool, cfg Config) []s
 		return true
 	}
 
+	var batch []string
+	var scored []cand
 	recent := grammar.RootKey
 	for len(selected) < k {
 		// Add children of the most recently selected heuristic (line 3).
+		batch = batch[:0]
 		for _, ck := range ix.Children(recent) {
 			if eligible(ck) {
 				inCandidates[ck] = true
-				heap.Push(candidates, score(ck))
+				batch = append(batch, ck)
+			}
+		}
+		if len(batch) > 0 {
+			if cap(scored) < len(batch) {
+				scored = make([]cand, len(batch))
+			}
+			scored = scored[:len(batch)]
+			scoreBatch(ix, batch, positives, workers, scored)
+			for _, c := range scored {
+				heap.Push(candidates, c)
 			}
 		}
 		if candidates.Len() == 0 {
@@ -199,20 +289,28 @@ func GenerateCandidates(ix *index.Index, positives map[int]bool, cfg Config) []s
 // Build arranges the candidate keys into a hierarchy following the index's
 // parent/child relationships (§3.2 "Hierarchical Arrangement and edge
 // discovery"). If cfg.Cleanup is set, candidates that add no new positives
-// beyond P are dropped first.
+// beyond P are dropped first (bitset and-not count per candidate).
 func Build(ix *index.Index, candidateKeys []string, positives map[int]bool, cfg Config) *Hierarchy {
-	h := &Hierarchy{nodes: make(map[string]*Node)}
-	h.Add(grammar.Root(), ix.Root().Postings)
+	return BuildBits(ix, candidateKeys, bitset.FromMap(positives), cfg)
+}
 
+// BuildBits is Build over a bitset positive set.
+func BuildBits(ix *index.Index, candidateKeys []string, positives bitset.Set, cfg Config) *Hierarchy {
+	h := &Hierarchy{nodes: make(map[string]*Node, len(candidateKeys)+1)}
+	root := h.add(grammar.Root(), ix.Root().Postings)
+	root.Bits = ix.Root().Bits()
+
+	cleanup := cfg.Cleanup && positives.Count() > 0
 	for _, key := range candidateKeys {
 		n := ix.Node(key)
 		if n == nil {
 			continue
 		}
-		if cfg.Cleanup && len(positives) > 0 && ix.NewCoverage(key, positives) == 0 {
+		if cleanup && ix.NewCoverageBits(key, positives) == 0 {
 			continue
 		}
-		h.Add(n.Heuristic, n.Postings)
+		hn := h.add(n.Heuristic, n.Postings)
+		hn.Bits = n.Bits()
 	}
 	h.LinkEdges(ix)
 	return h
@@ -246,11 +344,25 @@ func (h *Hierarchy) LinkEdges(ix *index.Index) {
 
 // nearestAncestors walks up the index's parent edges from key and returns the
 // nearest ancestors that are materialized in the hierarchy (the root if none
-// are found).
+// are found). The common case — a direct index parent is materialized — is
+// handled without allocating the BFS bookkeeping maps.
 func (h *Hierarchy) nearestAncestors(key string, ix *index.Index) []string {
+	parents := ix.Parents(key)
+	var out []string
+	prev := ""
+	for _, pk := range parents { // sorted; dedup adjacent
+		if pk == key || pk == prev || !h.Contains(pk) {
+			continue
+		}
+		out = append(out, pk)
+		prev = pk
+	}
+	if len(out) > 0 {
+		return out
+	}
 	found := map[string]bool{}
 	visited := map[string]bool{key: true}
-	frontier := ix.Parents(key)
+	frontier := parents
 	for len(frontier) > 0 && len(found) == 0 {
 		var next []string
 		for _, pk := range frontier {
@@ -269,7 +381,7 @@ func (h *Hierarchy) nearestAncestors(key string, ix *index.Index) []string {
 	if len(found) == 0 {
 		return []string{grammar.RootKey}
 	}
-	out := make([]string, 0, len(found))
+	out = out[:0]
 	for k := range found {
 		out = append(out, k)
 	}
@@ -278,8 +390,15 @@ func (h *Hierarchy) nearestAncestors(key string, ix *index.Index) []string {
 }
 
 // Generate runs candidate generation and arrangement in one call (the
-// "heuristic-hierarchy generation" box of Figure 4).
+// "heuristic-hierarchy generation" box of Figure 4) over a map positive set.
 func Generate(ix *index.Index, positives map[int]bool, cfg Config) *Hierarchy {
-	keys := GenerateCandidates(ix, positives, cfg)
-	return Build(ix, keys, positives, cfg)
+	return GenerateBits(ix, bitset.FromMap(positives), cfg)
+}
+
+// GenerateBits is Generate over a bitset positive set — the interactive hot
+// path entry point (sessions maintain their positive set as a bitset and
+// pass it here without conversion).
+func GenerateBits(ix *index.Index, positives bitset.Set, cfg Config) *Hierarchy {
+	keys := GenerateCandidatesBits(ix, positives, cfg)
+	return BuildBits(ix, keys, positives, cfg)
 }

@@ -9,6 +9,17 @@
 // number of sentences (for bounded-depth sketches), supports sharded parallel
 // construction via Merge, and has O(1) amortized update time for adding one
 // sentence's sketch.
+//
+// # Publish points and read paths
+//
+// Mutations (AddSketch, Merge, EnsureHeuristic, Prune) invalidate the
+// parent/child edges; BuildEdges recomputes them — and materializes each
+// node's dense coverage bitset alongside its sorted posting list — at a
+// "publish point" (Build, Prune, or an explicit BuildEdges after Merge or
+// EnsureHeuristic). After publishing, every accessor is a pure read, so any
+// number of goroutines may use the index concurrently. Children and Parents
+// panic on an unpublished index instead of lazily mutating it, because a
+// lazy rebuild under a caller's read lock is a data race.
 package index
 
 import (
@@ -16,6 +27,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/corpus"
 	"repro/internal/grammar"
 	"repro/internal/sketch"
@@ -29,6 +41,12 @@ type Node struct {
 	// Postings is the sorted inverted list of sentence IDs satisfying the
 	// heuristic.
 	Postings []int
+
+	// bits is the dense bitset mirror of Postings, materialized at publish
+	// points (BuildEdges / EnsureHeuristic); bitsN is len(Postings) at the
+	// time bits was built, used to detect staleness cheaply.
+	bits  bitset.Set
+	bitsN int
 
 	parents  []string
 	children []string
@@ -46,17 +64,43 @@ func (n *Node) Parents() []string { return n.parents }
 // Children returns the keys of the node's child nodes (specializations).
 func (n *Node) Children() []string { return n.children }
 
+// Bits returns the node's coverage as a dense bitset, or nil if the node has
+// not been published (BuildEdges) since its postings last changed. The
+// returned set must not be modified.
+func (n *Node) Bits() bitset.Set {
+	if n.bitsN != len(n.Postings) {
+		return nil
+	}
+	return n.bits
+}
+
+// refreshBits (re)materializes the node's coverage bitset if stale.
+func (n *Node) refreshBits() {
+	if n.bits != nil && n.bitsN == len(n.Postings) {
+		return
+	}
+	n.bits = bitset.FromSorted(n.Postings)
+	n.bitsN = len(n.Postings)
+}
+
 // Index is the merged sketch trie over a corpus.
 type Index struct {
 	nodes map[string]*Node
-	// edgesBuilt records whether parent/child edges are up to date.
+	// edgesBuilt records whether parent/child edges (and coverage bitsets)
+	// are up to date.
 	edgesBuilt bool
+	// keys is the sorted key cache, valid while edgesBuilt.
+	keys []string
+	// version counts mutations; sessions use it to detect that a cached
+	// hierarchy may be stale because the shared index grew.
+	version uint64
 }
 
 // New returns an empty index containing only the root node (with no
-// postings; the root conceptually covers every sentence).
+// postings; the root conceptually covers every sentence). An empty index is
+// trivially published: its edges are built.
 func New() *Index {
-	ix := &Index{nodes: make(map[string]*Node)}
+	ix := &Index{nodes: make(map[string]*Node), edgesBuilt: true}
 	ix.nodes[grammar.RootKey] = &Node{Heuristic: grammar.Root()}
 	return ix
 }
@@ -109,8 +153,8 @@ func Build(c *corpus.Corpus, b *sketch.Builder) *Index {
 }
 
 // AddSketch merges one sentence's derivation sketch into the index,
-// incrementing counts and extending inverted lists. Edges are invalidated and
-// rebuilt lazily.
+// incrementing counts and extending inverted lists. Edges are invalidated
+// and must be rebuilt with BuildEdges before the index is read concurrently.
 func (ix *Index) AddSketch(sk sketch.Sketch) {
 	if sk.SentenceID < 0 {
 		return
@@ -126,7 +170,14 @@ func (ix *Index) AddSketch(sk sketch.Sketch) {
 		}
 		n.Postings = insertSorted(n.Postings, sk.SentenceID)
 	}
+	ix.invalidate()
+}
+
+// invalidate marks the edges/bitsets/key cache stale and bumps the version.
+func (ix *Index) invalidate() {
 	ix.edgesBuilt = false
+	ix.keys = nil
+	ix.version++
 }
 
 // insertSorted appends id keeping the slice sorted and deduplicated. In the
@@ -156,7 +207,7 @@ func (ix *Index) Merge(other *Index) {
 		}
 		n.Postings = mergeSorted(n.Postings, on.Postings)
 	}
-	ix.edgesBuilt = false
+	ix.invalidate()
 }
 
 func mergeSorted(a, b []int) []int {
@@ -181,15 +232,23 @@ func mergeSorted(a, b []int) []int {
 	return out
 }
 
-// BuildEdges (re)computes parent/child edges between materialized nodes. A
+// BuildEdges (re)computes parent/child edges between materialized nodes,
+// refreshes each node's coverage bitset, and caches the sorted key list. A
 // heuristic whose grammatical parents are not materialized (e.g. stop-word
-// unigrams filtered from sketches) is attached directly to the root.
+// unigrams filtered from sketches) is attached directly to the root. This is
+// the publish point: after it returns, all read accessors are safe for
+// concurrent use until the next mutation.
 func (ix *Index) BuildEdges() {
 	for _, n := range ix.nodes {
 		n.parents = n.parents[:0]
 		n.children = n.children[:0]
+		n.refreshBits()
 	}
-	keys := ix.Keys()
+	keys := make([]string, 0, len(ix.nodes))
+	for k := range ix.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	for _, key := range keys {
 		if key == grammar.RootKey {
 			continue
@@ -217,6 +276,7 @@ func (ix *Index) BuildEdges() {
 		sort.Strings(n.parents)
 		sort.Strings(n.children)
 	}
+	ix.keys = keys
 	ix.edgesBuilt = true
 }
 
@@ -236,6 +296,7 @@ func (ix *Index) Prune(minCount int) {
 			delete(ix.nodes, key)
 		}
 	}
+	ix.invalidate()
 	ix.BuildEdges()
 }
 
@@ -250,8 +311,17 @@ func (ix *Index) Root() *Node { return ix.nodes[grammar.RootKey] }
 // Len returns the number of nodes (including the root).
 func (ix *Index) Len() int { return len(ix.nodes) }
 
-// Keys returns all node keys in sorted order.
+// Version returns the mutation counter. Two equal Version values bracket a
+// window in which the index did not change, so derived structures (cached
+// hierarchies, key snapshots) built inside it are still valid.
+func (ix *Index) Version() uint64 { return ix.version }
+
+// Keys returns all node keys in sorted order. On a published index this is
+// the cached slice — callers must not modify it.
 func (ix *Index) Keys() []string {
+	if ix.edgesBuilt && ix.keys != nil {
+		return ix.keys
+	}
 	out := make([]string, 0, len(ix.nodes))
 	for k := range ix.nodes {
 		out = append(out, k)
@@ -270,6 +340,16 @@ func (ix *Index) Coverage(key string) []int {
 	return nil
 }
 
+// Bits returns the coverage bitset of the heuristic with the given key, or
+// nil if the key is not materialized or not yet published. The returned set
+// must not be modified.
+func (ix *Index) Bits(key string) bitset.Set {
+	if n, ok := ix.nodes[key]; ok {
+		return n.Bits()
+	}
+	return nil
+}
+
 // Count returns the coverage size of the heuristic with the given key (0 for
 // unknown keys).
 func (ix *Index) Count(key string) int {
@@ -279,23 +359,29 @@ func (ix *Index) Count(key string) int {
 	return 0
 }
 
-// Children returns the child keys of the node with the given key. The edges
-// are built on demand.
-func (ix *Index) Children(key string) []string {
+// mustPublished panics when the index has pending mutations: read paths must
+// never lazily rebuild shared state (callers typically hold only a read
+// lock, so a rebuild here would be a data race).
+func (ix *Index) mustPublished(method string) {
 	if !ix.edgesBuilt {
-		ix.BuildEdges()
+		panic("index: " + method + " called on an unpublished index; call BuildEdges after AddSketch/Merge/EnsureHeuristic before reading edges")
 	}
+}
+
+// Children returns the child keys of the node with the given key. The index
+// must be published (see BuildEdges); Children never mutates.
+func (ix *Index) Children(key string) []string {
+	ix.mustPublished("Children")
 	if n, ok := ix.nodes[key]; ok {
 		return n.children
 	}
 	return nil
 }
 
-// Parents returns the parent keys of the node with the given key.
+// Parents returns the parent keys of the node with the given key. The index
+// must be published (see BuildEdges); Parents never mutates.
 func (ix *Index) Parents(key string) []string {
-	if !ix.edgesBuilt {
-		ix.BuildEdges()
-	}
+	ix.mustPublished("Parents")
 	if n, ok := ix.nodes[key]; ok {
 		return n.parents
 	}
@@ -303,7 +389,8 @@ func (ix *Index) Parents(key string) []string {
 }
 
 // CoverageOverlap returns |C_r ∩ P| for the heuristic with the given key and
-// a set P of sentence IDs.
+// a set P of sentence IDs. This is the map-based reference path; the scoring
+// hot paths use OverlapBits.
 func (ix *Index) CoverageOverlap(key string, p map[int]bool) int {
 	n := 0
 	for _, id := range ix.Coverage(key) {
@@ -315,7 +402,8 @@ func (ix *Index) CoverageOverlap(key string, p map[int]bool) int {
 }
 
 // NewCoverage returns |C_r \ P|: how many sentences the heuristic would add
-// beyond the already-discovered set P.
+// beyond the already-discovered set P (map-based reference path; see
+// NewCoverageBits).
 func (ix *Index) NewCoverage(key string, p map[int]bool) int {
 	n := 0
 	for _, id := range ix.Coverage(key) {
@@ -326,15 +414,55 @@ func (ix *Index) NewCoverage(key string, p map[int]bool) int {
 	return n
 }
 
+// OverlapBits returns |C_r ∩ P| via word-wise intersection + popcount. It
+// falls back to the posting list when the node's bitset is unpublished.
+func (ix *Index) OverlapBits(key string, p bitset.Set) int {
+	n, ok := ix.nodes[key]
+	if !ok {
+		return 0
+	}
+	if b := n.Bits(); b != nil {
+		return bitset.AndCount(b, p)
+	}
+	c := 0
+	for _, id := range n.Postings {
+		if p.Contains(id) {
+			c++
+		}
+	}
+	return c
+}
+
+// NewCoverageBits returns |C_r \ P| via word-wise and-not + popcount, with
+// the same posting-list fallback as OverlapBits.
+func (ix *Index) NewCoverageBits(key string, p bitset.Set) int {
+	n, ok := ix.nodes[key]
+	if !ok {
+		return 0
+	}
+	if b := n.Bits(); b != nil {
+		return bitset.AndNotCount(b, p)
+	}
+	c := 0
+	for _, id := range n.Postings {
+		if !p.Contains(id) {
+			c++
+		}
+	}
+	return c
+}
+
 // EnsureHeuristic materializes an ad-hoc heuristic (e.g. a parsed seed rule
 // or a specialization generated during traversal) by scanning the corpus for
-// its coverage, unless it is already present. It returns the node.
+// its coverage, unless it is already present. It returns the node. Edges are
+// invalidated: callers must BuildEdges before the index is read again.
 func (ix *Index) EnsureHeuristic(h grammar.Heuristic, c *corpus.Corpus) *Node {
 	if n, ok := ix.nodes[h.Key()]; ok {
 		return n
 	}
 	n := &Node{Heuristic: h, Postings: grammar.Coverage(h, c)}
+	n.refreshBits()
 	ix.nodes[h.Key()] = n
-	ix.edgesBuilt = false
+	ix.invalidate()
 	return n
 }

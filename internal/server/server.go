@@ -117,6 +117,11 @@ type healthJSON struct {
 	Status   string   `json:"status"`
 	Datasets []string `json:"datasets"`
 	Sessions int      `json:"sessions"`
+	// Step-latency aggregate across every suggest call served (wall-clock of
+	// Session.Next as seen by the handler).
+	Steps          int64   `json:"steps"`
+	LastStepMillis float64 `json:"last_step_ms"`
+	AvgStepMillis  float64 `json:"avg_step_ms"`
 }
 
 type createRequest struct {
@@ -185,8 +190,12 @@ type reportResponse struct {
 	Budget    int              `json:"budget"`
 	Done      bool             `json:"done"`
 	Positives int              `json:"positives"`
-	Accepted  []ruleRecordJSON `json:"accepted"`
-	History   []ruleRecordJSON `json:"history"`
+	// Per-session step latency: the last Next that did real work and the
+	// average across all of them.
+	LastStepMillis float64          `json:"last_step_ms"`
+	AvgStepMillis  float64          `json:"avg_step_ms"`
+	Accepted       []ruleRecordJSON `json:"accepted"`
+	History        []ruleRecordJSON `json:"history"`
 }
 
 func recordJSON(rec core.RuleRecord) ruleRecordJSON {
@@ -214,11 +223,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // --- handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	steps, last, avg := s.store.StepStats()
 	writeJSON(w, http.StatusOK, healthJSON{
-		Status:   "ok",
-		Datasets: s.DatasetNames(),
-		Sessions: s.store.Len(),
+		Status:         "ok",
+		Datasets:       s.DatasetNames(),
+		Sessions:       s.store.Len(),
+		Steps:          steps,
+		LastStepMillis: millis(last),
+		AvgStepMillis:  millis(avg),
 	})
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -294,10 +311,13 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 	d := s.datasets[en.dataset]
 	en.mu.Lock()
+	stepStart := time.Now()
 	sug, more := en.sess.Next()
+	stepDur := time.Since(stepStart)
 	questions := en.sess.Questions()
 	budget := en.sess.Budget()
 	en.mu.Unlock()
+	s.store.RecordStep(stepDur)
 	if !more {
 		writeJSON(w, http.StatusOK, suggestResponse{Done: true, BudgetLeft: budget - questions})
 		return
@@ -357,16 +377,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep := en.sess.Report()
 	done := en.sess.Done()
 	budget := en.sess.Budget()
+	lastStep, avgStep := en.sess.StepLatency()
 	en.mu.Unlock()
 	resp := reportResponse{
-		ID:        en.id,
-		Dataset:   en.dataset,
-		Questions: rep.Questions,
-		Budget:    budget,
-		Done:      done,
-		Positives: len(rep.Positives),
-		Accepted:  make([]ruleRecordJSON, 0, len(rep.Accepted)),
-		History:   make([]ruleRecordJSON, 0, len(rep.History)),
+		ID:             en.id,
+		Dataset:        en.dataset,
+		Questions:      rep.Questions,
+		Budget:         budget,
+		Done:           done,
+		Positives:      len(rep.Positives),
+		LastStepMillis: millis(lastStep),
+		AvgStepMillis:  millis(avgStep),
+		Accepted:       make([]ruleRecordJSON, 0, len(rep.Accepted)),
+		History:        make([]ruleRecordJSON, 0, len(rep.History)),
 	}
 	for _, rec := range rep.Accepted {
 		resp.Accepted = append(resp.Accepted, recordJSON(rec))

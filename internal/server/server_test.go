@@ -178,6 +178,21 @@ func TestEndToEndInteractiveSession(t *testing.T) {
 		t.Fatal("no positives discovered")
 	}
 
+	// The report carries the session's step latency, and healthz aggregates
+	// the latency of every suggest call served so far.
+	if rep.LastStepMillis <= 0 || rep.AvgStepMillis <= 0 {
+		t.Errorf("report step latency missing: last=%v avg=%v", rep.LastStepMillis, rep.AvgStepMillis)
+	}
+	if status := doJSON(t, ts, http.MethodGet, "/healthz", nil, &health); status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	if health.Steps < int64(rep.Questions) {
+		t.Errorf("healthz steps = %d, want >= %d", health.Steps, rep.Questions)
+	}
+	if health.AvgStepMillis <= 0 || health.LastStepMillis <= 0 {
+		t.Errorf("healthz step latency missing: %+v", health)
+	}
+
 	// Export the labeled corpus and check it against the report.
 	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/" + rep.ID + "/export")
 	if err != nil {

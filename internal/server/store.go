@@ -29,13 +29,18 @@ func (en *sessionEntry) touch(now time.Time) { en.lastUsed = now }
 
 // Store is a mutex-guarded registry of live sessions with TTL eviction:
 // sessions idle longer than the TTL are dropped on the next sweep (sweeps run
-// lazily on create/get and periodically from the janitor).
+// lazily on create/get and periodically from the janitor). It also aggregates
+// step latency across all sessions for the health endpoint.
 type Store struct {
 	mu    sync.Mutex
 	items map[string]*sessionEntry
 	ttl   time.Duration
 	max   int
 	now   func() time.Time
+
+	stepCount int64
+	stepNanos int64
+	lastStep  time.Duration
 }
 
 // Default store limits.
@@ -131,6 +136,27 @@ func (st *Store) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.items)
+}
+
+// RecordStep folds one suggest-step duration into the server-wide latency
+// aggregate surfaced by healthz.
+func (st *Store) RecordStep(d time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stepCount++
+	st.stepNanos += int64(d)
+	st.lastStep = d
+}
+
+// StepStats returns the number of suggest steps served and their last/average
+// latency (zero before the first step).
+func (st *Store) StepStats() (count int64, last, avg time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stepCount > 0 {
+		avg = time.Duration(st.stepNanos / st.stepCount)
+	}
+	return st.stepCount, st.lastStep, avg
 }
 
 // Sweep evicts all sessions idle longer than the TTL and returns how many

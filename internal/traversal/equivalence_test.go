@@ -1,0 +1,149 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/corpus"
+	"repro/internal/grammar"
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+	"repro/internal/sketch"
+	"repro/internal/tokensregex"
+)
+
+func equivFixture(t *testing.T) (*index.Index, *corpus.Corpus) {
+	t.Helper()
+	texts := []string{
+		"what is the best way to get to the airport",
+		"is there a shuttle to the hotel from the airport",
+		"what is the best way to order food tonight",
+		"can i get a pizza to my room right now",
+		"the best way to check in there is online",
+		"is uber the fastest way to get downtown",
+		"would uber eats be the fastest way to order",
+		"the shuttle to the airport leaves at nine",
+	}
+	c := corpus.New("equiv", "t")
+	for i := 0; i < 10; i++ {
+		for _, txt := range texts {
+			c.Add(txt, corpus.Negative)
+		}
+	}
+	c.Preprocess(corpus.PreprocessOptions{})
+	reg := grammar.NewRegistry(tokensregex.New())
+	ix := index.Build(c, sketch.NewBuilder(reg, 4))
+	ix.Prune(2)
+	return ix, c
+}
+
+// stripBits rebuilds a hierarchy with the same nodes but no coverage bitsets
+// (Add never sets Bits), forcing hierarchy-node scoring down the
+// posting-list + map reference path.
+func stripBits(h *hierarchy.Hierarchy, ix *index.Index) *hierarchy.Hierarchy {
+	rebuilt := hierarchy.BuildBits(ix, nil, nil, hierarchy.Config{})
+	for _, key := range h.Keys() {
+		n := h.Node(key)
+		rebuilt.Add(n.Heuristic, n.Coverage)
+	}
+	rebuilt.LinkEdges(ix)
+	return rebuilt
+}
+
+// TestBenefitBitsMatchesReference cross-checks the kernel against the
+// posting-list scan on random sets, including bit-identical float sums.
+func TestBenefitBitsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		var cov []int
+		pos := map[int]bool{}
+		scores := make([]float64, n)
+		for i := 0; i < n; i++ {
+			scores[i] = rng.Float64()
+			if rng.Intn(3) == 0 {
+				cov = append(cov, i)
+			}
+			if rng.Intn(4) == 0 {
+				pos[i] = true
+			}
+		}
+		covBits := bitset.FromSorted(cov)
+		posBits := bitset.FromMap(pos)
+		want := Benefit(cov, pos, scores)
+		got := BenefitBits(covBits, posBits, scores)
+		if got != want {
+			t.Fatalf("trial %d: BenefitBits = %v, Benefit = %v", trial, got, want)
+		}
+		wantAvg := AvgBenefit(cov, pos, scores)
+		sum, newCov := bitset.AndNotSum(covBits, posBits, scores)
+		gotAvg := 0.0
+		if newCov > 0 {
+			gotAvg = sum / float64(newCov)
+		}
+		if gotAvg != wantAvg {
+			t.Fatalf("trial %d: avg benefit %v != %v", trial, gotAvg, wantAvg)
+		}
+	}
+}
+
+// TestTraversalsIdenticalWithAndWithoutBits drives each strategy over two
+// states — one with coverage bitsets (kernel path) and one without (reference
+// path) — with identical scripted feedback, and requires identical proposal
+// sequences.
+func TestTraversalsIdenticalWithAndWithoutBits(t *testing.T) {
+	ix, c := equivFixture(t)
+	cfg := hierarchy.Config{NumCandidates: 400, MaxRuleDepth: 6, MinCoverage: 2, Cleanup: true}
+	seed := "tokensregex:best way to"
+	if ix.Node(seed) == nil {
+		t.Fatal("seed rule not materialized")
+	}
+	positives := map[int]bool{}
+	for _, id := range ix.Coverage(seed) {
+		positives[id] = true
+	}
+	posBits := bitset.FromMap(positives)
+	scores := make([]float64, c.Len())
+	rng := rand.New(rand.NewSource(11))
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+
+	for _, name := range []string{"local", "universal", "hybrid"} {
+		hBits := hierarchy.GenerateBits(ix, posBits, cfg)
+		hRef := stripBits(hBits, ix)
+
+		stBits := &State{Hierarchy: hBits, Index: ix, Positives: positives, PosBits: posBits, Scores: scores, Queried: map[string]bool{seed: true}}
+		stRef := &State{Hierarchy: hRef, Positives: positives, Scores: scores, Queried: map[string]bool{seed: true}}
+		// The reference state needs the index for neighborhood fallbacks, but
+		// its hierarchy nodes carry no bits, so scoring stays on the
+		// reference path (bitsOf prefers hierarchy nodes).
+		stRef.Index = ix
+
+		tb := New(name, 3, seed)
+		tr := New(name, 3, seed)
+		tb.Reseed(stBits, seed)
+		tr.Reseed(stRef, seed)
+		steps := 0
+		for step := 0; step < 12; step++ {
+			kb, okb := tb.Next(stBits)
+			kr, okr := tr.Next(stRef)
+			if okb != okr || kb != kr {
+				t.Fatalf("%s step %d: bits path proposed (%q,%v), reference (%q,%v)", name, step, kb, okb, kr, okr)
+			}
+			if !okb {
+				break
+			}
+			steps++
+			stBits.Queried[kb] = true
+			stRef.Queried[kr] = true
+			accept := step%3 == 0
+			tb.Feedback(stBits, kb, accept)
+			tr.Feedback(stRef, kr, accept)
+		}
+		if steps == 0 {
+			t.Fatalf("%s proposed no rules; equivalence test is vacuous", name)
+		}
+	}
+}

@@ -80,19 +80,12 @@ func (ls *LocalSearch) bestByOverlap(st *State) (string, bool) {
 		if len(cov) == 0 {
 			continue
 		}
-		overlap, newCov := 0, 0
-		for _, id := range cov {
-			if st.Positives[id] {
-				overlap++
-			} else {
-				newCov++
-			}
-		}
+		b, newCov := st.benefitNew(key, cov)
+		overlap := len(cov) - newCov
 		if newCov == 0 || overlap == 0 {
 			continue
 		}
 		ratio := float64(overlap) / float64(len(cov))
-		b := Benefit(cov, st.Positives, st.Scores)
 		if ratio > bestRatio ||
 			(ratio == bestRatio && overlap > bestOverlap) ||
 			(ratio == bestRatio && overlap == bestOverlap && b > bestBenefit) {

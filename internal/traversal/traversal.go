@@ -6,11 +6,18 @@
 //	benefit(r) = Σ_{s ∈ C_r \ P} p_s
 //
 // where p_s is the classifier's probability that sentence s is positive.
+//
+// Scoring runs on the dense bitset coverage kernel when the state carries a
+// bitset positive set and the rule's coverage bits are materialized (the
+// session hot path); the posting-list + map implementations remain as the
+// reference path and are bit-identical, since both accumulate scores in
+// ascending sentence-ID order.
 package traversal
 
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/grammar"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
@@ -24,10 +31,18 @@ type State struct {
 	Index     *index.Index
 	// Positives is the discovered positive set P (sentence IDs).
 	Positives map[int]bool
+	// PosBits is the bitset mirror of Positives. Sessions maintain it
+	// incrementally; when nil, it is built lazily from Positives on first
+	// use (so hand-built states keep working). A caller that supplies
+	// PosBits must keep it consistent with Positives itself.
+	PosBits bitset.Set
 	// Scores holds p_s for every sentence (indexed by sentence ID).
 	Scores []float64
 	// Queried marks rule keys already submitted to the oracle.
 	Queried map[string]bool
+
+	posBitsBuilt bool
+	posBitsN     int
 }
 
 // coverageOf returns the coverage of a rule key, preferring the hierarchy
@@ -40,7 +55,36 @@ func (st *State) coverageOf(key string) []int {
 	return st.Index.Coverage(key)
 }
 
-// Benefit computes Σ_{s ∈ cov \ P} p_s.
+// bitsOf returns the coverage bitset of a rule key (hierarchy first, then
+// index), or nil when not materialized.
+func (st *State) bitsOf(key string) bitset.Set {
+	if n := st.Hierarchy.Node(key); n != nil {
+		if n.Bits != nil {
+			return n.Bits
+		}
+		return nil
+	}
+	if st.Index != nil {
+		return st.Index.Bits(key)
+	}
+	return nil
+}
+
+// posBits returns the bitset positive set, building (and caching) it from
+// the map on first use. A lazily built set is rebuilt when the map's size
+// changed since, so hand-built states that grow Positives between scoring
+// calls stay consistent across both scoring paths.
+func (st *State) posBits() bitset.Set {
+	if st.PosBits == nil && !st.posBitsBuilt || st.posBitsBuilt && st.posBitsN != len(st.Positives) {
+		st.posBitsBuilt = true
+		st.posBitsN = len(st.Positives)
+		st.PosBits = bitset.FromMap(st.Positives)
+	}
+	return st.PosBits
+}
+
+// Benefit computes Σ_{s ∈ cov \ P} p_s over a sorted posting list and a map
+// positive set (the reference path; see BenefitBits for the kernel).
 func Benefit(cov []int, positives map[int]bool, scores []float64) float64 {
 	var b float64
 	for _, id := range cov {
@@ -69,14 +113,54 @@ func AvgBenefit(cov []int, positives map[int]bool, scores []float64) float64 {
 	return Benefit(cov, positives, scores) / float64(newCount)
 }
 
+// BenefitBits computes Σ_{s ∈ cov \ P} p_s with the word-wise kernel. It is
+// bit-identical to Benefit on the same sets: both accumulate in ascending
+// sentence-ID order.
+func BenefitBits(cov, positives bitset.Set, scores []float64) float64 {
+	sum, _ := bitset.AndNotSum(cov, positives, scores)
+	return sum
+}
+
+// benefitNew returns (benefit, |cov \ P|) in one pass, using the bitset
+// kernel when both the rule's coverage bits and the positive bits are
+// available and the reference scan otherwise.
+func (st *State) benefitNew(key string, cov []int) (float64, int) {
+	if covBits := st.bitsOf(key); covBits != nil {
+		return bitset.AndNotSum(covBits, st.posBits(), st.Scores)
+	}
+	var b float64
+	newCov := 0
+	for _, id := range cov {
+		if st.Positives[id] {
+			continue
+		}
+		newCov++
+		if id >= 0 && id < len(st.Scores) {
+			b += st.Scores[id]
+		}
+	}
+	return b, newCov
+}
+
 // BenefitOf scores a rule key against the state.
 func (st *State) BenefitOf(key string) float64 {
-	return Benefit(st.coverageOf(key), st.Positives, st.Scores)
+	b, _ := st.benefitNew(key, st.coverageOf(key))
+	return b
+}
+
+// BenefitNewOf returns (benefit, |cov \ P|) for a rule key in one kernel
+// pass.
+func (st *State) BenefitNewOf(key string) (float64, int) {
+	return st.benefitNew(key, st.coverageOf(key))
 }
 
 // AvgBenefitOf returns the per-instance benefit of a rule key.
 func (st *State) AvgBenefitOf(key string) float64 {
-	return AvgBenefit(st.coverageOf(key), st.Positives, st.Scores)
+	b, newCov := st.benefitNew(key, st.coverageOf(key))
+	if newCov == 0 {
+		return 0
+	}
+	return b / float64(newCov)
 }
 
 // Traversal selects the next candidate heuristic to submit to the oracle.
@@ -96,7 +180,8 @@ type Traversal interface {
 
 // pickBest returns the unqueried key with the highest benefit, breaking ties
 // by higher new coverage then lexicographic key for determinism. The boolean
-// reports whether any eligible candidate exists.
+// reports whether any eligible candidate exists. Each candidate is scored in
+// a single kernel pass (benefit and new coverage together).
 func pickBest(st *State, keys []string, requireAvgBenefit float64) (string, bool) {
 	bestKey := ""
 	bestBenefit := -1.0
@@ -109,14 +194,14 @@ func pickBest(st *State, keys []string, requireAvgBenefit float64) (string, bool
 		if len(cov) == 0 {
 			continue
 		}
-		if requireAvgBenefit > 0 && AvgBenefit(cov, st.Positives, st.Scores) <= requireAvgBenefit {
-			continue
-		}
-		b := Benefit(cov, st.Positives, st.Scores)
-		newCov := 0
-		for _, id := range cov {
-			if !st.Positives[id] {
-				newCov++
+		b, newCov := st.benefitNew(key, cov)
+		if requireAvgBenefit > 0 {
+			avg := 0.0
+			if newCov > 0 {
+				avg = b / float64(newCov)
+			}
+			if avg <= requireAvgBenefit {
+				continue
 			}
 		}
 		if newCov == 0 {
