@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/tokensregex"
 	"repro/internal/treematch"
+	"repro/internal/workspace"
 )
 
 func main() {
@@ -56,6 +58,14 @@ func main() {
 		useTree    = flag.Bool("treematch", false, "enable the TreeMatch grammar (dependency-parse rules)")
 		ttl        = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this")
 		maxSess    = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum number of live sessions")
+		journalP   = flag.String("journal", "", "path to the workspace event journal (enables durable multi-annotator workspaces with crash recovery)")
+		wsTTL      = flag.Duration("workspace-ttl", workspace.DefaultTTL, "evict workspaces idle longer than this")
+		maxWS      = flag.Int("max-workspaces", workspace.DefaultMaxWorkspaces, "maximum number of live workspaces")
+		compactN   = flag.Int("compact-every", workspace.DefaultCompactEvery, "compact the journal after this many appends (negative disables)")
+		token      = flag.String("token", "", "require 'Authorization: Bearer <token>' on /v1/* endpoints")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-IP request rate limit in requests/second (0 disables)")
+		rateBurst  = flag.Int("rate-burst", 0, "per-IP burst size (default 2x -rate-limit)")
+		featCap    = flag.Int("feature-cache-cap", 0, "cap the per-engine sparse feature cache to this many sentences (0 caches the whole corpus; ~0.5 KB/entry)")
 	)
 	flag.Parse()
 
@@ -65,7 +75,7 @@ func main() {
 		if err != nil {
 			fatalf("dataset %q: %v", name, err)
 		}
-		sets = append(sets, buildDataset(name, c, *seed, *budget, *candidates, *sketchD, *useTree))
+		sets = append(sets, buildDataset(name, c, *seed, *budget, *candidates, *sketchD, *featCap, *useTree))
 	}
 	if *corpusPath != "" {
 		c, err := corpus.LoadJSONL(*corpusPath)
@@ -76,23 +86,41 @@ func main() {
 		if name == "" {
 			name = strings.TrimSuffix(*corpusPath, ".jsonl")
 		}
-		sets = append(sets, buildDataset(name, c, *seed, *budget, *candidates, *sketchD, *useTree))
+		sets = append(sets, buildDataset(name, c, *seed, *budget, *candidates, *sketchD, *featCap, *useTree))
 	}
 
 	srv, err := server.New(server.Config{
 		SessionTTL:    *ttl,
 		MaxSessions:   *maxSess,
 		DefaultBudget: *budget,
+		JournalPath:   *journalP,
+		WorkspaceTTL:  *wsTTL,
+		MaxWorkspaces: *maxWS,
+		CompactEvery:  *compactN,
+		Token:         *token,
+		RatePerSec:    *rateLimit,
+		RateBurst:     *rateBurst,
 	}, sets...)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if rec := srv.Recovery(); rec.Events > 0 {
+		log.Printf("journal %s: replayed %d events, recovered %d workspaces (%d skipped)",
+			*journalP, rec.Events, rec.Workspaces, len(rec.Skipped))
+		for id, reason := range rec.Skipped {
+			log.Printf("journal: workspace %s not recovered: %s", id, reason)
+		}
+	}
 
 	stop := make(chan struct{})
 	go srv.Store().Janitor(time.Minute, stop)
+	go srv.Workspaces().Janitor(time.Minute, stop)
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -107,15 +135,20 @@ func main() {
 		_ = httpSrv.Shutdown(ctx)
 	}()
 
-	log.Printf("darwind listening on %s (datasets: %s)", *addr, strings.Join(srv.DatasetNames(), ", "))
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	log.Printf("darwind listening on %s (datasets: %s)", ln.Addr(), strings.Join(srv.DatasetNames(), ", "))
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fatalf("%v", err)
+	}
+	// Drained: flush and close the workspace journal so every acknowledged
+	// event is fsync-durable before exit.
+	if err := srv.Close(); err != nil && *journalP != "" {
+		log.Printf("journal close: %v", err)
 	}
 }
 
 // buildDataset preprocesses the corpus and builds the shared engine, logging
 // the one-time cost that every session then amortizes.
-func buildDataset(name string, c *corpus.Corpus, seed int64, budget, candidates, sketchDepth int, useTree bool) *server.Dataset {
+func buildDataset(name string, c *corpus.Corpus, seed int64, budget, candidates, sketchDepth, featCacheCap int, useTree bool) *server.Dataset {
 	grams := []grammar.Grammar{tokensregex.New()}
 	if useTree {
 		grams = append(grams, treematch.New())
@@ -126,6 +159,7 @@ func buildDataset(name string, c *corpus.Corpus, seed int64, budget, candidates,
 	cfg.NumCandidates = candidates
 	cfg.SketchDepth = sketchDepth
 	cfg.Seed = seed
+	cfg.FeatureCacheCap = featCacheCap
 	cfg.Classifier = classifier.Config{Epochs: 10, LearningRate: 0.3, L2: 1e-4, Seed: seed}
 	cfg.Embedding = embedding.Config{Dim: 32, Window: 4, MinCount: 2, Seed: seed}
 

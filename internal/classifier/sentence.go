@@ -57,23 +57,59 @@ type sparseFeatures struct {
 // FeatureCache caches per-sentence sparse feature vectors. Entries are
 // immutable once published and slots are atomic pointers, so any number of
 // classifiers may read and fill the cache concurrently (a racing fill
-// recomputes the identical deterministic entry — last store wins, both are
-// equal). The cache depends only on the corpus tokens, the embedding model
-// and the hash dimension, all immutable after engine construction.
+// recomputes the identical deterministic entry — slot claim is a CAS, first
+// store wins). The cache depends only on the corpus tokens, the embedding
+// model and the hash dimension, all immutable after engine construction, so
+// one cache is shared at corpus level across every session of an engine.
+//
+// An optional entry cap bounds memory on large corpora (each entry costs
+// roughly 0.5 KB): once cap entries are published, later sentences are
+// featurized on the fly instead of cached. Cached or not, the produced
+// vectors are bit-identical, so a cap never changes scores.
 type FeatureCache struct {
 	slots []atomic.Pointer[sparseFeatures]
+	cap   int64
+	count atomic.Int64
 }
 
-// NewFeatureCache creates a cache for a corpus of n sentences.
+// NewFeatureCache creates an unbounded cache for a corpus of n sentences.
 func NewFeatureCache(n int) *FeatureCache {
 	return &FeatureCache{slots: make([]atomic.Pointer[sparseFeatures], n)}
 }
 
+// NewFeatureCacheCapped creates a cache holding at most maxEntries entries
+// (non-positive means unbounded).
+func NewFeatureCacheCapped(n, maxEntries int) *FeatureCache {
+	fc := NewFeatureCache(n)
+	fc.cap = int64(maxEntries)
+	return fc
+}
+
+// Len returns the number of published entries.
+func (fc *FeatureCache) Len() int { return int(fc.count.Load()) }
+
 // get returns the cached entry for a sentence, or nil.
 func (fc *FeatureCache) get(id int) *sparseFeatures { return fc.slots[id].Load() }
 
-// put publishes an entry for a sentence.
-func (fc *FeatureCache) put(id int, sf *sparseFeatures) { fc.slots[id].Store(sf) }
+// put publishes an entry for a sentence unless the entry cap is reached.
+// The count is claimed before the slot CAS (and released on a lost race or
+// a full cache), so the published-entry count never exceeds the cap even
+// under concurrent fills.
+func (fc *FeatureCache) put(id int, sf *sparseFeatures) {
+	if fc.cap > 0 {
+		if fc.count.Add(1) > fc.cap {
+			fc.count.Add(-1)
+			return
+		}
+		if !fc.slots[id].CompareAndSwap(nil, sf) {
+			fc.count.Add(-1) // another classifier published this slot first
+		}
+		return
+	}
+	if fc.slots[id].CompareAndSwap(nil, sf) {
+		fc.count.Add(1)
+	}
+}
 
 // NewSentenceClassifier creates a classifier over the given corpus. emb may
 // be nil to disable embedding features. The corpus must be preprocessed
@@ -90,6 +126,16 @@ func NewSentenceClassifier(c *corpus.Corpus, emb *embedding.Model, cfg Config, k
 		rng:            rand.New(rand.NewSource(cfg.Seed + 17)),
 		NegativeFactor: 3,
 	}
+}
+
+// Reseed resets the negative-sampling RNG to a fresh stream derived from
+// seed. Replayable drivers (multi-annotator workspaces) call it before every
+// training round with a seed derived from their event sequence, making each
+// retrain a pure function of (positives, seed) — independent of how many
+// retrains ran before — so snapshot-restored state retrains identically to
+// a live process.
+func (sc *SentenceClassifier) Reseed(seed int64) {
+	sc.rng = rand.New(rand.NewSource(seed))
 }
 
 // newModel builds a fresh underlying model for one training round.

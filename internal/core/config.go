@@ -62,6 +62,13 @@ type Config struct {
 	// (Figure 2 shows 5).
 	OracleSampleSize int
 
+	// FeatureCacheCap bounds the corpus-level sparse feature cache shared by
+	// every session's classifier (entries cost ~0.5 KB/sentence; 0 caches
+	// the whole corpus). Sentences beyond the cap are featurized on the fly,
+	// bit-identically, so the cap trades CPU for memory without changing any
+	// score.
+	FeatureCacheCap int
+
 	// Seed drives all randomness in the engine.
 	Seed int64
 }

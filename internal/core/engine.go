@@ -116,6 +116,9 @@ type Engine struct {
 	// rngMu serializes the engine-owned RNG, which SuggestRules uses for
 	// sampling presentation sentences.
 	rngMu sync.Mutex
+	// matHook, when set, observes seed-rule materializations under the index
+	// write lock (see SetMaterializeHook).
+	matHook func(specs []string)
 
 	scores       []float64
 	retrainCount int
@@ -151,7 +154,7 @@ func New(c *corpus.Corpus, cfg Config) (*Engine, error) {
 	if clfCfg.Seed == 0 {
 		clfCfg.Seed = cfg.Seed
 	}
-	featCache := classifier.NewFeatureCache(c.Len())
+	featCache := classifier.NewFeatureCacheCapped(c.Len(), cfg.FeatureCacheCap)
 	clf := classifier.NewSentenceClassifier(c, emb, clfCfg, cfg.ClassifierKind)
 	clf.ShareFeatureCache(featCache)
 
@@ -210,6 +213,9 @@ func (e *Engine) MaterializeRule(spec string) (string, []int, error) {
 	e.ixMu.Lock()
 	node := e.ix.EnsureHeuristic(h, e.corp)
 	e.ix.BuildEdges()
+	if e.matHook != nil {
+		e.matHook([]string{spec})
+	}
 	e.ixMu.Unlock()
 	return h.Key(), append([]int(nil), node.Postings...), nil
 }

@@ -203,6 +203,9 @@ func (s *Session) init(opts SessionOptions) error {
 			})
 		}
 		e.ix.BuildEdges()
+		if e.matHook != nil {
+			e.matHook(opts.SeedRules)
+		}
 		e.ixMu.Unlock()
 	}
 	for _, id := range opts.SeedPositiveIDs {

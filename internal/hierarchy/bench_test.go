@@ -81,3 +81,16 @@ func BenchmarkGenerate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLinkEdges isolates the edge-linking pass inside regeneration
+// (nearest-ancestor resolution via the index's child lists).
+func BenchmarkLinkEdges(b *testing.B) {
+	ix := genIndex(b)
+	p := benchPositives(b, ix)
+	cfg := Config{NumCandidates: 10000, MaxRuleDepth: 8, MinCoverage: 2, Cleanup: true}
+	h := Generate(ix, p, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.LinkEdges(ix)
+	}
+}

@@ -317,20 +317,58 @@ func BuildBits(ix *index.Index, candidateKeys []string, positives bitset.Set, cf
 }
 
 // LinkEdges recomputes parent/child edges between hierarchy nodes: a node's
-// parent is its nearest materialized ancestor in the index (walking up
+// parents are its nearest materialized ancestors in the index (walking up
 // grammatical parents), falling back to the root.
+//
+// Direct edges are read straight off the index's child lists instead of
+// re-deriving each node's ancestry: every materialized node links its
+// materialized index children in one pass (candidates arrive through those
+// same child lists during generation, so most edges are found here). A node
+// the pass leaves parentless checks the root in its sorted index parent
+// list, and only then runs the upward BFS — whose bookkeeping is shared
+// scratch, so regeneration allocates nothing per node on that path.
 func (h *Hierarchy) LinkEdges(ix *index.Index) {
 	for _, n := range h.nodes {
 		n.Parents = n.Parents[:0]
 		n.Children = n.Children[:0]
 	}
+	// Pass 1: direct edges via the index's child lists (root excluded: its
+	// child list spans the whole index top level; root parenthood is the
+	// cheap membership check below).
 	for _, key := range h.order {
 		if key == grammar.RootKey {
 			continue
 		}
 		n := h.nodes[key]
-		parents := h.nearestAncestors(key, ix)
-		for _, pk := range parents {
+		for _, ck := range ix.Children(key) {
+			if ck == key {
+				continue
+			}
+			if cn, ok := h.nodes[ck]; ok {
+				n.Children = append(n.Children, ck)
+				cn.Parents = append(cn.Parents, key)
+			}
+		}
+	}
+	// Pass 2: root edges for nodes the root directly parents, and the BFS
+	// fallback for nodes with no materialized direct parent at all.
+	root := h.nodes[grammar.RootKey]
+	var sc linkScratch
+	for _, key := range h.order {
+		if key == grammar.RootKey {
+			continue
+		}
+		n := h.nodes[key]
+		parents := ix.Parents(key) // sorted
+		if i := sort.SearchStrings(parents, grammar.RootKey); i < len(parents) && parents[i] == grammar.RootKey {
+			n.Parents = append(n.Parents, grammar.RootKey)
+			root.Children = append(root.Children, key)
+			continue
+		}
+		if len(n.Parents) > 0 {
+			continue
+		}
+		for _, pk := range h.bfsAncestors(key, parents, ix, &sc) {
 			p := h.nodes[pk]
 			p.Children = append(p.Children, key)
 			n.Parents = append(n.Parents, pk)
@@ -338,55 +376,74 @@ func (h *Hierarchy) LinkEdges(ix *index.Index) {
 	}
 	for _, n := range h.nodes {
 		sort.Strings(n.Parents)
+		n.Parents = dedupSorted(n.Parents)
 		sort.Strings(n.Children)
+		n.Children = dedupSorted(n.Children)
 	}
 }
 
-// nearestAncestors walks up the index's parent edges from key and returns the
-// nearest ancestors that are materialized in the hierarchy (the root if none
-// are found). The common case — a direct index parent is materialized — is
-// handled without allocating the BFS bookkeeping maps.
-func (h *Hierarchy) nearestAncestors(key string, ix *index.Index) []string {
-	parents := ix.Parents(key)
-	var out []string
+// dedupSorted removes adjacent duplicates in place (duplicate index edges
+// would otherwise double an edge found by both link passes).
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
 	prev := ""
-	for _, pk := range parents { // sorted; dedup adjacent
-		if pk == key || pk == prev || !h.Contains(pk) {
+	for i, x := range xs {
+		if i > 0 && x == prev {
 			continue
 		}
-		out = append(out, pk)
-		prev = pk
+		out = append(out, x)
+		prev = x
 	}
-	if len(out) > 0 {
-		return out
+	return out
+}
+
+// linkScratch is the reusable BFS bookkeeping for bfsAncestors.
+type linkScratch struct {
+	visited  map[string]bool
+	found    map[string]bool
+	frontier []string
+	next     []string
+	out      []string
+}
+
+// bfsAncestors walks up the index's parent edges from key, level by level,
+// and returns the nearest materialized ancestors (the root if none are
+// found). It is the fallback for nodes with no materialized direct parent;
+// semantics are unchanged from the original per-node search.
+func (h *Hierarchy) bfsAncestors(key string, parents []string, ix *index.Index, sc *linkScratch) []string {
+	if sc.visited == nil {
+		sc.visited = make(map[string]bool)
+		sc.found = make(map[string]bool)
+	} else {
+		clear(sc.visited)
+		clear(sc.found)
 	}
-	found := map[string]bool{}
-	visited := map[string]bool{key: true}
-	frontier := parents
-	for len(frontier) > 0 && len(found) == 0 {
-		var next []string
-		for _, pk := range frontier {
-			if visited[pk] {
+	sc.visited[key] = true
+	sc.frontier = append(sc.frontier[:0], parents...)
+	for len(sc.frontier) > 0 && len(sc.found) == 0 {
+		sc.next = sc.next[:0]
+		for _, pk := range sc.frontier {
+			if sc.visited[pk] {
 				continue
 			}
-			visited[pk] = true
+			sc.visited[pk] = true
 			if pk != key && h.Contains(pk) {
-				found[pk] = true
+				sc.found[pk] = true
 				continue
 			}
-			next = append(next, ix.Parents(pk)...)
+			sc.next = append(sc.next, ix.Parents(pk)...)
 		}
-		frontier = next
+		sc.frontier, sc.next = sc.next, sc.frontier
 	}
-	if len(found) == 0 {
+	if len(sc.found) == 0 {
 		return []string{grammar.RootKey}
 	}
-	out = out[:0]
-	for k := range found {
-		out = append(out, k)
+	sc.out = sc.out[:0]
+	for k := range sc.found {
+		sc.out = append(sc.out, k)
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(sc.out)
+	return sc.out
 }
 
 // Generate runs candidate generation and arrangement in one call (the

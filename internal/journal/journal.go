@@ -1,0 +1,333 @@
+// Package journal implements a tiny append-only JSONL write-ahead log for
+// workspace events. The serving layer's state evolution is fully determined
+// by (engine, event sequence) — see internal/workspace — so durability
+// reduces to the classic log-then-replay pattern: every state-changing event
+// is appended as one JSON line, and recovery replays the log through the same
+// apply functions that served live traffic.
+//
+// Durability contract: Append writes the line straight to the file descriptor
+// (no userspace buffering), so every acknowledged event survives a process
+// kill (SIGKILL). fsync is batched — forced every Options.SyncEvery appends
+// and by a background ticker every Options.SyncInterval — so a whole-machine
+// crash can lose at most the last batch window. Sync and Close force an
+// immediate fsync.
+//
+// Compaction: Rewrite atomically replaces the log with a caller-provided
+// event list (per-dataset materializations plus one snapshot per live
+// workspace) via write-temp + fsync + rename, truncating unbounded growth
+// while preserving recoverability at every instant.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Event is one journaled record. Exactly one of WS / Dataset scopes it:
+// workspace lifecycle events carry the workspace ID, engine-level events
+// (rule materializations) carry the dataset name.
+type Event struct {
+	// Seq is the file-order sequence number assigned by the Writer.
+	Seq uint64 `json:"seq"`
+	// Type is the event kind (create, attach, suggest, answer, detach,
+	// evict, materialize, snapshot).
+	Type string `json:"type"`
+	// WS is the workspace ID for workspace-scoped events.
+	WS string `json:"ws,omitempty"`
+	// Dataset is the dataset name for engine-scoped events.
+	Dataset string `json:"dataset,omitempty"`
+	// Data is the type-specific payload (defined by the emitting package).
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Options tunes the writer's fsync batching.
+type Options struct {
+	// SyncEvery forces an fsync after this many appends (default 64;
+	// 1 fsyncs every append).
+	SyncEvery int
+	// SyncInterval is the background fsync period for idle batches
+	// (default 100ms; negative disables the background syncer).
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Writer appends events to a JSONL log file. It is safe for concurrent use;
+// appends are serialized and their file order defines replay order.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	opts    Options
+	seq     uint64 // last assigned sequence number
+	since   int    // appends since the last Rewrite (compaction trigger)
+	pending int    // appends since the last fsync
+	dirty   bool
+	err     error // sticky I/O error; all later operations fail fast
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if absent) the journal at path for appending and
+// returns the writer together with all events already in the log, in file
+// order. A torn final line — the signature of a crash mid-append — is
+// tolerated and dropped; corruption earlier in the file is an error.
+func Open(path string, opts Options) (*Writer, []Event, error) {
+	events, err := ReadAll(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	w := &Writer{
+		f:    f,
+		path: path,
+		opts: opts.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if n := len(events); n > 0 {
+		w.seq = events[n-1].Seq
+	}
+	go w.syncLoop()
+	return w, events, nil
+}
+
+// ReadAll reads every event in the log at path, in file order. A missing
+// file yields no events. A torn final line is dropped; a corrupt line that
+// is followed by valid lines is an error (real corruption, not a crash).
+func ReadAll(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	defer f.Close()
+	var events []Event
+	badLine := -1
+	var badErr error
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			if badLine >= 0 {
+				return nil, fmt.Errorf("journal: %s line %d: %v", path, badLine, badErr)
+			}
+			badLine, badErr = line, err
+			continue
+		}
+		if badLine >= 0 {
+			// A valid line after a bad one: the bad line was not a torn tail.
+			return nil, fmt.Errorf("journal: %s line %d: %v", path, badLine, badErr)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: scan %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// Append marshals data, assigns the next sequence number and writes the
+// event as one JSON line, flushing it to the kernel before returning. The
+// event is fsync-durable within the configured batch window.
+func (w *Writer) Append(typ, ws, dataset string, data any) (Event, error) {
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return Event{}, fmt.Errorf("journal: marshal %s event: %w", typ, err)
+		}
+		raw = b
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return Event{}, w.err
+	}
+	ev := Event{Seq: w.seq + 1, Type: typ, WS: ws, Dataset: dataset, Data: raw}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return Event{}, fmt.Errorf("journal: marshal event: %w", err)
+	}
+	if _, err := w.f.Write(append(line, '\n')); err != nil {
+		w.err = fmt.Errorf("journal: append: %w", err)
+		return Event{}, w.err
+	}
+	w.seq = ev.Seq
+	w.since++
+	w.pending++
+	w.dirty = true
+	if w.pending >= w.opts.SyncEvery {
+		w.syncLocked()
+	}
+	return ev, nil
+}
+
+// SinceRewrite returns the number of appends since the log was last
+// compacted (or opened). Managers use it as the compaction trigger.
+func (w *Writer) SinceRewrite() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.since
+}
+
+// Sync forces an fsync of all appended events.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.syncLocked()
+	return w.err
+}
+
+func (w *Writer) syncLocked() {
+	if !w.dirty || w.err != nil {
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("journal: fsync: %w", err)
+		return
+	}
+	w.dirty = false
+	w.pending = 0
+}
+
+// syncLoop is the background batched-fsync ticker.
+func (w *Writer) syncLoop() {
+	defer close(w.done)
+	if w.opts.SyncInterval < 0 {
+		<-w.stop
+		return
+	}
+	t := time.NewTicker(w.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.mu.Lock()
+			w.syncLocked()
+			w.mu.Unlock()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Rewrite atomically replaces the log's contents with the given events —
+// the snapshot+truncate compaction step. Sequence numbers are reassigned
+// from 1 and subsequent appends continue after them. Callers must ensure no
+// concurrent appender holds state that the new event list does not capture
+// (see workspace.Manager.Compact for the locking discipline).
+func (w *Writer) Rewrite(events []Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	tmp := w.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for i := range events {
+		events[i].Seq = uint64(i + 1)
+		line, err := json.Marshal(events[i])
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("journal: compact marshal: %w", err)
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	syncDir(w.path)
+	old := w.f
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.err = fmt.Errorf("journal: reopen after compact: %w", err)
+		return w.err
+	}
+	old.Close()
+	w.f = nf
+	w.seq = uint64(len(events))
+	w.since = 0
+	w.pending = 0
+	w.dirty = false
+	return nil
+}
+
+// syncDir fsyncs the directory containing path so a rename is durable.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Close stops the background syncer, fsyncs and closes the file.
+func (w *Writer) Close() error {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncLocked()
+	err := w.err
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if w.err == nil {
+		w.err = fmt.Errorf("journal: writer closed")
+	}
+	return err
+}

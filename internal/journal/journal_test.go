@@ -1,0 +1,175 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, path string) (*Writer, []Event) {
+	t.Helper()
+	w, events, err := Open(path, Options{SyncEvery: 1, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, events
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, events := openT(t, path)
+	if len(events) != 0 {
+		t.Fatalf("fresh journal has %d events", len(events))
+	}
+	type payload struct {
+		N int `json:"n"`
+	}
+	for i := 1; i <= 5; i++ {
+		ev, err := w.Append("answer", "ws1", "", payload{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != uint64(i) {
+			t.Fatalf("append %d got seq %d", i, ev.Seq)
+		}
+	}
+	if _, err := w.Append("materialize", "", "directions", payload{N: 6}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("read %d events, want 6", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if got[0].WS != "ws1" || got[0].Type != "answer" {
+		t.Fatalf("bad event: %+v", got[0])
+	}
+	if got[5].Dataset != "directions" {
+		t.Fatalf("bad dataset event: %+v", got[5])
+	}
+	var p payload
+	if err := json.Unmarshal(got[2].Data, &p); err != nil || p.N != 3 {
+		t.Fatalf("payload round trip: %+v err=%v", p, err)
+	}
+
+	// Reopening continues the sequence after the existing events.
+	w2, events2 := openT(t, path)
+	if len(events2) != 6 {
+		t.Fatalf("reopen read %d events", len(events2))
+	}
+	ev, err := w2.Append("evict", "ws1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 7 {
+		t.Fatalf("continued seq = %d, want 7", ev.Seq)
+	}
+}
+
+func TestReadAllMissingFile(t *testing.T) {
+	events, err := ReadAll(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || events != nil {
+		t.Fatalf("missing file: events=%v err=%v", events, err)
+	}
+}
+
+// TestTornTailTolerated simulates a crash mid-append: a truncated final line
+// must be dropped silently, and appending afterwards must keep the log
+// readable.
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _ := openT(t, path)
+	w.Append("create", "ws1", "", nil)
+	w.Append("answer", "ws1", "", nil)
+	w.Close()
+	// Tear the last line in half.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != "create" {
+		t.Fatalf("torn tail: got %+v", events)
+	}
+}
+
+// TestMidFileCorruptionIsAnError distinguishes a torn tail (crash) from real
+// corruption: a bad line followed by valid lines must fail loudly.
+func TestMidFileCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"seq":1,"type":"create","ws":"a"}` + "\n" +
+		`garbage not json` + "\n" +
+		`{"seq":3,"type":"answer","ws":"a"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(path); err == nil {
+		t.Fatal("mid-file corruption should be an error")
+	}
+}
+
+func TestRewriteCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _ := openT(t, path)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append("answer", "ws1", "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.SinceRewrite() != 10 {
+		t.Fatalf("SinceRewrite = %d", w.SinceRewrite())
+	}
+	snap, _ := json.Marshal(map[string]int{"state": 42})
+	if err := w.Rewrite([]Event{{Type: "snapshot", WS: "ws1", Data: snap}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.SinceRewrite() != 0 {
+		t.Fatalf("SinceRewrite after compaction = %d", w.SinceRewrite())
+	}
+	// Appends continue after the rewritten events, into the new file.
+	if _, err := w.Append("answer", "ws1", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Type != "snapshot" || events[1].Seq != 2 {
+		t.Fatalf("compacted log: %+v", events)
+	}
+}
+
+func TestCloseFlushesAndSticks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _, err := Open(path, Options{SyncEvery: 1000, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("create", "ws1", "", nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append("answer", "ws1", "", nil); err == nil {
+		t.Fatal("append after close should fail")
+	}
+	events, err := ReadAll(path)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("after close: %d events, err=%v", len(events), err)
+	}
+}

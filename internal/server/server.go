@@ -14,6 +14,22 @@
 //	GET  /v1/sessions/{id}/report      accepted rules + full query history
 //	GET  /v1/sessions/{id}/export      JSONL labeled corpus (text/plain lines)
 //	DELETE /v1/sessions/{id}           drop a session early
+//
+// Multi-annotator workspaces (durable when a journal is configured — see
+// internal/workspace and internal/journal):
+//
+//	POST /v1/workspaces                          create {dataset, seed_rules, ...}
+//	POST /v1/workspaces/{id}/annotators          attach {annotator}
+//	DELETE /v1/workspaces/{id}/annotators/{name} detach an annotator
+//	GET  /v1/workspaces/{id}/suggest?annotator=a next rule assigned to annotator a
+//	POST /v1/workspaces/{id}/answer              {annotator, key, accept}
+//	GET  /v1/workspaces/{id}/report              shared rules/history + per-annotator stats
+//	GET  /v1/workspaces/{id}/export              JSONL labeled corpus of the shared P
+//	DELETE /v1/workspaces/{id}                   evict a workspace
+//
+// When Config.Token is set, every /v1/* endpoint requires
+// "Authorization: Bearer <token>" (healthz stays open); Config.RatePerSec
+// adds a per-IP token-bucket rate limit across all endpoints.
 package server
 
 import (
@@ -25,6 +41,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/workspace"
 )
 
 // Dataset is one corpus served by the server: a name and the shared engine
@@ -48,17 +66,43 @@ type Config struct {
 	// (default 16), keeping a single request from monopolizing the index
 	// write lock.
 	MaxSeedRules int
+
+	// JournalPath, when non-empty, makes workspaces durable: every
+	// workspace event is appended to this JSONL write-ahead log, and New
+	// replays it to recover workspaces from a previous process.
+	JournalPath string
+	// WorkspaceTTL evicts workspaces idle longer than this (default 2h).
+	WorkspaceTTL time.Duration
+	// MaxWorkspaces bounds the number of live workspaces (default 256).
+	MaxWorkspaces int
+	// CompactEvery compacts the journal (snapshot+truncate) after this many
+	// appends (default 4096; negative disables).
+	CompactEvery int
+
+	// Token, when non-empty, requires "Authorization: Bearer <token>" on
+	// every /v1/* endpoint.
+	Token string
+	// RatePerSec, when positive, rate-limits each client IP to this many
+	// requests per second with a burst of RateBurst (default 2×RatePerSec).
+	RatePerSec float64
+	// RateBurst is the per-IP burst size.
+	RateBurst int
 }
 
 // Server is the HTTP front end. It implements http.Handler.
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped with auth / rate-limit middleware
 	datasets map[string]*Dataset
 	store    *Store
+	mgr      *workspace.Manager
+	recovery workspace.RecoveryStats
 }
 
-// New creates a server over the given datasets.
+// New creates a server over the given datasets. When Config.JournalPath is
+// set it opens the journal and recovers all journaled workspaces before
+// returning, so the server starts serving with the pre-crash state live.
 func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 	if len(datasets) == 0 {
 		return nil, errors.New("server: at least one dataset is required")
@@ -72,6 +116,7 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 		datasets: make(map[string]*Dataset, len(datasets)),
 		store:    NewStore(cfg.SessionTTL, cfg.MaxSessions),
 	}
+	engines := make(map[string]*core.Engine, len(datasets))
 	for _, d := range datasets {
 		if d == nil || d.Engine == nil || d.Name == "" {
 			return nil, errors.New("server: dataset must have a name and an engine")
@@ -80,6 +125,24 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 			return nil, fmt.Errorf("server: duplicate dataset %q", d.Name)
 		}
 		s.datasets[d.Name] = d
+		engines[d.Name] = d.Engine
+	}
+	var jw *journal.Writer
+	var events []journal.Event
+	if cfg.JournalPath != "" {
+		var err error
+		jw, events, err = journal.Open(cfg.JournalPath, journal.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.mgr = workspace.NewManager(engines, jw, workspace.ManagerConfig{
+		TTL:           cfg.WorkspaceTTL,
+		MaxWorkspaces: cfg.MaxWorkspaces,
+		CompactEvery:  cfg.CompactEvery,
+	})
+	if len(events) > 0 {
+		s.recovery = s.mgr.Recover(events)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -88,14 +151,34 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/workspaces", s.handleWSCreate)
+	s.mux.HandleFunc("POST /v1/workspaces/{id}/annotators", s.handleWSAttach)
+	s.mux.HandleFunc("DELETE /v1/workspaces/{id}/annotators/{name}", s.handleWSDetach)
+	s.mux.HandleFunc("GET /v1/workspaces/{id}/suggest", s.handleWSSuggest)
+	s.mux.HandleFunc("POST /v1/workspaces/{id}/answer", s.handleWSAnswer)
+	s.mux.HandleFunc("GET /v1/workspaces/{id}/report", s.handleWSReport)
+	s.mux.HandleFunc("GET /v1/workspaces/{id}/export", s.handleWSExport)
+	s.mux.HandleFunc("DELETE /v1/workspaces/{id}", s.handleWSDelete)
+	s.handler = s.middleware(s.mux)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Store exposes the session store (for the janitor and diagnostics).
 func (s *Server) Store() *Store { return s.store }
+
+// Workspaces exposes the workspace manager (janitor, shutdown flush,
+// diagnostics).
+func (s *Server) Workspaces() *workspace.Manager { return s.mgr }
+
+// Recovery reports what was replayed from the journal at startup.
+func (s *Server) Recovery() workspace.RecoveryStats { return s.recovery }
+
+// Close flushes and closes the workspace journal. Call after the HTTP
+// server has drained.
+func (s *Server) Close() error { return s.mgr.Close() }
 
 // DatasetNames returns the served dataset names, sorted.
 func (s *Server) DatasetNames() []string {
@@ -114,9 +197,12 @@ type errorJSON struct {
 }
 
 type healthJSON struct {
-	Status   string   `json:"status"`
-	Datasets []string `json:"datasets"`
-	Sessions int      `json:"sessions"`
+	Status     string   `json:"status"`
+	Datasets   []string `json:"datasets"`
+	Sessions   int      `json:"sessions"`
+	Workspaces int      `json:"workspaces"`
+	// Recovered counts workspaces replayed from the journal at startup.
+	Recovered int `json:"recovered,omitempty"`
 	// Step-latency aggregate across every suggest call served (wall-clock of
 	// Session.Next as seen by the handler).
 	Steps          int64   `json:"steps"`
@@ -228,6 +314,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:         "ok",
 		Datasets:       s.DatasetNames(),
 		Sessions:       s.store.Len(),
+		Workspaces:     s.mgr.Len(),
+		Recovered:      s.recovery.Workspaces,
 		Steps:          steps,
 		LastStepMillis: millis(last),
 		AvgStepMillis:  millis(avg),

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/workspace"
+)
+
+// --- workspace wire format ---
+
+type wsCreateRequest struct {
+	Dataset         string   `json:"dataset"`
+	SeedRules       []string `json:"seed_rules,omitempty"`
+	SeedPositiveIDs []int    `json:"seed_positive_ids,omitempty"`
+	Budget          int      `json:"budget,omitempty"`
+	Seed            int64    `json:"seed,omitempty"`
+}
+
+type wsCreateResponse struct {
+	ID        string           `json:"id"`
+	Dataset   string           `json:"dataset"`
+	Budget    int              `json:"budget"`
+	Positives int              `json:"positives"`
+	SeedRules []ruleRecordJSON `json:"seed_rules,omitempty"`
+}
+
+type wsAttachRequest struct {
+	Annotator string `json:"annotator"`
+}
+
+type wsAnswerRequest struct {
+	Annotator string `json:"annotator"`
+	Key       string `json:"key"`
+	Accept    bool   `json:"accept"`
+}
+
+type wsAnswerResponse struct {
+	Record     wsRecordJSON `json:"record"`
+	Done       bool         `json:"done"`
+	BudgetLeft int          `json:"budget_left"`
+	Positives  int          `json:"positives"`
+}
+
+type wsRecordJSON struct {
+	ruleRecordJSON
+	Annotator string `json:"annotator,omitempty"`
+}
+
+type wsSuggestResponse struct {
+	Done        bool         `json:"done"`
+	Question    int          `json:"question"`
+	BudgetLeft  int          `json:"budget_left"`
+	Key         string       `json:"key,omitempty"`
+	Rule        string       `json:"rule,omitempty"`
+	Coverage    int          `json:"coverage"`
+	NewCoverage int          `json:"new_coverage"`
+	Benefit     float64      `json:"benefit"`
+	AvgBenefit  float64      `json:"avg_benefit"`
+	Samples     []sampleJSON `json:"samples,omitempty"`
+}
+
+type wsAnnotatorJSON struct {
+	Name       string `json:"name"`
+	Questions  int    `json:"questions"`
+	Accepts    int    `json:"accepts"`
+	PendingKey string `json:"pending_key,omitempty"`
+}
+
+type wsClassifierJSON struct {
+	Retrains           int     `json:"retrains"`
+	MeanScore          float64 `json:"mean_score"`
+	PredictedPositives int     `json:"predicted_positives"`
+}
+
+// wsReportResponse carries only state that is deterministic under replay
+// (no process-local counters), so clients may compare reports across
+// restarts byte for byte.
+type wsReportResponse struct {
+	ID          string            `json:"id"`
+	Dataset     string            `json:"dataset"`
+	Budget      int               `json:"budget"`
+	Questions   int               `json:"questions"`
+	Done        bool              `json:"done"`
+	Positives   int               `json:"positives"`
+	PositiveIDs []int             `json:"positive_ids"`
+	Accepted    []wsRecordJSON    `json:"accepted"`
+	History     []wsRecordJSON    `json:"history"`
+	Annotators  []wsAnnotatorJSON `json:"annotators"`
+	Classifier  wsClassifierJSON  `json:"classifier"`
+	EventSeq    uint64            `json:"event_seq"`
+}
+
+func wsRecord(rec workspace.Record) wsRecordJSON {
+	return wsRecordJSON{ruleRecordJSON: recordJSON(rec.RuleRecord), Annotator: rec.Annotator}
+}
+
+// wsError maps workspace errors to HTTP statuses.
+func wsError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, workspace.ErrUnknownWorkspace), errors.Is(err, workspace.ErrUnknownAnnotator):
+		status = http.StatusNotFound
+	case errors.Is(err, workspace.ErrDuplicateAnnotator), errors.Is(err, workspace.ErrNoPending), errors.Is(err, workspace.ErrKeyMismatch):
+		status = http.StatusConflict
+	case errors.Is(err, workspace.ErrJournal):
+		status = http.StatusServiceUnavailable
+	}
+	writeError(w, status, "%v", err)
+}
+
+// --- workspace handlers ---
+
+func (s *Server) handleWSCreate(w http.ResponseWriter, r *http.Request) {
+	var req wsCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if _, ok := s.datasets[req.Dataset]; !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q (have %v)", req.Dataset, s.DatasetNames())
+		return
+	}
+	if len(req.SeedRules) > s.cfg.MaxSeedRules {
+		writeError(w, http.StatusBadRequest, "too many seed rules (%d > %d)", len(req.SeedRules), s.cfg.MaxSeedRules)
+		return
+	}
+	budget := req.Budget
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	ws, err := s.mgr.Create(req.Dataset, workspace.Options{
+		SeedRules:       req.SeedRules,
+		SeedPositiveIDs: req.SeedPositiveIDs,
+		Budget:          budget,
+		Seed:            req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep := ws.Report()
+	resp := wsCreateResponse{
+		ID:        ws.ID(),
+		Dataset:   ws.Dataset(),
+		Budget:    ws.Budget(),
+		Positives: rep.PositiveCount,
+	}
+	for _, rec := range rep.Accepted {
+		resp.SeedRules = append(resp.SeedRules, recordJSON(rec.RuleRecord))
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleWSAttach(w http.ResponseWriter, r *http.Request) {
+	var req wsAttachRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Annotator == "" {
+		writeError(w, http.StatusBadRequest, "annotator name is required")
+		return
+	}
+	if err := s.mgr.Attach(r.PathValue("id"), req.Annotator); err != nil {
+		wsError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"annotator": req.Annotator})
+}
+
+func (s *Server) handleWSDetach(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Detach(r.PathValue("id"), r.PathValue("name")); err != nil {
+		wsError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWSSuggest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name := r.URL.Query().Get("annotator")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "annotator query parameter is required")
+		return
+	}
+	ws, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", id)
+		return
+	}
+	sug, more, err := s.mgr.Suggest(id, name)
+	if err != nil {
+		wsError(w, err)
+		return
+	}
+	if !more {
+		rep := ws.Report()
+		writeJSON(w, http.StatusOK, wsSuggestResponse{Done: true, BudgetLeft: rep.Budget - rep.Questions})
+		return
+	}
+	// Question/BudgetLeft were fixed under the workspace lock at assignment
+	// time, counting outstanding assignments, so concurrent annotators see
+	// distinct question numbers.
+	resp := wsSuggestResponse{
+		Question:    sug.Question,
+		BudgetLeft:  sug.BudgetLeft,
+		Key:         sug.Key,
+		Rule:        sug.Rule,
+		Coverage:    sug.Coverage,
+		NewCoverage: sug.NewCoverage,
+		Benefit:     sug.Benefit,
+		AvgBenefit:  sug.AvgBenefit,
+	}
+	corp := s.datasets[ws.Dataset()].Engine.Corpus()
+	for _, sid := range sug.SampleIDs {
+		if sent := corp.Sentence(sid); sent != nil {
+			resp.Samples = append(resp.Samples, sampleJSON{ID: sid, Text: sent.Text})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWSAnswer(w http.ResponseWriter, r *http.Request) {
+	var req wsAnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	id := r.PathValue("id")
+	ws, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", id)
+		return
+	}
+	rec, err := s.mgr.Answer(id, req.Annotator, req.Key, req.Accept)
+	if err != nil {
+		wsError(w, err)
+		return
+	}
+	// Derive done/budget from the answered record itself (rec.Question is
+	// the question number this answer was committed as), not from a second
+	// unsynchronized report read.
+	budget := ws.Budget()
+	writeJSON(w, http.StatusOK, wsAnswerResponse{
+		Record:     wsRecord(rec),
+		Done:       rec.Question >= budget,
+		BudgetLeft: budget - rec.Question,
+		Positives:  rec.PositivesAfter,
+	})
+}
+
+func (s *Server) handleWSReport(w http.ResponseWriter, r *http.Request) {
+	ws, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", r.PathValue("id"))
+		return
+	}
+	rep := ws.Report()
+	resp := wsReportResponse{
+		ID:          rep.ID,
+		Dataset:     rep.Dataset,
+		Budget:      rep.Budget,
+		Questions:   rep.Questions,
+		Done:        rep.Done,
+		Positives:   rep.PositiveCount,
+		PositiveIDs: rep.Positives,
+		Accepted:    make([]wsRecordJSON, 0, len(rep.Accepted)),
+		History:     make([]wsRecordJSON, 0, len(rep.History)),
+		Classifier:  wsClassifierJSON(rep.Classifier),
+		EventSeq:    rep.EventSeq,
+	}
+	for _, rec := range rep.Accepted {
+		resp.Accepted = append(resp.Accepted, wsRecord(rec))
+	}
+	for _, rec := range rep.History {
+		resp.History = append(resp.History, wsRecord(rec))
+	}
+	for _, an := range rep.Annotators {
+		resp.Annotators = append(resp.Annotators, wsAnnotatorJSON{
+			Name:       an.Name,
+			Questions:  an.Questions,
+			Accepts:    an.Accepts,
+			PendingKey: an.PendingKey,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWSExport(w http.ResponseWriter, r *http.Request) {
+	ws, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", r.PathValue("id"))
+		return
+	}
+	d := s.datasets[ws.Dataset()]
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := d.Engine.Corpus().WriteLabeledJSONL(w, ws.PositivesMap()); err != nil {
+		// Headers are already sent; the truncated body is all we can signal.
+		return
+	}
+}
+
+func (s *Server) handleWSDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Evict(r.PathValue("id"), "deleted") {
+		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

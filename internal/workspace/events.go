@@ -1,0 +1,59 @@
+package workspace
+
+// Journal event types emitted by the manager and the workspace apply
+// methods. Replay applies them in file order through the same code paths
+// that served live traffic (see Manager.Recover).
+const (
+	evCreate      = "create"
+	evAttach      = "attach"
+	evDetach      = "detach"
+	evSuggest     = "suggest"
+	evAnswer      = "answer"
+	evEvict       = "evict"
+	evMaterialize = "materialize"
+	evSnapshot    = "snapshot"
+)
+
+// createData records a workspace creation with the budget and seed already
+// resolved against the engine defaults, so replay does not depend on server
+// configuration at restart time. CorpusLen pins the corpus the workspace
+// was created over; recovery refuses to replay onto a different corpus.
+type createData struct {
+	Dataset   string `json:"dataset"`
+	CorpusLen int    `json:"corpus_len"`
+	Options
+}
+
+type attachData struct {
+	Annotator string `json:"annotator"`
+}
+
+type detachData struct {
+	Annotator string `json:"annotator"`
+}
+
+// suggestData records which rule the deterministic selection assigned, so
+// replay can verify it recomputes the same assignment (a mismatch means the
+// engine was rebuilt differently and the workspace cannot be recovered).
+type suggestData struct {
+	Annotator string `json:"annotator"`
+	Key       string `json:"key"`
+}
+
+type answerData struct {
+	Annotator string `json:"annotator"`
+	Key       string `json:"key"`
+	Accept    bool   `json:"accept"`
+}
+
+type evictData struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// materializeData records seed-rule materializations into a dataset's
+// shared index — the one post-build index mutation. These events are
+// appended under the engine's index write lock, so their journal order
+// matches the order concurrent hierarchy generations observed them.
+type materializeData struct {
+	Specs []string `json:"specs"`
+}

@@ -1,0 +1,589 @@
+package workspace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+// Default manager limits.
+const (
+	DefaultTTL           = 2 * time.Hour
+	DefaultMaxWorkspaces = 256
+	DefaultCompactEvery  = 4096
+)
+
+// ManagerConfig tunes the workspace manager.
+type ManagerConfig struct {
+	// TTL evicts workspaces idle longer than this (default 2h).
+	TTL time.Duration
+	// MaxWorkspaces bounds the number of live workspaces (default 256).
+	MaxWorkspaces int
+	// CompactEvery triggers snapshot+truncate compaction of the journal
+	// after this many appends (default 4096; negative disables).
+	CompactEvery int
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.TTL <= 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.MaxWorkspaces <= 0 {
+		c.MaxWorkspaces = DefaultMaxWorkspaces
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = DefaultCompactEvery
+	}
+	return c
+}
+
+type entry struct {
+	ws       *Workspace
+	lastUsed time.Time
+}
+
+// Manager owns the live workspaces of a server, their journal, and the
+// recovery path. All state-changing operations go through Manager methods,
+// which hold the appender gate so compaction can exclude them; read-only
+// workspace methods (Report, PositivesMap, HierarchyGenerations) may be
+// called directly on the *Workspace returned by Get.
+type Manager struct {
+	cfg     ManagerConfig
+	engines map[string]*core.Engine
+	jw      *journal.Writer
+
+	// gate is the appender gate: every journaling operation runs under
+	// RLock for its duration, and Compact takes Lock so the snapshot it
+	// writes captures every acknowledged event.
+	gate sync.RWMutex
+
+	mu    sync.Mutex
+	items map[string]*entry
+	now   func() time.Time
+
+	// matMu serializes materialize-hook appends (which run under the
+	// engines' index write locks, outside the gate) with compaction, and
+	// guards the record of journaled materializations that compaction must
+	// preserve.
+	matMu    sync.Mutex
+	matSpecs map[string][]string
+	matSeen  map[string]map[string]bool
+
+	recovering atomic.Bool
+	compacting atomic.Bool
+}
+
+// NewManager creates a manager over the given engines (dataset name →
+// engine). jw may be nil for a volatile (journal-less) manager. The manager
+// registers itself as each engine's materialize hook, so every seed-rule
+// materialization — including ones from the plain session API — is
+// journaled in index-lock order.
+func NewManager(engines map[string]*core.Engine, jw *journal.Writer, cfg ManagerConfig) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		engines:  engines,
+		jw:       jw,
+		items:    make(map[string]*entry),
+		now:      time.Now,
+		matSpecs: make(map[string][]string),
+		matSeen:  make(map[string]map[string]bool),
+	}
+	if jw != nil {
+		for name, eng := range engines {
+			name := name
+			eng.SetMaterializeHook(func(specs []string) { m.onMaterialize(name, specs) })
+		}
+	}
+	return m
+}
+
+// onMaterialize journals fresh seed-rule materializations. It is called
+// under the engine's index write lock; see core.SetMaterializeHook.
+func (m *Manager) onMaterialize(dataset string, specs []string) {
+	if m.jw == nil || m.recovering.Load() {
+		return
+	}
+	m.matMu.Lock()
+	defer m.matMu.Unlock()
+	fresh := m.recordMaterializedLocked(dataset, specs)
+	if len(fresh) > 0 {
+		m.jw.Append(evMaterialize, "", dataset, materializeData{Specs: fresh})
+	}
+}
+
+// recordMaterializedLocked dedups specs against everything already journaled
+// for the dataset and records the fresh ones. Callers hold matMu.
+func (m *Manager) recordMaterializedLocked(dataset string, specs []string) []string {
+	seen := m.matSeen[dataset]
+	if seen == nil {
+		seen = make(map[string]bool)
+		m.matSeen[dataset] = seen
+	}
+	var fresh []string
+	for _, spec := range specs {
+		if spec == "" || seen[spec] {
+			continue
+		}
+		seen[spec] = true
+		m.matSpecs[dataset] = append(m.matSpecs[dataset], spec)
+		fresh = append(fresh, spec)
+	}
+	return fresh
+}
+
+// logFor returns the workspace's journaling callback. Appends are suppressed
+// during recovery (replay must not re-journal the events it is reading); an
+// append failure propagates to the workspace, which stops accepting new
+// state changes rather than acknowledge undurable work.
+func (m *Manager) logFor(id string) LogFunc {
+	if m.jw == nil {
+		return nil
+	}
+	return func(typ string, data any) error {
+		if m.recovering.Load() {
+			return nil
+		}
+		_, err := m.jw.Append(typ, id, "", data)
+		if err == nil && m.cfg.CompactEvery > 0 && m.jw.SinceRewrite() >= m.cfg.CompactEvery {
+			go m.Compact()
+		}
+		return err
+	}
+}
+
+func newWorkspaceID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("workspace: generate id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Create builds a new workspace on the named dataset's engine, resolving
+// budget and seed against the engine defaults, and journals its creation.
+func (m *Manager) Create(dataset string, opts Options) (*Workspace, error) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	eng, ok := m.engines[dataset]
+	if !ok {
+		return nil, fmt.Errorf("workspace: unknown dataset %q", dataset)
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = eng.DefaultBudget()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = eng.DefaultSeed()
+	}
+	m.mu.Lock()
+	m.sweepLocked(m.now())
+	full := len(m.items) >= m.cfg.MaxWorkspaces
+	m.mu.Unlock()
+	if full {
+		return nil, fmt.Errorf("workspace: limit reached (%d live workspaces)", m.cfg.MaxWorkspaces)
+	}
+	id, err := newWorkspaceID()
+	if err != nil {
+		return nil, err
+	}
+	ws, err := New(eng, id, dataset, opts, m.logFor(id))
+	if err != nil {
+		return nil, err
+	}
+	// The create event follows the materialize events New just fired, the
+	// same order recovery applies them in. A failed append fails the
+	// create: an unjournaled workspace would silently lose all its work at
+	// the next restart.
+	if m.jw != nil {
+		if _, err := m.jw.Append(evCreate, id, "", createData{Dataset: dataset, CorpusLen: eng.Corpus().Len(), Options: opts}); err != nil {
+			return nil, fmt.Errorf("workspace: %w: %v", ErrJournal, err)
+		}
+	}
+	m.mu.Lock()
+	m.items[id] = &entry{ws: ws, lastUsed: m.now()}
+	m.mu.Unlock()
+	return ws, nil
+}
+
+// Get returns the live workspace with the given ID, refreshing its idle
+// timer. Expired workspaces are evicted and treated as absent.
+func (m *Manager) Get(id string) (*Workspace, bool) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	return m.get(id)
+}
+
+func (m *Manager) get(id string) (*Workspace, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	en, ok := m.items[id]
+	if !ok {
+		return nil, false
+	}
+	now := m.now()
+	if now.Sub(en.lastUsed) > m.cfg.TTL {
+		m.evictLocked(id, "ttl")
+		return nil, false
+	}
+	en.lastUsed = now
+	return en.ws, true
+}
+
+// Attach adds an annotator to a workspace.
+func (m *Manager) Attach(id, name string) error {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	ws, ok := m.get(id)
+	if !ok {
+		return errUnknown(id)
+	}
+	return ws.Attach(name)
+}
+
+// Detach removes an annotator from a workspace.
+func (m *Manager) Detach(id, name string) error {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	ws, ok := m.get(id)
+	if !ok {
+		return errUnknown(id)
+	}
+	return ws.Detach(name)
+}
+
+// Suggest returns (or assigns) the annotator's next suggestion.
+func (m *Manager) Suggest(id, name string) (Suggestion, bool, error) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	ws, ok := m.get(id)
+	if !ok {
+		return Suggestion{}, false, errUnknown(id)
+	}
+	return ws.Suggest(name)
+}
+
+// Answer records an annotator's verdict.
+func (m *Manager) Answer(id, name, key string, accept bool) (Record, error) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	ws, ok := m.get(id)
+	if !ok {
+		return Record{}, errUnknown(id)
+	}
+	return ws.Answer(name, key, accept)
+}
+
+// Evict drops a workspace (journaling the eviction so replay drops it too)
+// and reports whether it existed.
+func (m *Manager) Evict(id, reason string) bool {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.items[id]; !ok {
+		return false
+	}
+	m.evictLocked(id, reason)
+	return true
+}
+
+// evictLocked removes a workspace and journals the eviction. Callers hold
+// m.mu (and the gate read lock).
+func (m *Manager) evictLocked(id, reason string) {
+	delete(m.items, id)
+	if m.jw != nil && !m.recovering.Load() {
+		m.jw.Append(evEvict, id, "", evictData{Reason: reason})
+	}
+}
+
+// Sweep evicts all workspaces idle longer than the TTL and returns how many
+// were removed.
+func (m *Manager) Sweep() int {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked(m.now())
+}
+
+func (m *Manager) sweepLocked(now time.Time) int {
+	n := 0
+	for id, en := range m.items {
+		if now.Sub(en.lastUsed) > m.cfg.TTL {
+			m.evictLocked(id, "ttl")
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of live workspaces.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// IDs returns the live workspace IDs, sorted.
+func (m *Manager) IDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.items))
+	for id := range m.items {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Janitor sweeps expired workspaces every interval until stop is closed.
+func (m *Manager) Janitor(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.Sweep()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Compact rewrites the journal as (materialize events, one snapshot per
+// live workspace), truncating the event history. It excludes every
+// journaling operation via the appender gate, so the snapshots capture all
+// acknowledged events; engine-level materialize appends (which run outside
+// the gate, under index locks) are excluded via matMu.
+func (m *Manager) Compact() error {
+	if m.jw == nil {
+		return nil
+	}
+	if !m.compacting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer m.compacting.Store(false)
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	m.matMu.Lock()
+	defer m.matMu.Unlock()
+
+	var events []journal.Event
+	datasets := make([]string, 0, len(m.matSpecs))
+	for d := range m.matSpecs {
+		datasets = append(datasets, d)
+	}
+	sort.Strings(datasets)
+	for _, d := range datasets {
+		data, err := json.Marshal(materializeData{Specs: m.matSpecs[d]})
+		if err != nil {
+			return fmt.Errorf("workspace: compact: %w", err)
+		}
+		events = append(events, journal.Event{Type: evMaterialize, Dataset: d, Data: data})
+	}
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.items))
+	for id := range m.items {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		data, err := json.Marshal(m.items[id].ws.Snapshot())
+		if err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("workspace: compact snapshot %s: %w", id, err)
+		}
+		events = append(events, journal.Event{Type: evSnapshot, WS: id, Data: data})
+	}
+	m.mu.Unlock()
+	return m.jw.Rewrite(events)
+}
+
+// Sync forces the journal to disk (no-op without a journal).
+func (m *Manager) Sync() error {
+	if m.jw == nil {
+		return nil
+	}
+	return m.jw.Sync()
+}
+
+// Close flushes and closes the journal (no-op without a journal). Call it
+// on graceful shutdown after the HTTP server has drained.
+func (m *Manager) Close() error {
+	if m.jw == nil {
+		return nil
+	}
+	return m.jw.Close()
+}
+
+func errUnknown(id string) error {
+	return fmt.Errorf("workspace: %q: %w", id, ErrUnknownWorkspace)
+}
+
+// RecoveryStats reports what Recover reconstructed.
+type RecoveryStats struct {
+	// Events is the number of journal events read.
+	Events int
+	// Workspaces is the number of live workspaces after recovery.
+	Workspaces int
+	// Skipped maps workspace IDs that could not be recovered to the reason.
+	Skipped map[string]string
+}
+
+// Recover replays a journal's events through the same apply methods that
+// served them live, reconstructing every live workspace byte-identically.
+// It must be called once, before the manager serves traffic. Workspaces
+// whose replay fails (missing dataset, corpus mismatch, or a suggest that
+// no longer recomputes the journaled assignment) are skipped and reported
+// in the stats; the rest recover normally.
+func (m *Manager) Recover(events []journal.Event) RecoveryStats {
+	m.recovering.Store(true)
+	defer m.recovering.Store(false)
+	stats := RecoveryStats{Skipped: make(map[string]string)}
+	broken := stats.Skipped
+	fail := func(id, format string, args ...any) {
+		broken[id] = fmt.Sprintf(format, args...)
+		m.mu.Lock()
+		delete(m.items, id)
+		m.mu.Unlock()
+	}
+	decode := func(raw json.RawMessage, v any) bool {
+		return json.Unmarshal(raw, v) == nil
+	}
+	for _, ev := range events {
+		stats.Events++
+		switch ev.Type {
+		case evMaterialize:
+			var d materializeData
+			eng, ok := m.engines[ev.Dataset]
+			if !ok || !decode(ev.Data, &d) {
+				continue
+			}
+			for _, spec := range d.Specs {
+				eng.MaterializeRule(spec)
+			}
+			m.matMu.Lock()
+			m.recordMaterializedLocked(ev.Dataset, d.Specs)
+			m.matMu.Unlock()
+		case evCreate:
+			if _, bad := broken[ev.WS]; bad {
+				continue
+			}
+			var d createData
+			if !decode(ev.Data, &d) {
+				fail(ev.WS, "corrupt create event")
+				continue
+			}
+			eng, ok := m.engines[d.Dataset]
+			if !ok {
+				fail(ev.WS, "dataset %q is not served", d.Dataset)
+				continue
+			}
+			if eng.Corpus().Len() != d.CorpusLen {
+				fail(ev.WS, "corpus has %d sentences, workspace was created over %d", eng.Corpus().Len(), d.CorpusLen)
+				continue
+			}
+			ws, err := New(eng, ev.WS, d.Dataset, d.Options, m.logFor(ev.WS))
+			if err != nil {
+				fail(ev.WS, "replay create: %v", err)
+				continue
+			}
+			m.mu.Lock()
+			m.items[ev.WS] = &entry{ws: ws, lastUsed: m.now()}
+			m.mu.Unlock()
+		case evSnapshot:
+			var snap Snapshot
+			if !decode(ev.Data, &snap) {
+				fail(ev.WS, "corrupt snapshot event")
+				continue
+			}
+			eng, ok := m.engines[snap.Dataset]
+			if !ok {
+				fail(ev.WS, "dataset %q is not served", snap.Dataset)
+				continue
+			}
+			ws, err := Restore(eng, &snap, m.logFor(ev.WS))
+			if err != nil {
+				fail(ev.WS, "restore snapshot: %v", err)
+				continue
+			}
+			delete(broken, ev.WS) // the snapshot is authoritative
+			m.mu.Lock()
+			m.items[ev.WS] = &entry{ws: ws, lastUsed: m.now()}
+			m.mu.Unlock()
+		case evAttach:
+			var d attachData
+			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
+				if err := ws.Attach(d.Annotator); err != nil {
+					fail(ev.WS, "replay attach: %v", err)
+				}
+			}
+		case evDetach:
+			var d detachData
+			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
+				if err := ws.Detach(d.Annotator); err != nil {
+					fail(ev.WS, "replay detach: %v", err)
+				}
+			}
+		case evSuggest:
+			var d suggestData
+			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
+				sug, ok, err := ws.Suggest(d.Annotator)
+				switch {
+				case err != nil:
+					fail(ev.WS, "replay suggest: %v", err)
+				case !ok:
+					fail(ev.WS, "replay suggest for %q produced no assignment (journaled %q)", d.Annotator, d.Key)
+				case sug.Key != d.Key:
+					fail(ev.WS, "replay diverged: suggest recomputed %q, journal says %q (engine rebuilt differently?)", sug.Key, d.Key)
+				}
+			}
+		case evAnswer:
+			var d answerData
+			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
+				if _, err := ws.Answer(d.Annotator, d.Key, d.Accept); err != nil {
+					fail(ev.WS, "replay answer: %v", err)
+				}
+			}
+		case evEvict:
+			m.mu.Lock()
+			delete(m.items, ev.WS)
+			m.mu.Unlock()
+			delete(broken, ev.WS)
+		}
+	}
+	m.mu.Lock()
+	stats.Workspaces = len(m.items)
+	m.mu.Unlock()
+	return stats
+}
+
+// replayTarget resolves the workspace an event applies to during recovery.
+// Events for unknown workspaces are skipped silently: they are the benign
+// trace of an operation that raced a TTL eviction (the live answer landed
+// after the evict event; the final state — workspace gone — is identical).
+func (m *Manager) replayTarget(id string, raw json.RawMessage, v any, broken map[string]string) (*Workspace, bool) {
+	if _, bad := broken[id]; bad {
+		return nil, false
+	}
+	if json.Unmarshal(raw, v) != nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	en, ok := m.items[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return en.ws, true
+}

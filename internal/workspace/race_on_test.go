@@ -1,0 +1,7 @@
+//go:build race
+
+package workspace
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// wall-clock assertions are skipped under its ~10x slowdown.
+const raceEnabled = true

@@ -1,0 +1,162 @@
+package workspace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// Snapshot is the full serialized state of a workspace, written into the
+// journal by compaction. Because every derived RNG is seeded from
+// (Seed, EventSeq) rather than from an evolving stream, restoring a
+// snapshot resumes the exact deterministic event stream a full replay would
+// produce: scores round-trip exactly through JSON (encoding/json emits
+// shortest-round-trip float64), and the classifier model itself need not be
+// captured — the next retrain refits it as a pure function of
+// (positives, seed, event sequence).
+type Snapshot struct {
+	ID        string   `json:"id"`
+	Dataset   string   `json:"dataset"`
+	Seed      int64    `json:"seed"`
+	Budget    int      `json:"budget"`
+	CorpusLen int      `json:"corpus_len"`
+	SeedRules []string `json:"seed_rules,omitempty"`
+
+	// HierarchyGenerations is deliberately absent: it counts regenerations
+	// performed by this process (a restored workspace regenerates its cache
+	// on first use), so it is diagnostics, not logical state.
+	EventSeq  uint64 `json:"event_seq"`
+	Retrains  int    `json:"retrains"`
+	Questions int    `json:"questions"`
+
+	Positives []int     `json:"positives"`
+	Queried   []string  `json:"queried"`
+	Scores    []float64 `json:"scores"`
+
+	Accepted []Record `json:"accepted,omitempty"`
+	History  []Record `json:"history,omitempty"`
+
+	Annotators []AnnotatorSnapshot `json:"annotators,omitempty"`
+}
+
+// AnnotatorSnapshot is one attached annotator's state, in attach order.
+type AnnotatorSnapshot struct {
+	Name      string      `json:"name"`
+	Questions int         `json:"questions"`
+	Accepts   int         `json:"accepts"`
+	Pending   *Suggestion `json:"pending,omitempty"`
+}
+
+// Snapshot captures the workspace's full state.
+func (ws *Workspace) Snapshot() *Snapshot {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	snap := &Snapshot{
+		ID:        ws.id,
+		Dataset:   ws.dataset,
+		Seed:      ws.seed,
+		Budget:    ws.budget,
+		CorpusLen: ws.corpusLen,
+		SeedRules: append([]string(nil), ws.seedRules...),
+		EventSeq:  ws.eventSeq,
+		Retrains:  ws.retrains,
+		Questions: ws.questions,
+		Positives: ws.positiveIDsLocked(),
+		Queried:   sortedStrings(ws.queried),
+		Scores:    append([]float64(nil), ws.scores...),
+		Accepted:  append([]Record(nil), ws.accepted...),
+		History:   append([]Record(nil), ws.history...),
+	}
+	for _, name := range ws.annOrder {
+		an := ws.annotators[name]
+		as := AnnotatorSnapshot{Name: an.name, Questions: an.questions, Accepts: an.accepts}
+		if an.pending != nil {
+			p := *an.pending
+			as.Pending = &p
+		}
+		snap.Annotators = append(snap.Annotators, as)
+	}
+	return snap
+}
+
+// Restore reconstructs a workspace from a snapshot. Seed rules are
+// re-materialized in the shared index (a no-op when the journal's
+// materialize events already replayed them); pending suggestions resolve
+// their coverage from the index, which is immutable for materialized keys.
+func Restore(eng *core.Engine, snap *Snapshot, log LogFunc) (*Workspace, error) {
+	corp := eng.Corpus()
+	if corp.Len() != snap.CorpusLen {
+		return nil, fmt.Errorf("workspace: snapshot %s was taken over a corpus of %d sentences, engine has %d (dataset rebuilt differently?)", snap.ID, snap.CorpusLen, corp.Len())
+	}
+	if len(snap.Scores) != snap.CorpusLen {
+		return nil, fmt.Errorf("workspace: snapshot %s has %d scores for %d sentences", snap.ID, len(snap.Scores), snap.CorpusLen)
+	}
+	for _, spec := range snap.SeedRules {
+		if _, _, err := eng.MaterializeRule(spec); err != nil {
+			return nil, fmt.Errorf("workspace: snapshot %s seed rule %q: %w", snap.ID, spec, err)
+		}
+	}
+	ws := &Workspace{
+		eng:        eng,
+		log:        log,
+		id:         snap.ID,
+		dataset:    snap.Dataset,
+		seed:       snap.Seed,
+		budget:     snap.Budget,
+		corpusLen:  snap.CorpusLen,
+		seedRules:  append([]string(nil), snap.SeedRules...),
+		positives:  make(map[int]bool, len(snap.Positives)),
+		posBits:    bitset.New(snap.CorpusLen),
+		queried:    make(map[string]bool, len(snap.Queried)),
+		scores:     append([]float64(nil), snap.Scores...),
+		clf:        eng.AttachClassifier(snap.Seed),
+		retrains:   snap.Retrains,
+		eventSeq:   snap.EventSeq,
+		questions:  snap.Questions,
+		accepted:   append([]Record(nil), snap.Accepted...),
+		history:    append([]Record(nil), snap.History...),
+		annotators: make(map[string]*annotator, len(snap.Annotators)),
+	}
+	for _, id := range snap.Positives {
+		if id < 0 || id >= snap.CorpusLen {
+			return nil, fmt.Errorf("workspace: snapshot %s has out-of-range positive %d", snap.ID, id)
+		}
+		ws.positives[id] = true
+		ws.posBits.Add(id)
+	}
+	for _, key := range snap.Queried {
+		ws.queried[key] = true
+	}
+	var resolveErr error
+	for _, as := range snap.Annotators {
+		an := &annotator{name: as.Name, questions: as.Questions, accepts: as.Accepts}
+		if as.Pending != nil {
+			p := *as.Pending
+			an.pending = &p
+			eng.WithIndexRead(func(ix *index.Index) {
+				an.pendingCov = ix.Coverage(p.Key)
+			})
+			if an.pendingCov == nil {
+				resolveErr = fmt.Errorf("workspace: snapshot %s: pending rule %q is not in the index", snap.ID, p.Key)
+			}
+		}
+		ws.annotators[as.Name] = an
+		ws.annOrder = append(ws.annOrder, as.Name)
+	}
+	if resolveErr != nil {
+		return nil, resolveErr
+	}
+	return ws, nil
+}
+
+func sortedStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
