@@ -3,14 +3,22 @@
 // prints the discovered rules, the coverage of the discovered positive set,
 // and the quality of the trained classifier.
 //
+// With -remote, the same simulated-oracle loop instead drives a labeler on
+// a running darwind server through the public SDK (pkg/darwin) and the /v2
+// HTTP API; the corpus is generated locally only to play the oracle, so the
+// server must serve the same dataset (same name, scale and seed).
+//
 // Examples:
 //
 //	darwin -dataset directions -seed-rule "best way to get to" -budget 100
 //	darwin -corpus mydata.jsonl -seed-rule "treematch:caused/by" -traversal local
 //	darwin -dataset musicians -scale 0.2 -oracle crowd -crowd-flip 0.05
+//	darwin -remote http://localhost:8080 -dataset directions -budget 50
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +36,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/tokensregex"
 	"repro/internal/treematch"
+	"repro/pkg/darwin"
 )
 
 func main() {
@@ -46,6 +55,8 @@ func main() {
 		oracleKind = flag.String("oracle", "perfect", "oracle: perfect | noisy | crowd")
 		flip       = flag.Float64("flip", 0.05, "per-answer flip rate for the noisy/crowd oracle")
 		verbose    = flag.Bool("v", false, "print every oracle interaction")
+		remote     = flag.String("remote", "", "drive a labeler on this darwind base URL via the SDK instead of running locally")
+		token      = flag.String("token", "", "bearer token for -remote")
 	)
 	flag.Parse()
 
@@ -87,6 +98,11 @@ func main() {
 		o = oracle.NewCrowd(c, *flip, *seed+1)
 	default:
 		fatalf("unknown oracle %q", *oracleKind)
+	}
+
+	if *remote != "" {
+		runRemote(*remote, *token, *dataset, rule, *budget, *seed, o, c, *verbose)
+		return
 	}
 
 	engine, err := core.New(c, cfg)
@@ -144,6 +160,69 @@ func loadCorpus(path, dataset string, scale float64, seed int64) (*corpus.Corpus
 	}
 	c.Preprocess(corpus.PreprocessOptions{Parse: true})
 	return c, nil
+}
+
+// runRemote drives a labeler on a darwind server through the public SDK:
+// the locally generated corpus only plays the oracle (judging the sample
+// sentences each suggestion ships), so it must match the dataset the server
+// serves.
+func runRemote(base, token, dataset, rule string, budget int, seed int64, o oracle.Oracle, c *corpus.Corpus, verbose bool) {
+	ctx := context.Background()
+	client := darwin.NewClient(base, token)
+	lab, err := client.NewLabeler(ctx, darwin.CreateOptions{
+		Dataset:   dataset,
+		SeedRules: []string{rule},
+		Budget:    budget,
+		Seed:      seed,
+	})
+	if err != nil {
+		fatalf("remote create: %v", err)
+	}
+	defer lab.Close(ctx)
+	fmt.Printf("remote labeler %s on %s\n", lab.ID(), base)
+
+	start := time.Now()
+	for {
+		sug, err := lab.Suggest(ctx)
+		if errors.Is(err, darwin.ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			fatalf("remote suggest: %v", err)
+		}
+		ids := make([]int, 0, len(sug.Samples))
+		for _, s := range sug.Samples {
+			ids = append(ids, s.ID)
+		}
+		accept := o.Answer(oracle.Query{Coverage: ids, Samples: ids})
+		if verbose {
+			answer := "NO "
+			if accept {
+				answer = "YES"
+			}
+			fmt.Printf("  q%-3d %s  %-40s coverage=%d\n", sug.Question, answer, sug.Rule, sug.Coverage)
+		}
+		if err := lab.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: accept}); err != nil {
+			fatalf("remote answer: %v", err)
+		}
+	}
+	rep, err := lab.Report(ctx)
+	if err != nil {
+		fatalf("remote report: %v", err)
+	}
+	fmt.Printf("\nseed rule: %s\n", rule)
+	fmt.Printf("questions asked: %d (budget %d)\n", rep.Questions, rep.Budget)
+	fmt.Printf("accepted rules (%d):\n", len(rep.Accepted))
+	for _, rec := range rep.Accepted {
+		fmt.Printf("  q%-3d %-46s coverage=%d\n", rec.Question, rec.Rule, rec.Coverage)
+	}
+	positives := make(map[int]bool, len(rep.PositiveIDs))
+	for _, id := range rep.PositiveIDs {
+		positives[id] = true
+	}
+	fmt.Printf("\ndiscovered positive set: %d sentences, coverage=%.3f precision=%.3f\n",
+		rep.Positives, eval.CoverageOfSet(c, positives), eval.PrecisionOfSet(c, positives))
+	fmt.Printf("total wall clock %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 func fatalf(format string, args ...any) {

@@ -1,23 +1,27 @@
 // Command darwind serves concurrent interactive Darwin rule-discovery
-// sessions over HTTP. It loads one or more datasets (synthetic generators
+// labelers over HTTP. It loads one or more datasets (synthetic generators
 // and/or JSONL corpora written by cmd/datagen), builds a shared read-only
 // engine per dataset once at startup, and then hosts any number of
-// interactive labeling sessions against them (see internal/server for the
-// API).
+// interactive labelers against them. The canonical surface is the versioned
+// /v2 API (one labeler resource for solo sessions and workspace
+// attachments alike — see internal/server and api/openapi.yaml); the /v1
+// endpoints remain as thin adapters. Go programs should use the pkg/darwin
+// SDK (darwin.NewClient) rather than raw HTTP.
 //
 // Examples:
 //
 //	darwind -addr :8080 -datasets directions,musicians -scale 0.2
 //	darwind -corpus mydata.jsonl -budget 50 -session-ttl 15m
 //
-// A minimal interactive transcript:
+// A minimal interactive transcript (/v2):
 //
-//	curl -s -X POST localhost:8080/v1/sessions \
+//	curl -s -X POST localhost:8080/v2/labelers \
 //	     -d '{"dataset":"directions","seed_rules":["best way to get to"]}'
-//	curl -s localhost:8080/v1/sessions/$ID/suggest
-//	curl -s -X POST localhost:8080/v1/sessions/$ID/answer -d '{"key":"...","accept":true}'
-//	curl -s localhost:8080/v1/sessions/$ID/report
-//	curl -s localhost:8080/v1/sessions/$ID/export > labeled.jsonl
+//	curl -s localhost:8080/v2/labelers/$ID/suggestion
+//	curl -s -X POST localhost:8080/v2/labelers/$ID/answers \
+//	     -d '{"answers":[{"key":"...","accept":true}]}'
+//	curl -s localhost:8080/v2/labelers/$ID/report
+//	curl -s localhost:8080/v2/labelers/$ID/export > labeled.jsonl
 package main
 
 import (

@@ -1,12 +1,15 @@
 // Entity extraction: find sentences that mention musicians, starting from a
-// couple of labeled example sentences instead of a seed rule, and compare the
-// three traversal strategies (LocalSearch, UniversalSearch, HybridSearch) —
-// the §4.3 experiment in miniature.
+// couple of labeled example sentences instead of a seed rule, and compare
+// the three traversal strategies (LocalSearch, UniversalSearch,
+// HybridSearch) — the §4.3 experiment in miniature, driven through the
+// public SDK's in-process labeler (darwin.NewSession).
 //
 //	go run ./examples/entity_extraction
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -15,9 +18,11 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/eval"
 	"repro/internal/oracle"
+	"repro/pkg/darwin"
 )
 
 func main() {
+	ctx := context.Background()
 	c, err := datagen.ByName("musicians", 0.15, 11)
 	if err != nil {
 		log.Fatal(err)
@@ -34,6 +39,7 @@ func main() {
 		fmt.Printf("  - %s\n", c.Sentence(id).Text)
 	}
 
+	annotator := oracle.NewGroundTruth(c)
 	for _, traversal := range []string{"local", "universal", "hybrid"} {
 		cfg := core.DefaultConfig()
 		cfg.Traversal = traversal
@@ -43,23 +49,48 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, err := engine.Run(core.RunOptions{
+		lab, err := darwin.NewSession(engine, "musicians", darwin.Options{
 			SeedPositiveIDs: seedIDs,
-			Oracle:          oracle.NewGroundTruth(c),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		cov := eval.CoverageOfSet(c, report.Positives)
-		prec := eval.PrecisionOfSet(c, report.Positives)
+		for {
+			sug, err := lab.Suggest(ctx)
+			if errors.Is(err, darwin.ErrBudgetExhausted) {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids := make([]int, 0, len(sug.Samples))
+			for _, s := range sug.Samples {
+				ids = append(ids, s.ID)
+			}
+			accept := annotator.Answer(oracle.Query{Coverage: ids, Samples: ids})
+			if err := lab.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: accept}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rep, err := lab.Report(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		found := make(map[int]bool, len(rep.PositiveIDs))
+		for _, id := range rep.PositiveIDs {
+			found[id] = true
+		}
+		cov := eval.CoverageOfSet(c, found)
+		prec := eval.PrecisionOfSet(c, found)
 		fmt.Printf("\nDarwin(%s): %d questions, %d rules, coverage=%.2f precision=%.2f\n",
-			traversal, report.Questions, len(report.Accepted), cov, prec)
-		for i, rec := range report.Accepted {
+			traversal, rep.Questions, len(rep.Accepted), cov, prec)
+		for i, rec := range rep.Accepted {
 			if i >= 8 {
-				fmt.Printf("  ... and %d more rules\n", len(report.Accepted)-8)
+				fmt.Printf("  ... and %d more rules\n", len(rep.Accepted)-8)
 				break
 			}
 			fmt.Printf("  %-36s coverage=%d\n", rec.Rule, rec.Coverage)
 		}
+		_ = lab.Close(ctx)
 	}
 }

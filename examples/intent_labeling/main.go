@@ -1,14 +1,22 @@
 // Intent labeling: discover rules for the Food intent on the tweets dataset
-// with a simulated crowd of annotators, then de-noise the resulting labels
-// with the Snorkel-style generative label model and train a noise-aware
-// classifier (the §4.5 / Table 2 pipeline).
+// through the public SDK (pkg/darwin) against an embedded /v2 server, with a
+// simulated crowd of annotators judging the sample tweets of each
+// suggestion. The accepted rules' coverage sets — carried by the /v2 report
+// as coverage_ids — then feed the Snorkel-style generative label model, and
+// a noise-aware classifier trains on the de-noised labels (the §4.5 /
+// Table 2 pipeline).
 //
 //	go run ./examples/intent_labeling
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net/http/httptest"
+	"os"
 
 	"repro/internal/classifier"
 	"repro/internal/core"
@@ -18,48 +26,95 @@ import (
 	"repro/internal/eval"
 	"repro/internal/labelmodel"
 	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/pkg/darwin"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole pipeline; the test drives it as an end-to-end SDK check.
+func run(out io.Writer) error {
+	ctx := context.Background()
+
 	// The tweets corpus: ~2.1K tweets, 11.4% with Food intent (Table 1).
 	c, err := datagen.ByName("tweets", 1.0, 7)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c.Preprocess(corpus.PreprocessOptions{})
-	fmt.Println("corpus:", c)
+	fmt.Fprintln(out, "corpus:", c)
 
 	cfg := core.DefaultConfig()
 	cfg.Budget = 60
 	cfg.NumCandidates = 1500
+	cfg.Seed = 7
 	engine, err := core.New(c, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	srv, err := server.New(server.Config{}, &server.Dataset{Name: "tweets", Engine: engine})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
 
-	// A crowd oracle: three annotators per rule, each seeing the 5 sample
-	// tweets of Figure 2 and occasionally making a mistake.
-	crowd := oracle.NewRecording(oracle.NewCrowd(c, 0.05, 99))
-
-	report, err := engine.Run(core.RunOptions{
+	lab, err := darwin.NewClient(ts.URL, "").NewLabeler(ctx, darwin.CreateOptions{
+		Dataset:   "tweets",
 		SeedRules: []string{"craving"},
-		Oracle:    crowd,
+		Budget:    60,
+		Seed:      7,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("crowd answered %d questions, %d rules accepted\n", crowd.Count(), len(report.Accepted))
-	fmt.Printf("coverage of Food-intent tweets: %.2f\n", eval.CoverageOfSet(c, report.Positives))
+	defer lab.Close(ctx)
+
+	// A crowd oracle: three annotators per rule, each seeing the sample
+	// tweets of Figure 2 and occasionally making a mistake.
+	crowd := oracle.NewRecording(oracle.NewCrowd(c, 0.05, 99))
+	for {
+		sug, err := lab.Suggest(ctx)
+		if errors.Is(err, darwin.ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ids := make([]int, 0, len(sug.Samples))
+		for _, s := range sug.Samples {
+			ids = append(ids, s.ID)
+		}
+		accept := crowd.Answer(oracle.Query{Coverage: ids, Samples: ids})
+		if err := lab.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: accept}); err != nil {
+			return err
+		}
+	}
+	rep, err := lab.Report(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "crowd answered %d questions, %d rules accepted\n", crowd.Count(), len(rep.Accepted))
+	positives := make(map[int]bool, len(rep.PositiveIDs))
+	for _, id := range rep.PositiveIDs {
+		positives[id] = true
+	}
+	fmt.Fprintf(out, "coverage of Food-intent tweets: %.2f\n", eval.CoverageOfSet(c, positives))
 
 	// Build the label matrix: every accepted rule votes positive on its
-	// coverage; uncovered tweets act as weak negative evidence.
+	// coverage (the report's coverage_ids); uncovered tweets act as weak
+	// negative evidence.
 	matrix := labelmodel.NewMatrix(c.Len())
-	for _, rec := range report.Accepted {
+	for _, rec := range rep.Accepted {
 		matrix.AddRule(rec.Rule, rec.CoverageIDs, labelmodel.VotePositive)
 	}
 	var uncovered []int
 	for id := 0; id < c.Len(); id++ {
-		if !report.Positives[id] {
+		if !positives[id] {
 			uncovered = append(uncovered, id)
 		}
 	}
@@ -68,7 +123,7 @@ func main() {
 	gen := labelmodel.FitGenerative(matrix, labelmodel.DefaultGenerativeConfig())
 	probs := gen.Probabilities()
 	ids, labels := labelmodel.TrainingSet(probs, 0.55, 0.45)
-	fmt.Printf("label model produced %d training examples from %d rules\n", len(ids), matrix.NumRules()-1)
+	fmt.Fprintf(out, "label model produced %d training examples from %d rules\n", len(ids), matrix.NumRules()-1)
 
 	// Train the noise-aware classifier on the de-noised labels.
 	emb := embedding.Train(c.TokenizedSentences(), embedding.DefaultConfig())
@@ -81,21 +136,21 @@ func main() {
 	}
 	model := classifier.NewMLP(classifier.DefaultConfig())
 	if err := model.Fit(X, y); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	scores := make([]float64, c.Len())
 	for id := 0; id < c.Len(); id++ {
 		scores[id] = model.Proba(feat.Features(c.Sentence(id).Tokens))
 	}
 	f1, thr := eval.BestF1(c, scores)
-	fmt.Printf("noise-aware classifier F1 = %.2f (threshold %.1f)\n", f1, thr)
+	fmt.Fprintf(out, "noise-aware classifier F1 = %.2f (threshold %.1f)\n", f1, thr)
 
 	// Show a few tweets the classifier is most confident about.
-	fmt.Println("\nhighest-scoring tweets:")
-	top := topK(scores, 5)
-	for _, id := range top {
-		fmt.Printf("  %.2f  %s\n", scores[id], c.Sentence(id).Text)
+	fmt.Fprintln(out, "\nhighest-scoring tweets:")
+	for _, id := range topK(scores, 5) {
+		fmt.Fprintf(out, "  %.2f  %s\n", scores[id], c.Sentence(id).Text)
 	}
+	return nil
 }
 
 func topK(scores []float64, k int) []int {

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestIntentLabelingEndToEnd runs the whole §4.5 pipeline — SDK-driven
+// discovery over HTTP, label model, noise-aware classifier — as an
+// end-to-end SDK test (the report's coverage_ids feed the label matrix).
+func TestIntentLabelingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over the tweets corpus")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("intent labeling failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rules accepted") {
+		t.Errorf("discovery phase output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "label model produced") {
+		t.Errorf("label model phase output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "noise-aware classifier F1") {
+		t.Errorf("classifier phase output missing:\n%s", out)
+	}
+}

@@ -1,75 +1,133 @@
-// Quickstart: run Darwin end to end on the directions dataset.
+// Quickstart: run Darwin end to end through the public SDK (pkg/darwin).
 //
-// This example shows the minimal pipeline: generate (or load) a corpus, build
-// the engine, seed it with one labeling rule, and let the simulated oracle
-// verify the candidate rules Darwin proposes. It prints the accepted rules
-// and the recall of the discovered positive set.
+// This example shows the canonical deployment shape: an engine built once,
+// served over the versioned /v2 HTTP API, and driven by a client that only
+// speaks the darwin.Labeler interface — suggest a rule, judge the sample
+// sentences, answer, repeat. A simulated annotator (the ground-truth oracle
+// of §4.1) plays the human: it accepts a rule when at least 80% of the
+// sample sentences shown with it are true positives, exactly the judgement
+// call of Figure 2. Swap darwin.NewClient for darwin.NewSession and the loop
+// runs in-process against the same engine, unchanged.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net/http/httptest"
+	"os"
 
+	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/datagen"
+	"repro/internal/embedding"
 	"repro/internal/eval"
 	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/pkg/darwin"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole pipeline; the test drives it as an end-to-end SDK check.
+func run(out io.Writer) error {
+	ctx := context.Background()
+
 	// 1. A corpus of hotel-guest questions; positives ask for directions or
 	//    transportation (Example 1 of the paper). In a real deployment this
 	//    would be loaded with corpus.LoadJSONL.
 	c, err := datagen.ByName("directions", 0.1, 42)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c.Preprocess(corpus.PreprocessOptions{Parse: false})
-	fmt.Println("corpus:", c)
+	fmt.Fprintln(out, "corpus:", c)
 
-	// 2. Build the engine. DefaultConfig registers the TokensRegex and
-	//    TreeMatch grammars; here a small candidate pool keeps the run fast.
+	// 2. Build the engine once and serve it over HTTP — the same darwind
+	//    stack, embedded. Every labeler created against the server shares
+	//    this engine's index and preprocessing.
 	cfg := core.DefaultConfig()
 	cfg.Budget = 60
 	cfg.NumCandidates = 1500
-	cfg.Classifier.LearningRate = 0.3
+	cfg.Seed = 42
+	cfg.Classifier = classifier.Config{Epochs: 10, LearningRate: 0.3, L2: 1e-4, Seed: 42}
+	cfg.Embedding = embedding.Config{Dim: 32, Window: 4, MinCount: 2, Seed: 42}
 	engine, err := core.New(c, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	srv, err := server.New(server.Config{}, &server.Dataset{Name: "directions", Engine: engine})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
 
-	// 3. The oracle stands in for the human annotator of Figure 2: it
-	//    answers YES when at least 80% of a rule's coverage is positive.
-	annotator := oracle.NewGroundTruth(c)
-
-	// 4. Run the adaptive discovery loop from a single seed rule.
-	report, err := engine.Run(core.RunOptions{
+	// 3. Open a labeler through the SDK: one seed rule, default budget.
+	client := darwin.NewClient(ts.URL, "")
+	lab, err := client.NewLabeler(ctx, darwin.CreateOptions{
+		Dataset:   "directions",
 		SeedRules: []string{"best way to get to"},
-		Oracle:    annotator,
-		OnQuery: func(rec core.RuleRecord, _ *core.Engine) {
-			verdict := "rejected"
-			if rec.Accepted {
-				verdict = "ACCEPTED"
-			}
-			fmt.Printf("  question %2d: %-40s (%d sentences) -> %s\n",
-				rec.Question, rec.Rule, rec.Coverage, verdict)
-		},
+		Budget:    60,
+		Seed:      42,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	defer lab.Close(ctx)
+
+	// 4. The interactive loop of Algorithm 1, with the ground-truth oracle
+	//    standing in for the human: it judges the sample sentences shown
+	//    alongside each suggestion.
+	annotator := oracle.NewGroundTruth(c)
+	for {
+		sug, err := lab.Suggest(ctx)
+		if errors.Is(err, darwin.ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ids := make([]int, 0, len(sug.Samples))
+		for _, s := range sug.Samples {
+			ids = append(ids, s.ID)
+		}
+		accept := annotator.Answer(oracle.Query{Coverage: ids, Samples: ids})
+		verdict := "rejected"
+		if accept {
+			verdict = "ACCEPTED"
+		}
+		fmt.Fprintf(out, "  question %2d: %-40s (%d sentences) -> %s\n",
+			sug.Question, sug.Rule, sug.Coverage, verdict)
+		if err := lab.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: accept}); err != nil {
+			return err
+		}
 	}
 
 	// 5. Inspect the result: accepted rules, discovered positives, recall.
-	fmt.Printf("\naccepted %d rules with %d questions:\n", len(report.Accepted), report.Questions)
-	for _, rec := range report.Accepted {
-		fmt.Printf("  %s\n", rec.Rule)
+	rep, err := lab.Report(ctx)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("\ndiscovered %d positive sentences\n", len(report.Positives))
-	fmt.Printf("coverage (recall of gold positives): %.2f\n", eval.CoverageOfSet(c, report.Positives))
-	fmt.Printf("precision of discovered set:         %.2f\n", eval.PrecisionOfSet(c, report.Positives))
-	f1, _ := eval.BestF1(c, engine.Scores())
-	fmt.Printf("trained classifier best F1:          %.2f\n", f1)
+	fmt.Fprintf(out, "\naccepted %d rules with %d questions:\n", len(rep.Accepted), rep.Questions)
+	for _, rec := range rep.Accepted {
+		fmt.Fprintf(out, "  %s\n", rec.Rule)
+	}
+	positives := make(map[int]bool, len(rep.PositiveIDs))
+	for _, id := range rep.PositiveIDs {
+		positives[id] = true
+	}
+	fmt.Fprintf(out, "\ndiscovered %d positive sentences\n", rep.Positives)
+	fmt.Fprintf(out, "coverage (recall of gold positives): %.2f\n", eval.CoverageOfSet(c, positives))
+	fmt.Fprintf(out, "precision of discovered set:         %.2f\n", eval.PrecisionOfSet(c, positives))
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartEndToEnd runs the whole example — engine, embedded /v2
+// server, SDK client, simulated annotator — as an end-to-end SDK test.
+func TestQuickstartEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("quickstart failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ACCEPTED") {
+		t.Errorf("no rule was accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "discovered") || strings.Contains(out, "discovered 0 positive") {
+		t.Errorf("no positives discovered:\n%s", out)
+	}
+}

@@ -3,10 +3,16 @@
 // tree (child '/', descendant '//' and conjunction '∧' operators) — the kind
 // of heuristic that phrase-mining systems such as Snuba cannot express.
 //
+// The discovery loop runs through the public SDK's in-process labeler
+// (darwin.NewSession): the same darwin.Labeler loop as the HTTP examples,
+// with no server in between — the engine is dialed directly.
+//
 //	go run ./examples/relation_extraction
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -17,9 +23,11 @@ import (
 	"repro/internal/grammar"
 	"repro/internal/oracle"
 	"repro/internal/treematch"
+	"repro/pkg/darwin"
 )
 
 func main() {
+	ctx := context.Background()
 	c, err := datagen.ByName("cause-effect", 0.3, 5)
 	if err != nil {
 		log.Fatal(err)
@@ -51,22 +59,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := engine.Run(core.RunOptions{
+	lab, err := darwin.NewSession(engine, "cause-effect", darwin.Options{
 		SeedRules: []string{"treematch:caused/by"},
-		Oracle:    oracle.NewGroundTruth(c),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer lab.Close(ctx)
 
-	fmt.Printf("\naccepted rules (%d) after %d questions:\n", len(report.Accepted), report.Questions)
-	for _, rec := range report.Accepted {
+	// The ground-truth oracle plays the annotator, judging the sample
+	// sentences shown with each suggestion.
+	annotator := oracle.NewGroundTruth(c)
+	questions := 0
+	for {
+		sug, err := lab.Suggest(ctx)
+		if errors.Is(err, darwin.ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids := make([]int, 0, len(sug.Samples))
+		for _, s := range sug.Samples {
+			ids = append(ids, s.ID)
+		}
+		accept := annotator.Answer(oracle.Query{Coverage: ids, Samples: ids})
+		if err := lab.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: accept}); err != nil {
+			log.Fatal(err)
+		}
+		questions++
+	}
+	rep, err := lab.Report(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\naccepted rules (%d) after %d questions:\n", len(rep.Accepted), rep.Questions)
+	for _, rec := range rep.Accepted {
 		fmt.Printf("  %-40s coverage=%d\n", rec.Rule, rec.Coverage)
 	}
-	fmt.Printf("\ncoverage of cause-effect sentences: %.2f\n", eval.CoverageOfSet(c, report.Positives))
-	fmt.Printf("precision of discovered set:        %.2f\n", eval.PrecisionOfSet(c, report.Positives))
-	f1, _ := eval.BestF1(c, engine.Scores())
-	fmt.Printf("classifier best F1:                 %.2f\n", f1)
+	positives := make(map[int]bool, len(rep.PositiveIDs))
+	for _, id := range rep.PositiveIDs {
+		positives[id] = true
+	}
+	fmt.Printf("\ncoverage of cause-effect sentences: %.2f\n", eval.CoverageOfSet(c, positives))
+	fmt.Printf("precision of discovered set:        %.2f\n", eval.PrecisionOfSet(c, positives))
 
 	// Print one parse tree so the reader can see what TreeMatch operates on.
 	if len(matched) > 0 {

@@ -394,6 +394,9 @@ func (s *Session) Budget() int { return s.budget }
 // Questions returns the number of questions answered so far.
 func (s *Session) Questions() int { return s.report.Questions }
 
+// PositivesCount returns |P| without copying the set.
+func (s *Session) PositivesCount() int { return len(s.positives) }
+
 // Positives returns a copy of the discovered positive set P.
 func (s *Session) Positives() map[int]bool {
 	out := make(map[int]bool, len(s.positives))

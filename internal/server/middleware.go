@@ -2,11 +2,14 @@ package server
 
 import (
 	"crypto/subtle"
+	"fmt"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/pkg/darwin"
 )
 
 // middleware wraps the mux with the optional bearer-token check and per-IP
@@ -27,11 +30,22 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 	return h
 }
 
-// requireBearer enforces "Authorization: Bearer <token>" on /v1/* paths
-// with a constant-time comparison.
+// middlewareError writes an error in the shape the request's API version
+// expects: the typed /v2 envelope on /v2/* paths, the legacy {"error": msg}
+// object elsewhere.
+func middlewareError(w http.ResponseWriter, r *http.Request, err error) {
+	if strings.HasPrefix(r.URL.Path, "/v2/") {
+		writeV2Error(w, err)
+		return
+	}
+	writeError(w, darwin.HTTPStatus(err), "%s", darwin.Envelope(err).Message)
+}
+
+// requireBearer enforces "Authorization: Bearer <token>" on /v1/* and /v2/*
+// paths with a constant-time comparison.
 func requireBearer(token string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") && !strings.HasPrefix(r.URL.Path, "/v2/") {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -40,7 +54,7 @@ func requireBearer(token string, next http.Handler) http.Handler {
 		if !strings.HasPrefix(auth, prefix) ||
 			subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(token)) != 1 {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="darwind"`)
-			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			middlewareError(w, r, fmt.Errorf("%w: missing or invalid bearer token", darwin.ErrUnauthorized))
 			return
 		}
 		next.ServeHTTP(w, r)
@@ -130,7 +144,7 @@ func (l *ipLimiter) wrap(next http.Handler) http.Handler {
 		}
 		if !l.allow(ip) {
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			middlewareError(w, r, fmt.Errorf("%w: rate limit exceeded", darwin.ErrRateLimited))
 			return
 		}
 		next.ServeHTTP(w, r)

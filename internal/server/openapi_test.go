@@ -1,0 +1,104 @@
+package server
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// parseSpecPaths extracts path → set-of-methods from api/openapi.yaml with a
+// purpose-built line scanner (the module deliberately has no YAML
+// dependency; the spec's paths section is regular enough for this test).
+func parseSpecPaths(t *testing.T, raw string) map[string]map[string]bool {
+	t.Helper()
+	out := make(map[string]map[string]bool)
+	inPaths := false
+	current := ""
+	for _, line := range strings.Split(raw, "\n") {
+		trimmed := strings.TrimRight(line, " ")
+		if trimmed == "paths:" {
+			inPaths = true
+			continue
+		}
+		if !inPaths || trimmed == "" || strings.HasPrefix(strings.TrimSpace(trimmed), "#") {
+			continue
+		}
+		// A new top-level key ends the paths section.
+		if !strings.HasPrefix(trimmed, " ") {
+			break
+		}
+		indent := len(trimmed) - len(strings.TrimLeft(trimmed, " "))
+		body := strings.TrimSpace(trimmed)
+		switch indent {
+		case 2: // "  /v2/labelers/{id}:"
+			if !strings.HasSuffix(body, ":") || !strings.HasPrefix(body, "/") {
+				t.Fatalf("unexpected path line %q", line)
+			}
+			current = strings.TrimSuffix(body, ":")
+			out[current] = make(map[string]bool)
+		case 4: // "    get:"
+			if current == "" {
+				continue
+			}
+			if key, _, ok := strings.Cut(body, ":"); ok {
+				switch key {
+				case "get", "post", "put", "delete", "patch", "head", "options":
+					out[current][strings.ToUpper(key)] = true
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no paths parsed from api/openapi.yaml")
+	}
+	return out
+}
+
+// TestOpenAPISpecCoversAllRoutes keeps api/openapi.yaml honest: every route
+// the server registers must appear in the spec with its method, and the spec
+// must not document routes the server does not serve.
+func TestOpenAPISpecCoversAllRoutes(t *testing.T) {
+	raw, err := os.ReadFile("../../api/openapi.yaml")
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	spec := parseSpecPaths(t, string(raw))
+
+	srv, _ := newTestServer(t, Config{})
+	registered := make(map[string]map[string]bool)
+	for _, route := range srv.Routes() {
+		method, pattern, ok := strings.Cut(route, " ")
+		if !ok {
+			t.Fatalf("route %q is not 'METHOD /pattern'", route)
+		}
+		if registered[pattern] == nil {
+			registered[pattern] = make(map[string]bool)
+		}
+		registered[pattern][method] = true
+	}
+
+	for pattern, methods := range registered {
+		specMethods, ok := spec[pattern]
+		if !ok {
+			t.Errorf("registered route %s is missing from api/openapi.yaml", pattern)
+			continue
+		}
+		for m := range methods {
+			if !specMethods[m] {
+				t.Errorf("api/openapi.yaml documents %s but not method %s", pattern, m)
+			}
+		}
+	}
+	for pattern, methods := range spec {
+		regMethods, ok := registered[pattern]
+		if !ok {
+			t.Errorf("api/openapi.yaml documents %s, which the server does not register", pattern)
+			continue
+		}
+		for m := range methods {
+			if !regMethods[m] {
+				t.Errorf("api/openapi.yaml documents %s %s, which the server does not register", m, pattern)
+			}
+		}
+	}
+}

@@ -1,11 +1,26 @@
-// Package server hosts concurrent interactive Darwin rule-discovery sessions
-// over HTTP. One read-only core.Engine is shared per loaded dataset, so the
-// expensive corpus preprocessing and index build are paid once and amortized
-// across every session; each session owns its mutable discovery state (see
-// core.Session) and is serialized by a per-session lock, while distinct
-// sessions run fully in parallel.
+// Package server hosts concurrent interactive Darwin rule-discovery
+// labelers over HTTP. One read-only core.Engine is shared per loaded
+// dataset, so the expensive corpus preprocessing and index build are paid
+// once and amortized across every labeler.
 //
-// Endpoints (all JSON unless noted):
+// The canonical surface is the versioned /v2 API: one handler set generated
+// over the public pkg/darwin Labeler interface, serving solo sessions and
+// workspace attachments uniformly as "labelers", with a uniform JSON error
+// envelope {code, message, retryable}, batch answers, and paginated list
+// endpoints (see v2.go and api/openapi.yaml):
+//
+//	GET    /v2/datasets                     served datasets (paginated)
+//	POST   /v2/labelers                     create {dataset, mode, ...}
+//	GET    /v2/labelers                     list live labelers (paginated)
+//	GET    /v2/labelers/{id}                labeler status
+//	GET    /v2/labelers/{id}/suggestion     pending candidate rule
+//	POST   /v2/labelers/{id}/answers        {answers: [{key, accept}...]} batch
+//	GET    /v2/labelers/{id}/report         deterministic discovery report
+//	GET    /v2/labelers/{id}/export         JSONL labeled corpus
+//	DELETE /v2/labelers/{id}                close (delete session / detach annotator)
+//
+// The legacy /v1 endpoints remain as thin adapters over the same SDK
+// adapters — same state, same semantics, v1 wire shapes:
 //
 //	GET  /healthz                      liveness + dataset/session counts
 //	POST /v1/sessions                  create a session {dataset, seed_rules, ...}
@@ -27,12 +42,13 @@
 //	GET  /v1/workspaces/{id}/export              JSONL labeled corpus of the shared P
 //	DELETE /v1/workspaces/{id}                   evict a workspace
 //
-// When Config.Token is set, every /v1/* endpoint requires
+// When Config.Token is set, every /v1/* and /v2/* endpoint requires
 // "Authorization: Bearer <token>" (healthz stays open); Config.RatePerSec
 // adds a per-IP token-bucket rate limit across all endpoints.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/workspace"
+	"repro/pkg/darwin"
 )
 
 // Dataset is one corpus served by the server: a name and the shared engine
@@ -80,7 +97,7 @@ type Config struct {
 	CompactEvery int
 
 	// Token, when non-empty, requires "Authorization: Bearer <token>" on
-	// every /v1/* endpoint.
+	// every /v1/* and /v2/* endpoint.
 	Token string
 	// RatePerSec, when positive, rate-limits each client IP to this many
 	// requests per second with a burst of RateBurst (default 2×RatePerSec).
@@ -94,9 +111,11 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped with auth / rate-limit middleware
+	routes   []string     // every registered "METHOD /pattern", sorted
 	datasets map[string]*Dataset
 	store    *Store
 	mgr      *workspace.Manager
+	labelers *labelerRegistry
 	recovery workspace.RecoveryStats
 }
 
@@ -115,6 +134,7 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 		mux:      http.NewServeMux(),
 		datasets: make(map[string]*Dataset, len(datasets)),
 		store:    NewStore(cfg.SessionTTL, cfg.MaxSessions),
+		labelers: newLabelerRegistry(),
 	}
 	engines := make(map[string]*core.Engine, len(datasets))
 	for _, d := range datasets {
@@ -144,23 +164,38 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 	if len(events) > 0 {
 		s.recovery = s.mgr.Recover(events)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/suggest", s.handleSuggest)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/answer", s.handleAnswer)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/workspaces", s.handleWSCreate)
-	s.mux.HandleFunc("POST /v1/workspaces/{id}/annotators", s.handleWSAttach)
-	s.mux.HandleFunc("DELETE /v1/workspaces/{id}/annotators/{name}", s.handleWSDetach)
-	s.mux.HandleFunc("GET /v1/workspaces/{id}/suggest", s.handleWSSuggest)
-	s.mux.HandleFunc("POST /v1/workspaces/{id}/answer", s.handleWSAnswer)
-	s.mux.HandleFunc("GET /v1/workspaces/{id}/report", s.handleWSReport)
-	s.mux.HandleFunc("GET /v1/workspaces/{id}/export", s.handleWSExport)
-	s.mux.HandleFunc("DELETE /v1/workspaces/{id}", s.handleWSDelete)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("POST /v1/sessions", s.handleCreate)
+	s.handle("GET /v1/sessions/{id}/suggest", s.handleSuggest)
+	s.handle("POST /v1/sessions/{id}/answer", s.handleAnswer)
+	s.handle("GET /v1/sessions/{id}/report", s.handleReport)
+	s.handle("GET /v1/sessions/{id}/export", s.handleExport)
+	s.handle("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.handle("POST /v1/workspaces", s.handleWSCreate)
+	s.handle("POST /v1/workspaces/{id}/annotators", s.handleWSAttach)
+	s.handle("DELETE /v1/workspaces/{id}/annotators/{name}", s.handleWSDetach)
+	s.handle("GET /v1/workspaces/{id}/suggest", s.handleWSSuggest)
+	s.handle("POST /v1/workspaces/{id}/answer", s.handleWSAnswer)
+	s.handle("GET /v1/workspaces/{id}/report", s.handleWSReport)
+	s.handle("GET /v1/workspaces/{id}/export", s.handleWSExport)
+	s.handle("DELETE /v1/workspaces/{id}", s.handleWSDelete)
+	s.registerV2()
+	sort.Strings(s.routes)
 	s.handler = s.middleware(s.mux)
 	return s, nil
+}
+
+// handle registers one route and records it for Routes (which the OpenAPI
+// honesty test audits against api/openapi.yaml).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+	s.routes = append(s.routes, pattern)
+}
+
+// Routes returns every registered route as "METHOD /pattern", sorted. The
+// checked-in OpenAPI spec is tested against this list.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
 }
 
 // ServeHTTP implements http.Handler.
@@ -190,7 +225,42 @@ func (s *Server) DatasetNames() []string {
 	return out
 }
 
-// --- wire format ---
+// newSessionLabeler validates a create request and builds the SDK adapter
+// both /v1 and /v2 session creation share. It returns a typed error.
+func (s *Server) newSessionLabeler(dataset string, seedRules []string, seedIDs []int, budget int, seed int64) (*darwin.SessionLabeler, *sessionEntry, error) {
+	d, ok := s.datasets[dataset]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: unknown dataset %q (have %v)", darwin.ErrNotFound, dataset, s.DatasetNames())
+	}
+	if len(seedRules) > s.cfg.MaxSeedRules {
+		return nil, nil, fmt.Errorf("%w: too many seed rules (%d > %d)", darwin.ErrInvalid, len(seedRules), s.cfg.MaxSeedRules)
+	}
+	// Reject a full store before paying for session construction (classifier
+	// training plus the engine's index write lock); Create re-checks under
+	// its lock.
+	if !s.store.HasCapacity() {
+		return nil, nil, fmt.Errorf("%w: session limit reached", darwin.ErrUnavailable)
+	}
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	lab, err := darwin.NewSession(d.Engine, d.Name, darwin.Options{
+		SeedRules:       seedRules,
+		SeedPositiveIDs: seedIDs,
+		Budget:          budget,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	en, err := s.store.Create(d.Name, lab)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", darwin.ErrUnavailable, err)
+	}
+	return lab, en, nil
+}
+
+// --- v1 wire format ---
 
 type errorJSON struct {
 	Error string `json:"error"`
@@ -204,7 +274,7 @@ type healthJSON struct {
 	// Recovered counts workspaces replayed from the journal at startup.
 	Recovered int `json:"recovered,omitempty"`
 	// Step-latency aggregate across every suggest call served (wall-clock of
-	// Session.Next as seen by the handler).
+	// the suggest step as seen by the handler).
 	Steps          int64   `json:"steps"`
 	LastStepMillis float64 `json:"last_step_ms"`
 	AvgStepMillis  float64 `json:"avg_step_ms"`
@@ -270,13 +340,13 @@ type answerResponse struct {
 }
 
 type reportResponse struct {
-	ID        string           `json:"id"`
-	Dataset   string           `json:"dataset"`
-	Questions int              `json:"questions"`
-	Budget    int              `json:"budget"`
-	Done      bool             `json:"done"`
-	Positives int              `json:"positives"`
-	// Per-session step latency: the last Next that did real work and the
+	ID        string `json:"id"`
+	Dataset   string `json:"dataset"`
+	Questions int    `json:"questions"`
+	Budget    int    `json:"budget"`
+	Done      bool   `json:"done"`
+	Positives int    `json:"positives"`
+	// Per-session step latency: the last suggest that did real work and the
 	// average across all of them.
 	LastStepMillis float64          `json:"last_step_ms"`
 	AvgStepMillis  float64          `json:"avg_step_ms"`
@@ -284,7 +354,9 @@ type reportResponse struct {
 	History        []ruleRecordJSON `json:"history"`
 }
 
-func recordJSON(rec core.RuleRecord) ruleRecordJSON {
+// recordJSON renders an SDK rule record in the v1 wire shape (which never
+// carried coverage IDs).
+func recordJSON(rec darwin.RuleRecord) ruleRecordJSON {
 	return ruleRecordJSON{
 		Question:       rec.Question,
 		Key:            rec.Key,
@@ -294,6 +366,14 @@ func recordJSON(rec core.RuleRecord) ruleRecordJSON {
 		AddedIDs:       rec.AddedIDs,
 		PositivesAfter: rec.PositivesAfter,
 	}
+}
+
+func samplesJSON(samples []darwin.Sample) []sampleJSON {
+	out := make([]sampleJSON, 0, len(samples))
+	for _, s := range samples {
+		out = append(out, sampleJSON{ID: s.ID, Text: s.Text})
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -306,7 +386,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
-// --- handlers ---
+// writeV1Error renders a typed error in the legacy v1 shape {"error": msg},
+// with the HTTP status taken from the shared taxonomy mapping. The sentinel
+// prefix is stripped — v1 clients predate the taxonomy.
+func writeV1Error(w http.ResponseWriter, err error) {
+	writeError(w, darwin.HTTPStatus(err), "%s", darwin.Envelope(err).Message)
+}
+
+// --- v1 handlers (thin adapters over the pkg/darwin core) ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	steps, last, avg := s.store.StepStats()
@@ -332,47 +419,21 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	d, ok := s.datasets[req.Dataset]
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown dataset %q (have %v)", req.Dataset, s.DatasetNames())
-		return
-	}
-	if len(req.SeedRules) > s.cfg.MaxSeedRules {
-		writeError(w, http.StatusBadRequest, "too many seed rules (%d > %d)", len(req.SeedRules), s.cfg.MaxSeedRules)
-		return
-	}
-	// Reject a full store before paying for session construction (classifier
-	// training plus the engine's index write lock); Create re-checks under
-	// its lock.
-	if !s.store.HasCapacity() {
-		writeError(w, http.StatusServiceUnavailable, "server: session limit reached")
-		return
-	}
-	budget := req.Budget
-	if budget <= 0 {
-		budget = s.cfg.DefaultBudget
-	}
-	sess, err := d.Engine.NewSession(core.SessionOptions{
-		SeedRules:       req.SeedRules,
-		SeedPositiveIDs: req.SeedPositiveIDs,
-		Budget:          budget,
-		Seed:            req.Seed,
-	})
+	lab, en, err := s.newSessionLabeler(req.Dataset, req.SeedRules, req.SeedPositiveIDs, req.Budget, req.Seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeV1Error(w, err)
 		return
 	}
-	en, err := s.store.Create(d.Name, sess)
+	rep, err := lab.Report(r.Context())
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeV1Error(w, err)
 		return
 	}
-	rep := sess.Report()
 	resp := createResponse{
 		ID:        en.id,
-		Dataset:   d.Name,
-		Budget:    sess.Budget(),
-		Positives: len(rep.Positives),
+		Dataset:   en.dataset,
+		Budget:    rep.Budget,
+		Positives: rep.Positives,
 	}
 	for _, rec := range rep.Accepted {
 		resp.SeedRules = append(resp.SeedRules, recordJSON(rec))
@@ -397,35 +458,40 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d := s.datasets[en.dataset]
-	en.mu.Lock()
-	stepStart := time.Now()
-	sug, more := en.sess.Next()
-	stepDur := time.Since(stepStart)
-	questions := en.sess.Questions()
-	budget := en.sess.Budget()
-	en.mu.Unlock()
-	s.store.RecordStep(stepDur)
-	if !more {
-		writeJSON(w, http.StatusOK, suggestResponse{Done: true, BudgetLeft: budget - questions})
+	sug, st, err := s.suggestStep(r.Context(), en.lab)
+	if err != nil {
+		if errors.Is(err, darwin.ErrBudgetExhausted) {
+			writeJSON(w, http.StatusOK, suggestResponse{Done: true, BudgetLeft: st.Budget - st.Questions})
+			return
+		}
+		writeV1Error(w, err)
 		return
 	}
-	resp := suggestResponse{
-		Question:    questions + 1,
-		BudgetLeft:  budget - questions,
+	writeJSON(w, http.StatusOK, suggestResponse{
+		Question:    sug.Question,
+		BudgetLeft:  sug.BudgetLeft,
 		Key:         sug.Key,
 		Rule:        sug.Rule,
 		Coverage:    sug.Coverage,
 		NewCoverage: sug.NewCoverage,
 		Benefit:     sug.Benefit,
 		AvgBenefit:  sug.AvgBenefit,
+		Samples:     samplesJSON(sug.Samples),
+	})
+}
+
+// suggestStep is the one suggest path both API versions use: it runs
+// Suggest, folds the step duration into the healthz aggregate, and returns
+// the labeler status alongside (valid even when Suggest reports done).
+func (s *Server) suggestStep(ctx context.Context, lab *darwin.SessionLabeler) (darwin.Suggestion, darwin.Status, error) {
+	stepStart := time.Now()
+	sug, err := lab.Suggest(ctx)
+	s.store.RecordStep(time.Since(stepStart))
+	var st darwin.Status
+	if err != nil {
+		st, _ = lab.Status(ctx)
 	}
-	for _, id := range sug.SampleIDs {
-		if sent := d.Engine.Corpus().Sentence(id); sent != nil {
-			resp.Samples = append(resp.Samples, sampleJSON{ID: id, Text: sent.Text})
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	return sug, st, err
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -438,20 +504,29 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	en.mu.Lock()
-	rec, err := en.sess.Answer(req.Key, req.Accept)
-	done := en.sess.Done()
-	questions := en.sess.Questions()
-	budget := en.sess.Budget()
-	en.mu.Unlock()
+	if req.Key == "" {
+		// v1 never supported blind answers; an empty key is a protocol error.
+		writeError(w, http.StatusConflict, "answer key is required")
+		return
+	}
+	recs, err := en.lab.AnswerBatch(r.Context(), []darwin.Answer{{Key: req.Key, Accept: req.Accept}})
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeV1Error(w, err)
+		return
+	}
+	// Derive done/budget from the answered record itself (rec.Question is
+	// the question number this answer was committed as) and the immutable
+	// budget, not from a second unsynchronized status read.
+	rec := recs[0]
+	st, err := en.lab.Status(r.Context())
+	if err != nil {
+		writeV1Error(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, answerResponse{
 		Record:     recordJSON(rec),
-		Done:       done,
-		BudgetLeft: budget - questions,
+		Done:       rec.Question >= st.Budget,
+		BudgetLeft: st.Budget - rec.Question,
 		Positives:  rec.PositivesAfter,
 	})
 }
@@ -461,19 +536,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	en.mu.Lock()
-	rep := en.sess.Report()
-	done := en.sess.Done()
-	budget := en.sess.Budget()
-	lastStep, avgStep := en.sess.StepLatency()
-	en.mu.Unlock()
+	rep, err := en.lab.Report(r.Context())
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	lastStep, avgStep := en.lab.StepLatency()
 	resp := reportResponse{
 		ID:             en.id,
 		Dataset:        en.dataset,
 		Questions:      rep.Questions,
-		Budget:         budget,
-		Done:           done,
-		Positives:      len(rep.Positives),
+		Budget:         rep.Budget,
+		Done:           rep.Done,
+		Positives:      rep.Positives,
 		LastStepMillis: millis(lastStep),
 		AvgStepMillis:  millis(avgStep),
 		Accepted:       make([]ruleRecordJSON, 0, len(rep.Accepted)),
@@ -493,22 +568,28 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d := s.datasets[en.dataset]
-	en.mu.Lock()
-	positives := en.sess.Positives()
-	en.mu.Unlock()
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if err := d.Engine.Corpus().WriteLabeledJSONL(w, positives); err != nil {
-		// Headers are already sent; the truncated body is all we can signal.
-		return
-	}
+	// Headers are sent on first write; a mid-stream failure can only
+	// truncate the body.
+	_ = en.lab.Export(r.Context(), w)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.Delete(id) {
+	if !s.deleteSession(r.Context(), id) {
 		writeError(w, http.StatusNotFound, "unknown or expired session %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// deleteSession closes and removes a session labeler (shared by v1 and v2
+// delete).
+func (s *Server) deleteSession(ctx context.Context, id string) bool {
+	en, ok := s.store.Get(id)
+	if !ok {
+		return false
+	}
+	_ = en.lab.Close(ctx)
+	return s.store.Delete(id)
 }

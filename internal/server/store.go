@@ -4,21 +4,20 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
-	"repro/internal/core"
+	"repro/pkg/darwin"
 )
 
-// sessionEntry is one live interactive session in the store. The entry-level
-// mutex serializes HTTP handlers hitting the same session (a core.Session is
-// not goroutine-safe); distinct sessions proceed in parallel.
+// sessionEntry is one live solo labeler in the store. Serialization of
+// concurrent handlers on the same session lives in the SDK adapter
+// (darwin.SessionLabeler); distinct sessions proceed in parallel.
 type sessionEntry struct {
-	mu sync.Mutex
-
 	id      string
 	dataset string
-	sess    *core.Session
+	lab     *darwin.SessionLabeler
 
 	created  time.Time
 	lastUsed time.Time
@@ -75,9 +74,9 @@ func newSessionID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// Create registers a new session and returns its entry. It fails when the
-// store is at capacity even after evicting expired sessions.
-func (st *Store) Create(dataset string, sess *core.Session) (*sessionEntry, error) {
+// Create registers a new session labeler and returns its entry. It fails
+// when the store is at capacity even after evicting expired sessions.
+func (st *Store) Create(dataset string, lab *darwin.SessionLabeler) (*sessionEntry, error) {
 	id, err := newSessionID()
 	if err != nil {
 		return nil, err
@@ -89,7 +88,7 @@ func (st *Store) Create(dataset string, sess *core.Session) (*sessionEntry, erro
 	if len(st.items) >= st.max {
 		return nil, fmt.Errorf("server: session limit reached (%d live sessions)", len(st.items))
 	}
-	en := &sessionEntry{id: id, dataset: dataset, sess: sess, created: now, lastUsed: now}
+	en := &sessionEntry{id: id, dataset: dataset, lab: lab, created: now, lastUsed: now}
 	st.items[id] = en
 	return en, nil
 }
@@ -109,6 +108,19 @@ func (st *Store) Get(id string) (*sessionEntry, bool) {
 		return nil, false
 	}
 	en.touch(now)
+	return en, true
+}
+
+// Peek returns the live session with the given ID without refreshing its
+// idle timer: read-only listings and status polls must not keep abandoned
+// sessions alive.
+func (st *Store) Peek(id string) (*sessionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	en, ok := st.items[id]
+	if !ok || st.now().Sub(en.lastUsed) > st.ttl {
+		return nil, false
+	}
 	return en, true
 }
 
@@ -136,6 +148,19 @@ func (st *Store) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.items)
+}
+
+// IDs returns the live session IDs, sorted (the /v2 listing pages over
+// them).
+func (st *Store) IDs() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.items))
+	for id := range st.items {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RecordStep folds one suggest-step duration into the server-wide latency

@@ -1,0 +1,537 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/workspace"
+	"repro/pkg/darwin"
+)
+
+// This file is the versioned /v2 surface: one handler set generated over the
+// public darwin.Labeler interface. Solo sessions and workspace attachments
+// are both "labelers"; the handlers below never branch on the mode — they
+// resolve the id to a Labeler and call interface methods, so a future
+// sharding router that implements Labeler by delegating to remote clients
+// plugs in with zero handler changes. Every error is served as the uniform
+// envelope {code, message, retryable} with the status from the shared
+// taxonomy (pkg/darwin/errors.go).
+
+// defaultPageLimit and maxPageLimit bound the /v2 list endpoints.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// maxLabelers bounds the workspace-attachment registry (sessions are
+// bounded by the store's own MaxSessions).
+const maxLabelers = 4096
+
+// wsLabeler is one registered workspace attachment: the labeler id names
+// the (workspace, annotator) pair and holds the bound SDK adapter.
+type wsLabeler struct {
+	id  string
+	lab *darwin.WorkspaceLabeler
+}
+
+// labelerRegistry tracks the workspace-backed labelers created via /v2.
+// Session-backed labelers live in the session store (shared with /v1);
+// workspace lifetime is governed by the workspace manager's TTL. Entries
+// are dropped on delete, on access once their workspace turns out to be
+// gone (resolveLabeler), and by pruneDeadLabelers sweeps (listing, and
+// before refusing a create at the capacity cap).
+type labelerRegistry struct {
+	mu    sync.Mutex
+	items map[string]*wsLabeler
+}
+
+func newLabelerRegistry() *labelerRegistry {
+	return &labelerRegistry{items: make(map[string]*wsLabeler)}
+}
+
+func (reg *labelerRegistry) add(en *wsLabeler) error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if len(reg.items) >= maxLabelers {
+		return fmt.Errorf("%w: labeler limit reached (%d live labelers)", darwin.ErrUnavailable, len(reg.items))
+	}
+	reg.items[en.id] = en
+	return nil
+}
+
+func (reg *labelerRegistry) get(id string) (*wsLabeler, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	en, ok := reg.items[id]
+	return en, ok
+}
+
+func (reg *labelerRegistry) remove(id string) (*wsLabeler, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	en, ok := reg.items[id]
+	delete(reg.items, id)
+	return en, ok
+}
+
+// prune drops every entry alive rejects and reports how many were removed.
+func (reg *labelerRegistry) prune(alive func(*wsLabeler) bool) int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	n := 0
+	for id, en := range reg.items {
+		if !alive(en) {
+			delete(reg.items, id)
+			n++
+		}
+	}
+	return n
+}
+
+func (reg *labelerRegistry) ids() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make([]string, 0, len(reg.items))
+	for id := range reg.items {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// registerV2 wires the /v2 routes.
+func (s *Server) registerV2() {
+	s.handle("GET /v2/datasets", s.handleV2Datasets)
+	s.handle("POST /v2/labelers", s.handleV2Create)
+	s.handle("GET /v2/labelers", s.handleV2List)
+	s.handle("GET /v2/labelers/{id}", s.handleV2Get)
+	s.handle("GET /v2/labelers/{id}/suggestion", s.handleV2Suggest)
+	s.handle("POST /v2/labelers/{id}/answers", s.handleV2Answers)
+	s.handle("GET /v2/labelers/{id}/report", s.handleV2Report)
+	s.handle("GET /v2/labelers/{id}/export", s.handleV2Export)
+	s.handle("DELETE /v2/labelers/{id}", s.handleV2Delete)
+}
+
+// writeV2Error serves err as the uniform envelope with its taxonomy status.
+func writeV2Error(w http.ResponseWriter, err error) {
+	writeJSON(w, darwin.HTTPStatus(err), darwin.Envelope(err))
+}
+
+// resolveLabeler maps a labeler id to its Labeler. The extra Statuser is
+// what the status and list endpoints poll; both local SDK adapters
+// implement it.
+func (s *Server) resolveLabeler(id string) (darwin.Labeler, error) {
+	if en, ok := s.store.Get(id); ok {
+		return en.lab, nil
+	}
+	if en, ok := s.labelers.get(id); ok {
+		// A TTL-evicted workspace leaves its attachment entries behind;
+		// drop them on access instead of serving a dead labeler.
+		if _, live := s.mgr.Get(en.lab.Workspace()); !live {
+			s.labelers.remove(id)
+			return nil, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
+		}
+		return en.lab, nil
+	}
+	return nil, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
+}
+
+// pruneDeadLabelers sweeps expired workspaces and drops every registry
+// entry whose workspace is gone, so abandoned attachments cannot pin the
+// registry at its capacity cap.
+func (s *Server) pruneDeadLabelers() int {
+	s.mgr.Sweep()
+	live := make(map[string]bool)
+	for _, id := range s.mgr.IDs() {
+		live[id] = true
+	}
+	return s.labelers.prune(func(en *wsLabeler) bool { return live[en.lab.Workspace()] })
+}
+
+// statusPeek reports a labeler's status without refreshing any idle timer —
+// the lookup for GET /v2/labelers/{id} and the listing, so that periodic
+// monitoring cannot keep abandoned labelers alive forever.
+func (s *Server) statusPeek(ctx context.Context, id string) (darwin.Status, error) {
+	if en, ok := s.store.Peek(id); ok {
+		st, err := en.lab.Status(ctx)
+		if err != nil {
+			return darwin.Status{}, err
+		}
+		st.ID = id
+		return st, nil
+	}
+	if en, ok := s.labelers.get(id); ok {
+		ws, live := s.mgr.Peek(en.lab.Workspace())
+		if !live {
+			s.labelers.remove(id)
+			return darwin.Status{}, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
+		}
+		questions, positives, done := ws.Stats()
+		return darwin.Status{
+			ID:        id,
+			Dataset:   ws.Dataset(),
+			Mode:      darwin.ModeWorkspace,
+			Workspace: en.lab.Workspace(),
+			Annotator: en.lab.Annotator(),
+			Budget:    ws.Budget(),
+			Questions: questions,
+			Positives: positives,
+			Done:      done,
+		}, nil
+	}
+	return darwin.Status{}, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
+}
+
+// --- create / status / list ---
+
+func (s *Server) handleV2Create(w http.ResponseWriter, r *http.Request) {
+	var req darwin.CreateOptions
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV2Error(w, fmt.Errorf("%w: invalid JSON body: %v", darwin.ErrInvalid, err))
+		return
+	}
+	switch req.Mode {
+	case "", darwin.ModeSession:
+		s.createV2Session(w, r, req)
+	case darwin.ModeWorkspace:
+		s.createV2Workspace(w, r, req)
+	default:
+		writeV2Error(w, fmt.Errorf("%w: unknown mode %q (want %q or %q)",
+			darwin.ErrInvalid, req.Mode, darwin.ModeSession, darwin.ModeWorkspace))
+	}
+}
+
+func (s *Server) createV2Session(w http.ResponseWriter, r *http.Request, req darwin.CreateOptions) {
+	lab, en, err := s.newSessionLabeler(req.Dataset, req.SeedRules, req.SeedPositiveIDs, req.Budget, req.Seed)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	st, err := lab.Status(r.Context())
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	st.ID = en.id
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) createV2Workspace(w http.ResponseWriter, r *http.Request, req darwin.CreateOptions) {
+	if req.Annotator == "" {
+		writeV2Error(w, fmt.Errorf("%w: annotator name is required in workspace mode", darwin.ErrInvalid))
+		return
+	}
+	wsID := req.Workspace
+	fresh := wsID == ""
+	if fresh {
+		// Fresh workspace for this labeler; its durability and TTL are the
+		// workspace manager's business.
+		if _, ok := s.datasets[req.Dataset]; !ok {
+			writeV2Error(w, fmt.Errorf("%w: unknown dataset %q (have %v)", darwin.ErrNotFound, req.Dataset, s.DatasetNames()))
+			return
+		}
+		if len(req.SeedRules) > s.cfg.MaxSeedRules {
+			writeV2Error(w, fmt.Errorf("%w: too many seed rules (%d > %d)", darwin.ErrInvalid, len(req.SeedRules), s.cfg.MaxSeedRules))
+			return
+		}
+		budget := req.Budget
+		if budget <= 0 {
+			budget = s.cfg.DefaultBudget
+		}
+		ws, err := s.mgr.Create(req.Dataset, workspace.Options{
+			SeedRules:       req.SeedRules,
+			SeedPositiveIDs: req.SeedPositiveIDs,
+			Budget:          budget,
+			Seed:            req.Seed,
+		})
+		if err != nil {
+			writeV2Error(w, fmt.Errorf("%w: %v", darwin.ErrInvalid, err))
+			return
+		}
+		wsID = ws.ID()
+	} else {
+		// Joining an existing workspace: the workspace's own dataset,
+		// seeds, budget and seed govern; silently ignoring conflicting
+		// request fields would hand the caller a labeler over a different
+		// corpus than they asked for.
+		ws, ok := s.mgr.Get(wsID)
+		if !ok {
+			writeV2Error(w, fmt.Errorf("%w: unknown or expired workspace %q", darwin.ErrNotFound, wsID))
+			return
+		}
+		if req.Dataset != "" && req.Dataset != ws.Dataset() {
+			writeV2Error(w, fmt.Errorf("%w: workspace %s serves dataset %q, not %q",
+				darwin.ErrInvalid, wsID, ws.Dataset(), req.Dataset))
+			return
+		}
+		if len(req.SeedRules) > 0 || len(req.SeedPositiveIDs) > 0 || req.Budget > 0 || req.Seed != 0 {
+			writeV2Error(w, fmt.Errorf("%w: seed_rules, seed_positive_ids, budget and seed cannot be set when joining an existing workspace", darwin.ErrInvalid))
+			return
+		}
+	}
+	// From here on a failure must not orphan a freshly created (and
+	// journaled) workspace the client never learned the id of.
+	fail := func(err error) {
+		if fresh {
+			s.mgr.Evict(wsID, "labeler create failed")
+		}
+		writeV2Error(w, err)
+	}
+	lab, err := darwin.AttachWorkspace(s.mgr, wsID, req.Annotator)
+	if err != nil {
+		fail(err)
+		return
+	}
+	id, err := newSessionID()
+	if err != nil {
+		_ = lab.Close(r.Context())
+		fail(fmt.Errorf("%w: %v", darwin.ErrInternal, err))
+		return
+	}
+	en := &wsLabeler{id: id, lab: lab}
+	if err := s.labelers.add(en); err != nil {
+		// At capacity: evict entries orphaned by workspace TTL eviction and
+		// retry once before refusing.
+		s.pruneDeadLabelers()
+		if err := s.labelers.add(en); err != nil {
+			_ = lab.Close(r.Context())
+			fail(err)
+			return
+		}
+	}
+	st, err := lab.Status(r.Context())
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	st.ID = id
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleV2Get(w http.ResponseWriter, r *http.Request) {
+	st, err := s.statusPeek(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func labelerStatus(r *http.Request, lab darwin.Labeler) (darwin.Status, error) {
+	st, ok := lab.(darwin.Statuser)
+	if !ok {
+		return darwin.Status{}, fmt.Errorf("%w: labeler does not report status", darwin.ErrInternal)
+	}
+	return st.Status(r.Context())
+}
+
+// page applies cursor pagination over a sorted id list: items strictly after
+// cursor, at most limit, plus the next cursor ("" when the page is last).
+func page(ids []string, cursor string, limit int) (pageIDs []string, next string) {
+	if limit <= 0 {
+		limit = defaultPageLimit
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	start := 0
+	if cursor != "" {
+		start = sort.SearchStrings(ids, cursor)
+		if start < len(ids) && ids[start] == cursor {
+			start++
+		}
+	}
+	end := start + limit
+	if end > len(ids) {
+		end = len(ids)
+	}
+	pageIDs = ids[start:end]
+	if end < len(ids) {
+		next = ids[end-1]
+	}
+	return pageIDs, next
+}
+
+func (s *Server) handleV2List(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	s.pruneDeadLabelers()
+	ids := append(s.store.IDs(), s.labelers.ids()...)
+	sort.Strings(ids)
+	pageIDs, next := page(ids, r.URL.Query().Get("cursor"), limit)
+	resp := darwin.LabelerPage{Labelers: make([]darwin.Status, 0, len(pageIDs)), NextCursor: next}
+	for _, id := range pageIDs {
+		st, err := s.statusPeek(r.Context(), id)
+		if err != nil {
+			continue // evicted between listing and resolution
+		}
+		resp.Labelers = append(resp.Labelers, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleV2Datasets(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	names, next := page(s.DatasetNames(), r.URL.Query().Get("cursor"), limit)
+	writeJSON(w, http.StatusOK, darwin.DatasetPage{Datasets: names, NextCursor: next})
+}
+
+func parseLimit(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, nil
+	}
+	limit, err := strconv.Atoi(raw)
+	if err != nil || limit <= 0 {
+		return 0, fmt.Errorf("%w: limit must be a positive integer, got %q", darwin.ErrInvalid, raw)
+	}
+	return limit, nil
+}
+
+// --- the Labeler verbs ---
+
+func (s *Server) handleV2Suggest(w http.ResponseWriter, r *http.Request) {
+	lab, err := s.resolveLabeler(r.PathValue("id"))
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	var sug darwin.Suggestion
+	if sl, ok := lab.(*darwin.SessionLabeler); ok {
+		// Session steps feed the healthz latency aggregate.
+		sug, _, err = s.suggestStep(r.Context(), sl)
+	} else {
+		sug, err = lab.Suggest(r.Context())
+	}
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sug)
+}
+
+func (s *Server) handleV2Answers(w http.ResponseWriter, r *http.Request) {
+	lab, err := s.resolveLabeler(r.PathValue("id"))
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	var req struct {
+		Answers []darwin.Answer `json:"answers"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV2Error(w, fmt.Errorf("%w: invalid JSON body: %v", darwin.ErrInvalid, err))
+		return
+	}
+	if len(req.Answers) == 0 {
+		writeV2Error(w, fmt.Errorf("%w: at least one answer is required", darwin.ErrInvalid))
+		return
+	}
+	recs, batchErr := darwin.AnswerBatch(r.Context(), lab, req.Answers)
+	if batchErr != nil && len(recs) == 0 {
+		// Nothing applied: a plain error response.
+		writeV2Error(w, batchErr)
+		return
+	}
+	st, err := labelerStatus(r, lab)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	resp := struct {
+		Applied    int                   `json:"applied"`
+		Records    []darwin.RuleRecord   `json:"records"`
+		Questions  int                   `json:"questions"`
+		BudgetLeft int                   `json:"budget_left"`
+		Positives  int                   `json:"positives"`
+		Done       bool                  `json:"done"`
+		Error      *darwin.ErrorEnvelope `json:"error,omitempty"`
+	}{
+		Applied:    len(recs),
+		Records:    recs,
+		Questions:  st.Questions,
+		BudgetLeft: st.Budget - st.Questions,
+		Positives:  st.Positives,
+		Done:       st.Done,
+	}
+	if len(recs) > 0 {
+		// Derive the caller-visible counters from the batch's own last
+		// record (its committed question number), not from the racy status
+		// read above — a concurrent annotator on the same workspace must
+		// not shift this response. Budget is immutable, so st.Budget is
+		// safe to combine.
+		last := recs[len(recs)-1]
+		resp.Questions = last.Question
+		resp.BudgetLeft = st.Budget - last.Question
+		resp.Positives = last.PositivesAfter
+		resp.Done = last.Question >= st.Budget
+	}
+	if batchErr != nil {
+		// Fail-fast mid-batch: report the applied prefix alongside the
+		// typed error (nothing applied is rolled back — each applied answer
+		// already went through the journal).
+		env := darwin.Envelope(batchErr)
+		resp.Error = &env
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleV2Report(w http.ResponseWriter, r *http.Request) {
+	lab, err := s.resolveLabeler(r.PathValue("id"))
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	rep, err := lab.Report(r.Context())
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleV2Export(w http.ResponseWriter, r *http.Request) {
+	lab, err := s.resolveLabeler(r.PathValue("id"))
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Headers are sent on first write; a mid-stream failure can only
+	// truncate the body.
+	_ = lab.Export(r.Context(), w)
+}
+
+func (s *Server) handleV2Delete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if en, ok := s.labelers.get(id); ok {
+		// Close (detach) first, and drop the registry entry only once it
+		// succeeded — a failed detach (broken journal) must stay
+		// addressable so the DELETE can be retried.
+		if err := en.lab.Close(r.Context()); err != nil && !errors.Is(err, darwin.ErrNotFound) {
+			writeV2Error(w, err)
+			return
+		}
+		s.labelers.remove(id)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if s.deleteSession(r.Context(), id) {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeV2Error(w, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id))
+}

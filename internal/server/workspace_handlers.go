@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/workspace"
+	"repro/pkg/darwin"
 )
 
 // --- workspace wire format ---
@@ -69,6 +70,7 @@ type wsAnnotatorJSON struct {
 }
 
 type wsClassifierJSON struct {
+	Trained            bool    `json:"trained"`
 	Retrains           int     `json:"retrains"`
 	MeanScore          float64 `json:"mean_score"`
 	PredictedPositives int     `json:"predicted_positives"`
@@ -92,8 +94,26 @@ type wsReportResponse struct {
 	EventSeq    uint64            `json:"event_seq"`
 }
 
-func wsRecord(rec workspace.Record) wsRecordJSON {
-	return wsRecordJSON{ruleRecordJSON: recordJSON(rec.RuleRecord), Annotator: rec.Annotator}
+func wsRecord(rec darwin.RuleRecord) wsRecordJSON {
+	annotator := rec.Annotator
+	rec.Annotator = ""
+	return wsRecordJSON{ruleRecordJSON: recordJSON(rec), Annotator: annotator}
+}
+
+// wsCoreRecord renders a workspace-layer record in the v1 wire shape.
+func wsCoreRecord(rec workspace.Record) wsRecordJSON {
+	return wsRecordJSON{
+		ruleRecordJSON: ruleRecordJSON{
+			Question:       rec.Question,
+			Key:            rec.Key,
+			Rule:           rec.Rule,
+			Coverage:       rec.Coverage,
+			Accepted:       rec.Accepted,
+			AddedIDs:       rec.AddedIDs,
+			PositivesAfter: rec.PositivesAfter,
+		},
+		Annotator: rec.Annotator,
+	}
 }
 
 // wsError maps workspace errors to HTTP statuses.
@@ -148,7 +168,7 @@ func (s *Server) handleWSCreate(w http.ResponseWriter, r *http.Request) {
 		Positives: rep.PositiveCount,
 	}
 	for _, rec := range rep.Accepted {
-		resp.SeedRules = append(resp.SeedRules, recordJSON(rec.RuleRecord))
+		resp.SeedRules = append(resp.SeedRules, wsCoreRecord(rec).ruleRecordJSON)
 	}
 	writeJSON(w, http.StatusCreated, resp)
 }
@@ -185,25 +205,25 @@ func (s *Server) handleWSSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "annotator query parameter is required")
 		return
 	}
-	ws, ok := s.mgr.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", id)
-		return
-	}
-	sug, more, err := s.mgr.Suggest(id, name)
+	lab, err := darwin.BindWorkspace(s.mgr, id, name)
 	if err != nil {
-		wsError(w, err)
+		writeV1Error(w, err)
 		return
 	}
-	if !more {
-		rep := ws.Report()
-		writeJSON(w, http.StatusOK, wsSuggestResponse{Done: true, BudgetLeft: rep.Budget - rep.Questions})
+	sug, err := lab.Suggest(r.Context())
+	if err != nil {
+		if errors.Is(err, darwin.ErrBudgetExhausted) {
+			st, _ := lab.Status(r.Context())
+			writeJSON(w, http.StatusOK, wsSuggestResponse{Done: true, BudgetLeft: st.Budget - st.Questions})
+			return
+		}
+		writeV1Error(w, err)
 		return
 	}
 	// Question/BudgetLeft were fixed under the workspace lock at assignment
 	// time, counting outstanding assignments, so concurrent annotators see
 	// distinct question numbers.
-	resp := wsSuggestResponse{
+	writeJSON(w, http.StatusOK, wsSuggestResponse{
 		Question:    sug.Question,
 		BudgetLeft:  sug.BudgetLeft,
 		Key:         sug.Key,
@@ -212,14 +232,8 @@ func (s *Server) handleWSSuggest(w http.ResponseWriter, r *http.Request) {
 		NewCoverage: sug.NewCoverage,
 		Benefit:     sug.Benefit,
 		AvgBenefit:  sug.AvgBenefit,
-	}
-	corp := s.datasets[ws.Dataset()].Engine.Corpus()
-	for _, sid := range sug.SampleIDs {
-		if sent := corp.Sentence(sid); sent != nil {
-			resp.Samples = append(resp.Samples, sampleJSON{ID: sid, Text: sent.Text})
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+		Samples:     samplesJSON(sug.Samples),
+	})
 }
 
 func (s *Server) handleWSAnswer(w http.ResponseWriter, r *http.Request) {
@@ -228,20 +242,31 @@ func (s *Server) handleWSAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
+	if req.Key == "" {
+		// v1 never supported blind answers; an empty key is a protocol error.
+		writeError(w, http.StatusConflict, "answer key is required")
+		return
+	}
 	id := r.PathValue("id")
 	ws, ok := s.mgr.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", id)
 		return
 	}
-	rec, err := s.mgr.Answer(id, req.Annotator, req.Key, req.Accept)
+	lab, err := darwin.BindWorkspace(s.mgr, id, req.Annotator)
 	if err != nil {
-		wsError(w, err)
+		writeV1Error(w, err)
+		return
+	}
+	recs, err := lab.AnswerBatch(r.Context(), []darwin.Answer{{Key: req.Key, Accept: req.Accept}})
+	if err != nil {
+		writeV1Error(w, err)
 		return
 	}
 	// Derive done/budget from the answered record itself (rec.Question is
 	// the question number this answer was committed as), not from a second
 	// unsynchronized report read.
+	rec := recs[0]
 	budget := ws.Budget()
 	writeJSON(w, http.StatusOK, wsAnswerResponse{
 		Record:     wsRecord(rec),
@@ -272,10 +297,10 @@ func (s *Server) handleWSReport(w http.ResponseWriter, r *http.Request) {
 		EventSeq:    rep.EventSeq,
 	}
 	for _, rec := range rep.Accepted {
-		resp.Accepted = append(resp.Accepted, wsRecord(rec))
+		resp.Accepted = append(resp.Accepted, wsCoreRecord(rec))
 	}
 	for _, rec := range rep.History {
-		resp.History = append(resp.History, wsRecord(rec))
+		resp.History = append(resp.History, wsCoreRecord(rec))
 	}
 	for _, an := range rep.Annotators {
 		resp.Annotators = append(resp.Annotators, wsAnnotatorJSON{

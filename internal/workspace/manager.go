@@ -212,6 +212,13 @@ func (m *Manager) Create(dataset string, opts Options) (*Workspace, error) {
 	return ws, nil
 }
 
+// Engine returns the engine serving the named dataset (the serving layer
+// uses it to resolve sample texts and exports for workspace-backed labelers).
+func (m *Manager) Engine(dataset string) (*core.Engine, bool) {
+	eng, ok := m.engines[dataset]
+	return eng, ok
+}
+
 // Get returns the live workspace with the given ID, refreshing its idle
 // timer. Expired workspaces are evicted and treated as absent.
 func (m *Manager) Get(id string) (*Workspace, bool) {
@@ -233,6 +240,19 @@ func (m *Manager) get(id string) (*Workspace, bool) {
 		return nil, false
 	}
 	en.lastUsed = now
+	return en.ws, true
+}
+
+// Peek returns the live workspace with the given ID without refreshing its
+// idle timer: read-only listings and status polls must not keep abandoned
+// workspaces alive.
+func (m *Manager) Peek(id string) (*Workspace, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	en, ok := m.items[id]
+	if !ok || m.now().Sub(en.lastUsed) > m.cfg.TTL {
+		return nil, false
+	}
 	return en.ws, true
 }
 

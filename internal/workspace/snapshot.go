@@ -15,8 +15,8 @@ import (
 // snapshot resumes the exact deterministic event stream a full replay would
 // produce: scores round-trip exactly through JSON (encoding/json emits
 // shortest-round-trip float64), and the classifier model itself need not be
-// captured — the next retrain refits it as a pure function of
-// (positives, seed, event sequence).
+// captured — Restore refits it as a pure function of
+// (positives, seed, LastRetrainSeq), reproducing the live model exactly.
 type Snapshot struct {
 	ID        string   `json:"id"`
 	Dataset   string   `json:"dataset"`
@@ -31,6 +31,10 @@ type Snapshot struct {
 	EventSeq  uint64 `json:"event_seq"`
 	Retrains  int    `json:"retrains"`
 	Questions int    `json:"questions"`
+	// LastRetrainSeq is the event sequence the last retrain was seeded with;
+	// Restore replays that one training step so the recovered classifier is
+	// the same fitted model (and Trained() flag) the live workspace had.
+	LastRetrainSeq uint64 `json:"last_retrain_seq"`
 
 	Positives []int     `json:"positives"`
 	Queried   []string  `json:"queried"`
@@ -55,20 +59,21 @@ func (ws *Workspace) Snapshot() *Snapshot {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	snap := &Snapshot{
-		ID:        ws.id,
-		Dataset:   ws.dataset,
-		Seed:      ws.seed,
-		Budget:    ws.budget,
-		CorpusLen: ws.corpusLen,
-		SeedRules: append([]string(nil), ws.seedRules...),
-		EventSeq:  ws.eventSeq,
-		Retrains:  ws.retrains,
-		Questions: ws.questions,
-		Positives: ws.positiveIDsLocked(),
-		Queried:   sortedStrings(ws.queried),
-		Scores:    append([]float64(nil), ws.scores...),
-		Accepted:  append([]Record(nil), ws.accepted...),
-		History:   append([]Record(nil), ws.history...),
+		ID:             ws.id,
+		Dataset:        ws.dataset,
+		Seed:           ws.seed,
+		Budget:         ws.budget,
+		CorpusLen:      ws.corpusLen,
+		SeedRules:      append([]string(nil), ws.seedRules...),
+		EventSeq:       ws.eventSeq,
+		Retrains:       ws.retrains,
+		Questions:      ws.questions,
+		LastRetrainSeq: ws.lastRetrainSeq,
+		Positives:      ws.positiveIDsLocked(),
+		Queried:        sortedStrings(ws.queried),
+		Scores:         append([]float64(nil), ws.scores...),
+		Accepted:       append([]Record(nil), ws.accepted...),
+		History:        append([]Record(nil), ws.history...),
 	}
 	for _, name := range ws.annOrder {
 		an := ws.annotators[name]
@@ -100,25 +105,26 @@ func Restore(eng *core.Engine, snap *Snapshot, log LogFunc) (*Workspace, error) 
 		}
 	}
 	ws := &Workspace{
-		eng:        eng,
-		log:        log,
-		id:         snap.ID,
-		dataset:    snap.Dataset,
-		seed:       snap.Seed,
-		budget:     snap.Budget,
-		corpusLen:  snap.CorpusLen,
-		seedRules:  append([]string(nil), snap.SeedRules...),
-		positives:  make(map[int]bool, len(snap.Positives)),
-		posBits:    bitset.New(snap.CorpusLen),
-		queried:    make(map[string]bool, len(snap.Queried)),
-		scores:     append([]float64(nil), snap.Scores...),
-		clf:        eng.AttachClassifier(snap.Seed),
-		retrains:   snap.Retrains,
-		eventSeq:   snap.EventSeq,
-		questions:  snap.Questions,
-		accepted:   append([]Record(nil), snap.Accepted...),
-		history:    append([]Record(nil), snap.History...),
-		annotators: make(map[string]*annotator, len(snap.Annotators)),
+		eng:            eng,
+		log:            log,
+		id:             snap.ID,
+		dataset:        snap.Dataset,
+		seed:           snap.Seed,
+		budget:         snap.Budget,
+		corpusLen:      snap.CorpusLen,
+		seedRules:      append([]string(nil), snap.SeedRules...),
+		positives:      make(map[int]bool, len(snap.Positives)),
+		posBits:        bitset.New(snap.CorpusLen),
+		queried:        make(map[string]bool, len(snap.Queried)),
+		scores:         append([]float64(nil), snap.Scores...),
+		clf:            eng.AttachClassifier(snap.Seed),
+		retrains:       snap.Retrains,
+		lastRetrainSeq: snap.LastRetrainSeq,
+		eventSeq:       snap.EventSeq,
+		questions:      snap.Questions,
+		accepted:       append([]Record(nil), snap.Accepted...),
+		history:        append([]Record(nil), snap.History...),
+		annotators:     make(map[string]*annotator, len(snap.Annotators)),
 	}
 	for _, id := range snap.Positives {
 		if id < 0 || id >= snap.CorpusLen {
@@ -148,6 +154,18 @@ func Restore(eng *core.Engine, snap *Snapshot, log LogFunc) (*Workspace, error) 
 	}
 	if resolveErr != nil {
 		return nil, resolveErr
+	}
+	// Refit the classifier the live workspace had: the last retrain was a
+	// pure function of (positives, seed, lastRetrainSeq), and P only changes
+	// on the accepts that trigger retrains, so replaying that one training
+	// step reproduces the exact model. Without this a restored workspace
+	// reported scores while Trained() stayed false until the next accept.
+	// The restored score vector stays authoritative — no rescoring here.
+	if snap.Retrains > 0 {
+		ws.clf.Reseed(mix(snap.Seed, snap.LastRetrainSeq))
+		if err := ws.clf.TrainFromPositives(ws.positives); err != nil {
+			return nil, fmt.Errorf("workspace: snapshot %s: refit classifier: %w", snap.ID, err)
+		}
 	}
 	return ws, nil
 }

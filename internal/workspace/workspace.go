@@ -136,6 +136,12 @@ type Workspace struct {
 	scores    []float64
 	clf       *classifier.SentenceClassifier
 	retrains  int
+	// lastRetrainSeq is the event sequence number the last retrain was seeded
+	// with. Snapshots persist it so Restore can refit the classifier to the
+	// exact model the live workspace had (same RNG stream), keeping
+	// Trained() — and every report derived from the classifier — consistent
+	// across recovery instead of flipping false until the next accept.
+	lastRetrainSeq uint64
 	// eventSeq counts applied events (create = 0); it seeds every derived
 	// RNG so replayed and snapshot-restored workspaces draw the same
 	// streams.
@@ -266,8 +272,13 @@ func (ws *Workspace) addPositives(cov []int) []int {
 func (ws *Workspace) retrain() {
 	ws.clf.Reseed(mix(ws.seed, ws.eventSeq))
 	if err := ws.clf.TrainFromPositives(ws.positives); err != nil {
+		// Training failure is tolerated live (previous model and scores keep
+		// serving); lastRetrainSeq deliberately still points at the last
+		// successful fit, so a snapshot Restore refits a seq that is known
+		// to succeed.
 		return
 	}
+	ws.lastRetrainSeq = ws.eventSeq
 	ws.retrains++
 	lazy, thr := ws.eng.LazyScoring()
 	if !lazy || ws.retrains%3 == 1 || ws.retrains <= 1 {
@@ -527,6 +538,15 @@ func (ws *Workspace) HierarchyGenerations() int {
 	return ws.hierGens
 }
 
+// Stats returns the workspace's cheap status counters (questions answered,
+// |P|, done) without copying the full report — the serving layer's list
+// endpoints poll this per labeler.
+func (ws *Workspace) Stats() (questions, positives int, done bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.questions, len(ws.positives), ws.questions >= ws.budget
+}
+
 // PositivesMap returns a copy of the shared positive set.
 func (ws *Workspace) PositivesMap() map[int]bool {
 	ws.mu.Lock()
@@ -551,6 +571,10 @@ type AnnotatorReport struct {
 // ClassifierMetrics summarizes the shared classifier's state, derived
 // deterministically from the score vector.
 type ClassifierMetrics struct {
+	// Trained reports whether the classifier currently holds a fitted model.
+	// It survives snapshot recovery: Restore refits the model from the
+	// persisted (positives, seed, last retrain sequence) triple.
+	Trained            bool
 	Retrains           int
 	MeanScore          float64
 	PredictedPositives int // sentences with p_s >= 0.5
@@ -615,7 +639,7 @@ func (ws *Workspace) positiveIDsLocked() []int {
 }
 
 func (ws *Workspace) metricsLocked() ClassifierMetrics {
-	m := ClassifierMetrics{Retrains: ws.retrains}
+	m := ClassifierMetrics{Trained: ws.clf.Trained(), Retrains: ws.retrains}
 	sum := 0.0
 	for _, s := range ws.scores {
 		sum += s

@@ -617,3 +617,62 @@ func TestWorkspaceErrors(t *testing.T) {
 		t.Errorf("released rule %q was not re-assigned (got %q)", sug.Key, sug2.Key)
 	}
 }
+
+// TestRestoreRefitsClassifier pins the recovery consistency fix: a workspace
+// restored from a snapshot must hold a fitted classifier (Trained() true, and
+// the same fitted model the live workspace had), not report restored scores
+// against an untrained classifier until the next accept.
+func TestRestoreRefitsClassifier(t *testing.T) {
+	m := newTestManager(t, "", ManagerConfig{})
+	ws, err := m.Create("directions", Options{SeedRules: []string{seedRule}, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(ws.ID(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Drive until at least one accept retrained the shared classifier.
+	accepts := 0
+	for i := 0; i < 6 && accepts == 0; i++ {
+		sug, ok, err := m.Suggest(ws.ID(), "alice")
+		if err != nil || !ok {
+			t.Fatalf("suggest %d: ok=%v err=%v", i, ok, err)
+		}
+		accept := sug.NewCoverage > 0
+		if _, err := m.Answer(ws.ID(), "alice", sug.Key, accept); err != nil {
+			t.Fatal(err)
+		}
+		if accept {
+			accepts++
+		}
+	}
+	if accepts == 0 {
+		t.Fatal("scenario not reached: no accepted rule")
+	}
+	liveRep := ws.Report()
+	if !liveRep.Classifier.Trained {
+		t.Fatal("sanity: live workspace classifier is not trained")
+	}
+
+	eng := newTestEngine(t)
+	rws, err := Restore(eng, ws.Snapshot(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredRep := rws.Report()
+	if !restoredRep.Classifier.Trained {
+		t.Error("restored workspace classifier is not trained")
+	}
+	if !reflect.DeepEqual(liveRep.Classifier, restoredRep.Classifier) {
+		t.Errorf("classifier metrics diverge after restore:\nlive:     %+v\nrestored: %+v",
+			liveRep.Classifier, restoredRep.Classifier)
+	}
+	// The refit must reproduce the exact live model, not just any model:
+	// future evolution (next suggestion) stays bit-identical.
+	lsug, lok, lerr := ws.Suggest("alice")
+	rsug, rok, rerr := rws.Suggest("alice")
+	if lerr != nil || rerr != nil || lok != rok || lsug.Key != rsug.Key {
+		t.Errorf("post-restore evolution diverges: live (%q,%v,%v) vs restored (%q,%v,%v)",
+			lsug.Key, lok, lerr, rsug.Key, rok, rerr)
+	}
+}

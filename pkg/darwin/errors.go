@@ -1,0 +1,158 @@
+package darwin
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The error taxonomy of the API. Every error a Labeler returns wraps exactly
+// one of these sentinels, so callers branch with errors.Is regardless of
+// transport; the /v2 HTTP surface maps them to and from the uniform JSON
+// error envelope {code, message, retryable}.
+var (
+	// ErrInvalid marks a malformed or unusable request (bad seed rule, empty
+	// seeds, unknown mode, ...).
+	ErrInvalid = errors.New("darwin: invalid argument")
+	// ErrUnauthorized marks a missing or wrong bearer token.
+	ErrUnauthorized = errors.New("darwin: unauthorized")
+	// ErrNotFound marks an unknown or expired labeler, workspace, annotator
+	// or dataset.
+	ErrNotFound = errors.New("darwin: not found")
+	// ErrConflict marks a request that does not fit the labeler's current
+	// state: an answer whose key does not match the pending suggestion, an
+	// answer with nothing pending, a duplicate annotator attach.
+	ErrConflict = errors.New("darwin: conflict")
+	// ErrBudgetExhausted marks a finished labeler: the oracle budget is
+	// spent, or no candidate rules remain.
+	ErrBudgetExhausted = errors.New("darwin: budget exhausted")
+	// ErrRateLimited marks a request rejected by the server's rate limiter;
+	// it is retryable after a pause.
+	ErrRateLimited = errors.New("darwin: rate limited")
+	// ErrUnavailable marks a server that cannot take the request right now:
+	// capacity limits, or a workspace whose journal failed. Retryable.
+	ErrUnavailable = errors.New("darwin: unavailable")
+	// ErrInternal marks an unexpected server-side failure.
+	ErrInternal = errors.New("darwin: internal error")
+)
+
+// Wire codes of the /v2 error envelope, one per sentinel.
+const (
+	CodeInvalid         = "invalid_argument"
+	CodeUnauthorized    = "unauthorized"
+	CodeNotFound        = "not_found"
+	CodeConflict        = "conflict"
+	CodeBudgetExhausted = "budget_exhausted"
+	CodeRateLimited     = "rate_limited"
+	CodeUnavailable     = "unavailable"
+	CodeInternal        = "internal"
+)
+
+// ErrorEnvelope is the uniform JSON error body of every /v2 endpoint.
+type ErrorEnvelope struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description of this particular failure.
+	Message string `json:"message"`
+	// Retryable reports whether retrying the identical request later can
+	// succeed (rate limits, capacity, journal recovery).
+	Retryable bool `json:"retryable"`
+}
+
+// errorClass is the single source of truth tying a sentinel to its wire
+// code, HTTP status and retryability. Order matters only in that every
+// entry's sentinel must be distinct.
+var errorClasses = []struct {
+	err       error
+	code      string
+	status    int
+	retryable bool
+}{
+	{ErrInvalid, CodeInvalid, http.StatusBadRequest, false},
+	{ErrUnauthorized, CodeUnauthorized, http.StatusUnauthorized, false},
+	{ErrNotFound, CodeNotFound, http.StatusNotFound, false},
+	{ErrConflict, CodeConflict, http.StatusConflict, false},
+	{ErrBudgetExhausted, CodeBudgetExhausted, http.StatusConflict, false},
+	{ErrRateLimited, CodeRateLimited, http.StatusTooManyRequests, true},
+	{ErrUnavailable, CodeUnavailable, http.StatusServiceUnavailable, true},
+	{ErrInternal, CodeInternal, http.StatusInternalServerError, false},
+}
+
+// Code returns the wire code for err (CodeInternal when err wraps no
+// sentinel of the taxonomy).
+func Code(err error) string {
+	for _, c := range errorClasses {
+		if errors.Is(err, c.err) {
+			return c.code
+		}
+	}
+	return CodeInternal
+}
+
+// HTTPStatus returns the HTTP status the /v2 surface serves err with.
+func HTTPStatus(err error) int {
+	for _, c := range errorClasses {
+		if errors.Is(err, c.err) {
+			return c.status
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// Retryable reports whether retrying the identical request later can
+// succeed.
+func Retryable(err error) bool {
+	for _, c := range errorClasses {
+		if errors.Is(err, c.err) {
+			return c.retryable
+		}
+	}
+	return false
+}
+
+// Envelope builds the /v2 wire envelope for err. The sentinel's own prefix
+// is stripped from the message (the code already carries that information,
+// and the receiving client re-attaches the sentinel via Err).
+func Envelope(err error) ErrorEnvelope {
+	for _, c := range errorClasses {
+		if errors.Is(err, c.err) {
+			msg := strings.TrimPrefix(err.Error(), c.err.Error()+": ")
+			return ErrorEnvelope{Code: c.code, Message: msg, Retryable: c.retryable}
+		}
+	}
+	return ErrorEnvelope{Code: CodeInternal, Message: err.Error()}
+}
+
+// Err reconstructs a typed error from a received envelope: the result wraps
+// the sentinel matching the code (ErrInternal for unknown codes) and carries
+// the server's message, so errors.Is behaves identically on both sides of
+// the wire.
+func (e ErrorEnvelope) Err() error {
+	for _, c := range errorClasses {
+		if c.code == e.Code {
+			if e.Message != "" {
+				return fmt.Errorf("%w: %s", c.err, e.Message)
+			}
+			return c.err
+		}
+	}
+	if e.Message != "" {
+		return fmt.Errorf("%w: %s (code %q)", ErrInternal, e.Message, e.Code)
+	}
+	return fmt.Errorf("%w (code %q)", ErrInternal, e.Code)
+}
+
+// wrap attaches sentinel to err (preserving err's chain and message) unless
+// err already carries a sentinel of the taxonomy.
+func wrap(sentinel, err error) error {
+	if err == nil {
+		return nil
+	}
+	for _, c := range errorClasses {
+		if errors.Is(err, c.err) {
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %w", sentinel, err)
+}

@@ -1,0 +1,77 @@
+package darwin
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestErrorTaxonomy pins the sentinel ↔ {code, status, retryable} mapping
+// in one table: the server serves these triples, the client maps them back,
+// and the round trip must preserve errors.Is identity and the message.
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		sentinel  error
+		code      string
+		status    int
+		retryable bool
+	}{
+		{ErrInvalid, CodeInvalid, http.StatusBadRequest, false},
+		{ErrUnauthorized, CodeUnauthorized, http.StatusUnauthorized, false},
+		{ErrNotFound, CodeNotFound, http.StatusNotFound, false},
+		{ErrConflict, CodeConflict, http.StatusConflict, false},
+		{ErrBudgetExhausted, CodeBudgetExhausted, http.StatusConflict, false},
+		{ErrRateLimited, CodeRateLimited, http.StatusTooManyRequests, true},
+		{ErrUnavailable, CodeUnavailable, http.StatusServiceUnavailable, true},
+		{ErrInternal, CodeInternal, http.StatusInternalServerError, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			wrapped := fmt.Errorf("%w: it went wrong", tc.sentinel)
+			if got := Code(wrapped); got != tc.code {
+				t.Errorf("Code = %q, want %q", got, tc.code)
+			}
+			if got := HTTPStatus(wrapped); got != tc.status {
+				t.Errorf("HTTPStatus = %d, want %d", got, tc.status)
+			}
+			if got := Retryable(wrapped); got != tc.retryable {
+				t.Errorf("Retryable = %v, want %v", got, tc.retryable)
+			}
+			env := Envelope(wrapped)
+			if env.Code != tc.code || env.Retryable != tc.retryable {
+				t.Errorf("Envelope = %+v, want code %q retryable %v", env, tc.code, tc.retryable)
+			}
+			if env.Message != "it went wrong" {
+				t.Errorf("Envelope message %q did not strip the sentinel prefix", env.Message)
+			}
+			back := env.Err()
+			if !errors.Is(back, tc.sentinel) {
+				t.Errorf("round-tripped error %v does not match sentinel %v", back, tc.sentinel)
+			}
+		})
+	}
+}
+
+func TestUnknownCodeMapsToInternal(t *testing.T) {
+	env := ErrorEnvelope{Code: "galactic_misalignment", Message: "stars are off"}
+	if !errors.Is(env.Err(), ErrInternal) {
+		t.Errorf("unknown code should map to ErrInternal, got %v", env.Err())
+	}
+	if got := Code(errors.New("plain")); got != CodeInternal {
+		t.Errorf("untyped error code = %q, want %q", got, CodeInternal)
+	}
+}
+
+// TestWrapPreservesExistingSentinel pins that wrap never re-tags an error
+// that already carries a taxonomy sentinel.
+func TestWrapPreservesExistingSentinel(t *testing.T) {
+	inner := fmt.Errorf("%w: original", ErrNotFound)
+	out := wrap(ErrConflict, inner)
+	if !errors.Is(out, ErrNotFound) || errors.Is(out, ErrConflict) {
+		t.Errorf("wrap re-tagged the error: %v", out)
+	}
+	if wrap(ErrConflict, nil) != nil {
+		t.Error("wrap(nil) must be nil")
+	}
+}
