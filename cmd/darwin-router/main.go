@@ -1,0 +1,148 @@
+// Command darwin-router serves one logical /v2 labeler namespace over a
+// fleet of darwind shards. It mounts the exact same /v2 handler set darwind
+// serves — generated over the Backend interface — on top of a consistent-
+// hash router (internal/shard), so SDK clients talk to a fleet the way they
+// talk to one daemon: darwin.NewClient(routerURL, token) and nothing else
+// changes. Fresh labelers are placed by their dataset's ring position;
+// every id the router returns is namespaced "<shard>~<id>" and routes by
+// that prefix alone, so the router itself is stateless and restartable.
+//
+// Example (two shards, one router):
+//
+//	darwind -addr :8081 -datasets directions,musicians -journal /data/s1.jsonl
+//	darwind -addr :8082 -datasets directions,musicians -journal /data/s2.jsonl
+//	darwin-router -addr :8080 -shards s1=http://127.0.0.1:8081,s2=http://127.0.0.1:8082
+//
+//	curl -s -X POST localhost:8080/v2/labelers \
+//	     -d '{"dataset":"directions","seed_rules":["best way to get to"]}'
+//
+// Shard names are ring identities: keep them stable across restarts and
+// re-configurations, or datasets will re-home. /healthz reports per-shard
+// probe state and stays unauthenticated for load balancers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		shards     = flag.String("shards", "", "comma-separated shard list, each \"name=url\" (name is the stable ring identity)")
+		shardToken = flag.String("shard-token", "", "bearer token the router presents to every shard")
+		token      = flag.String("token", "", "require 'Authorization: Bearer <token>' on incoming /v2/* requests")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-IP request rate limit in requests/second (0 disables)")
+		rateBurst  = flag.Int("rate-burst", 0, "per-IP burst size (default 2x -rate-limit)")
+		probeEvery = flag.Duration("probe-every", 5*time.Second, "shard /healthz probe interval")
+		retries    = flag.Int("retries", 2, "bounded retries of retryable errors on idempotent shard calls (negative disables)")
+		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "first retry backoff (doubled per attempt)")
+	)
+	flag.Parse()
+
+	specs, err := parseShards(*shards, *shardToken)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	router, err := shard.New(specs, shard.Config{
+		Retries:      *retries,
+		RetryBackoff: *backoff,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	up := router.ProbeNow(context.Background())
+	log.Printf("probed %d shards: %d up", len(specs), up)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		shardHealth := router.Health()
+		status := "ok"
+		for _, h := range shardHealth {
+			if !h.Healthy {
+				status = "degraded"
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Status string              `json:"status"`
+			Shards []shard.ShardHealth `json:"shards"`
+		}{Status: status, Shards: shardHealth})
+	})
+	server.RegisterV2(router, func(pattern string, h http.HandlerFunc) { mux.HandleFunc(pattern, h) })
+	handler := server.Middleware(*token, *rateLimit, *rateBurst, mux)
+
+	stop := make(chan struct{})
+	go router.Prober(*probeEvery, stop)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	drained := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		close(stop)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		close(drained)
+	}()
+
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	log.Printf("darwin-router listening on %s (shards: %s)", ln.Addr(), strings.Join(names, ", "))
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+	// Serve returns as soon as Shutdown starts; wait for the drain to
+	// finish so in-flight responses are not cut off by process exit.
+	<-drained
+}
+
+// parseShards parses the -shards flag: "name=url,name=url".
+func parseShards(raw, token string) ([]shard.Spec, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("-shards is required (e.g. -shards s1=http://host1:8080,s2=http://host2:8080)")
+	}
+	var specs []shard.Spec
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("shard %q: want \"name=url\"", part)
+		}
+		specs = append(specs, shard.Spec{Name: name, URL: url, Token: token})
+	}
+	return specs, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "darwin-router: "+format+"\n", args...)
+	os.Exit(1)
+}

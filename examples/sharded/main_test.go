@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestShardedEndToEnd runs the whole example — two embedded shards, an
+// embedded router serving the unmodified /v2 handler set, and an SDK client
+// driving labelers on both — as an end-to-end sharding test.
+func TestShardedEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("sharded example failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"directions", "musicians", "labeler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The two datasets must land on different shards with these shard
+	// names, and the printed labeler ids must be router-namespaced.
+	if !strings.Contains(out, "-> shard alpha") || !strings.Contains(out, "-> shard beta") {
+		t.Errorf("datasets did not spread across both shards:\n%s", out)
+	}
+	if !strings.Contains(out, "labeler alpha~") && !strings.Contains(out, "labeler beta~") {
+		t.Errorf("labeler ids are not router-namespaced:\n%s", out)
+	}
+}

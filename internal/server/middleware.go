@@ -16,16 +16,23 @@ import (
 // rate limit. Both are cheap enough to sit in front of every request;
 // healthz stays unauthenticated so load balancers can probe it.
 func (s *Server) middleware(next http.Handler) http.Handler {
+	return Middleware(s.cfg.Token, s.cfg.RatePerSec, s.cfg.RateBurst, next)
+}
+
+// Middleware wraps next with the optional bearer-token check (token != "")
+// and per-IP rate limit (ratePerSec > 0) — the same chain darwind mounts,
+// reused by cmd/darwin-router in front of the router-served /v2 surface.
+func Middleware(token string, ratePerSec float64, rateBurst int, next http.Handler) http.Handler {
 	h := next
-	if s.cfg.Token != "" {
-		h = requireBearer(s.cfg.Token, h)
+	if token != "" {
+		h = requireBearer(token, h)
 	}
-	if s.cfg.RatePerSec > 0 {
-		burst := float64(s.cfg.RateBurst)
+	if ratePerSec > 0 {
+		burst := float64(rateBurst)
 		if burst <= 0 {
-			burst = 2 * s.cfg.RatePerSec
+			burst = 2 * ratePerSec
 		}
-		h = newIPLimiter(s.cfg.RatePerSec, burst).wrap(h)
+		h = newIPLimiter(ratePerSec, burst).wrap(h)
 	}
 	return h
 }

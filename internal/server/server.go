@@ -163,6 +163,10 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 	})
 	if len(events) > 0 {
 		s.recovery = s.mgr.Recover(events)
+		// Re-derive the /v2 labeler registry from the recovered workspaces:
+		// attachment labeler ids are a pure function of (workspace,
+		// annotator), so clients resume the ids they held before the restart.
+		s.rebuildLabelers()
 	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("POST /v1/sessions", s.handleCreate)

@@ -2,26 +2,79 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/workspace"
 	"repro/pkg/darwin"
 )
 
 // This file is the versioned /v2 surface: one handler set generated over the
-// public darwin.Labeler interface. Solo sessions and workspace attachments
-// are both "labelers"; the handlers below never branch on the mode — they
-// resolve the id to a Labeler and call interface methods, so a future
-// sharding router that implements Labeler by delegating to remote clients
-// plugs in with zero handler changes. Every error is served as the uniform
-// envelope {code, message, retryable} with the status from the shared
-// taxonomy (pkg/darwin/errors.go).
+// Backend interface below. Solo sessions and workspace attachments are both
+// "labelers"; the handlers never branch on the mode — they resolve the id to
+// a darwin.Labeler and call interface methods. Because the handlers see only
+// Backend, the same set serves two deployments with zero handler changes:
+// darwind mounts it over *Server (labelers live in this process), and
+// darwin-router mounts it over internal/shard.Router (labelers live on a
+// fleet of darwind shards reached through darwin.RemoteLabeler). Every error
+// is served as the uniform envelope {code, message, retryable} with the
+// status from the shared taxonomy (pkg/darwin/errors.go).
+
+// Backend is the resource layer behind the /v2 handler set: it creates,
+// resolves, lists and deletes labelers. *Server implements it over its local
+// session store and workspace manager; internal/shard.Router implements it
+// over remote darwind shards.
+type Backend interface {
+	// CreateLabeler validates opts, creates (or attaches) a labeler and
+	// returns its status with the ID set.
+	CreateLabeler(ctx context.Context, opts darwin.CreateOptions) (darwin.Status, error)
+	// Labeler resolves an id for the verb endpoints (suggestion, answers,
+	// report, export). It fails with darwin.ErrNotFound for unknown ids.
+	Labeler(id string) (darwin.Labeler, error)
+	// LabelerStatus reports a labeler's status without refreshing any idle
+	// timer, so periodic monitoring cannot keep abandoned labelers alive.
+	LabelerStatus(ctx context.Context, id string) (darwin.Status, error)
+	// ListLabelers returns one page of live labeler statuses starting
+	// strictly after cursor ("" for the first page).
+	ListLabelers(ctx context.Context, cursor string, limit int) (darwin.LabelerPage, error)
+	// ListDatasets returns one page of the served dataset names.
+	ListDatasets(ctx context.Context, cursor string, limit int) (darwin.DatasetPage, error)
+	// DeleteLabeler closes and removes a labeler (detaching the annotator
+	// for workspace attachments).
+	DeleteLabeler(ctx context.Context, id string) error
+}
+
+// RegisterV2 registers the /v2 handler set over b. register is called once
+// per route with the "METHOD /pattern" mux pattern.
+func RegisterV2(b Backend, register func(pattern string, h http.HandlerFunc)) {
+	register("GET /v2/datasets", handleV2Datasets(b))
+	register("POST /v2/labelers", handleV2Create(b))
+	register("GET /v2/labelers", handleV2List(b))
+	register("GET /v2/labelers/{id}", handleV2Get(b))
+	register("GET /v2/labelers/{id}/suggestion", handleV2Suggest(b))
+	register("POST /v2/labelers/{id}/answers", handleV2Answers(b))
+	register("GET /v2/labelers/{id}/report", handleV2Report(b))
+	register("GET /v2/labelers/{id}/export", handleV2Export(b))
+	register("DELETE /v2/labelers/{id}", handleV2Delete(b))
+}
+
+// V2Handler returns a handler serving just the /v2 surface over b — what
+// cmd/darwin-router mounts (darwind registers the same routes on its own mux
+// alongside /v1 and /healthz).
+func V2Handler(b Backend) http.Handler {
+	mux := http.NewServeMux()
+	RegisterV2(b, func(pattern string, h http.HandlerFunc) { mux.HandleFunc(pattern, h) })
+	return mux
+}
 
 // defaultPageLimit and maxPageLimit bound the /v2 list endpoints.
 const (
@@ -32,6 +85,17 @@ const (
 // maxLabelers bounds the workspace-attachment registry (sessions are
 // bounded by the store's own MaxSessions).
 const maxLabelers = 4096
+
+// wsLabelerID derives the public labeler id of a workspace attachment
+// deterministically from (workspace, annotator). The registry entry itself
+// is in-memory, but because the id is a pure function of durable state it
+// survives a restart: server.New re-derives the same ids for every
+// journaled attachment (rebuildLabelers), so a remote client can keep
+// driving the labeler id it was handed before the crash.
+func wsLabelerID(wsID, annotator string) string {
+	sum := sha256.Sum256([]byte("darwin/ws-labeler\x00" + wsID + "\x00" + annotator))
+	return "w" + hex.EncodeToString(sum[:])[:31]
+}
 
 // wsLabeler is one registered workspace attachment: the labeler id names
 // the (workspace, annotator) pair and holds the bound SDK adapter.
@@ -44,8 +108,8 @@ type wsLabeler struct {
 // Session-backed labelers live in the session store (shared with /v1);
 // workspace lifetime is governed by the workspace manager's TTL. Entries
 // are dropped on delete, on access once their workspace turns out to be
-// gone (resolveLabeler), and by pruneDeadLabelers sweeps (listing, and
-// before refusing a create at the capacity cap).
+// gone (Labeler), and by pruneDeadLabelers sweeps (listing, and before
+// refusing a create at the capacity cap).
 type labelerRegistry struct {
 	mu    sync.Mutex
 	items map[string]*wsLabeler
@@ -58,7 +122,7 @@ func newLabelerRegistry() *labelerRegistry {
 func (reg *labelerRegistry) add(en *wsLabeler) error {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
-	if len(reg.items) >= maxLabelers {
+	if _, replacing := reg.items[en.id]; !replacing && len(reg.items) >= maxLabelers {
 		return fmt.Errorf("%w: labeler limit reached (%d live labelers)", darwin.ErrUnavailable, len(reg.items))
 	}
 	reg.items[en.id] = en
@@ -105,17 +169,10 @@ func (reg *labelerRegistry) ids() []string {
 	return out
 }
 
-// registerV2 wires the /v2 routes.
+// registerV2 wires the /v2 routes onto the server's own mux, with *Server
+// itself as the backend.
 func (s *Server) registerV2() {
-	s.handle("GET /v2/datasets", s.handleV2Datasets)
-	s.handle("POST /v2/labelers", s.handleV2Create)
-	s.handle("GET /v2/labelers", s.handleV2List)
-	s.handle("GET /v2/labelers/{id}", s.handleV2Get)
-	s.handle("GET /v2/labelers/{id}/suggestion", s.handleV2Suggest)
-	s.handle("POST /v2/labelers/{id}/answers", s.handleV2Answers)
-	s.handle("GET /v2/labelers/{id}/report", s.handleV2Report)
-	s.handle("GET /v2/labelers/{id}/export", s.handleV2Export)
-	s.handle("DELETE /v2/labelers/{id}", s.handleV2Delete)
+	RegisterV2(s, s.handle)
 }
 
 // writeV2Error serves err as the uniform envelope with its taxonomy status.
@@ -123,12 +180,395 @@ func writeV2Error(w http.ResponseWriter, err error) {
 	writeJSON(w, darwin.HTTPStatus(err), darwin.Envelope(err))
 }
 
-// resolveLabeler maps a labeler id to its Labeler. The extra Statuser is
-// what the status and list endpoints poll; both local SDK adapters
-// implement it.
-func (s *Server) resolveLabeler(id string) (darwin.Labeler, error) {
+// --- the generic /v2 handlers (one closure set over any Backend) ---
+
+func handleV2Create(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req darwin.CreateOptions
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV2Error(w, fmt.Errorf("%w: invalid JSON body: %v", darwin.ErrInvalid, err))
+			return
+		}
+		st, err := b.CreateLabeler(r.Context(), req)
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	}
+}
+
+func handleV2Get(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := b.LabelerStatus(r.Context(), r.PathValue("id"))
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func handleV2List(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		limit, err := parseLimit(r)
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		page, err := b.ListLabelers(r.Context(), r.URL.Query().Get("cursor"), limit)
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		if page.Labelers == nil {
+			page.Labelers = []darwin.Status{}
+		}
+		writeJSON(w, http.StatusOK, page)
+	}
+}
+
+func handleV2Datasets(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		limit, err := parseLimit(r)
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		page, err := b.ListDatasets(r.Context(), r.URL.Query().Get("cursor"), limit)
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, page)
+	}
+}
+
+func handleV2Suggest(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lab, err := b.Labeler(r.PathValue("id"))
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		sug, err := lab.Suggest(r.Context())
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sug)
+	}
+}
+
+func handleV2Answers(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lab, err := b.Labeler(r.PathValue("id"))
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		var req struct {
+			Answers []darwin.Answer `json:"answers"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeV2Error(w, fmt.Errorf("%w: invalid JSON body: %v", darwin.ErrInvalid, err))
+			return
+		}
+		if len(req.Answers) == 0 {
+			writeV2Error(w, fmt.Errorf("%w: at least one answer is required", darwin.ErrInvalid))
+			return
+		}
+		recs, batchErr := darwin.AnswerBatch(r.Context(), lab, req.Answers)
+		if batchErr != nil && len(recs) == 0 {
+			// Nothing applied: a plain error response.
+			writeV2Error(w, batchErr)
+			return
+		}
+		st, err := labelerStatus(r, lab)
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		resp := struct {
+			Applied    int                   `json:"applied"`
+			Records    []darwin.RuleRecord   `json:"records"`
+			Questions  int                   `json:"questions"`
+			BudgetLeft int                   `json:"budget_left"`
+			Positives  int                   `json:"positives"`
+			Done       bool                  `json:"done"`
+			Error      *darwin.ErrorEnvelope `json:"error,omitempty"`
+		}{
+			Applied:    len(recs),
+			Records:    recs,
+			Questions:  st.Questions,
+			BudgetLeft: st.Budget - st.Questions,
+			Positives:  st.Positives,
+			Done:       st.Done,
+		}
+		if len(recs) > 0 {
+			// Derive the caller-visible counters from the batch's own last
+			// record (its committed question number), not from the racy status
+			// read above — a concurrent annotator on the same workspace must
+			// not shift this response. Budget is immutable, so st.Budget is
+			// safe to combine.
+			last := recs[len(recs)-1]
+			resp.Questions = last.Question
+			resp.BudgetLeft = st.Budget - last.Question
+			resp.Positives = last.PositivesAfter
+			resp.Done = last.Question >= st.Budget
+		}
+		if batchErr != nil {
+			// Fail-fast mid-batch: report the applied prefix alongside the
+			// typed error (nothing applied is rolled back — each applied answer
+			// already went through the journal).
+			env := darwin.Envelope(batchErr)
+			resp.Error = &env
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func handleV2Report(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lab, err := b.Labeler(r.PathValue("id"))
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		rep, err := lab.Report(r.Context())
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	}
+}
+
+func handleV2Export(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lab, err := b.Labeler(r.PathValue("id"))
+		if err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// Headers are sent on first body write, so an export that fails
+		// before streaming anything (e.g. its shard is down) can still be
+		// served as the typed envelope instead of an empty 200; a mid-stream
+		// failure can only truncate the body.
+		cw := &countingResponseWriter{w: w}
+		if err := lab.Export(r.Context(), cw); err != nil && cw.n == 0 {
+			writeV2Error(w, err)
+		}
+	}
+}
+
+// countingResponseWriter counts body bytes through to the response so
+// handleV2Export knows whether an error arrived before any output.
+type countingResponseWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (cw *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func handleV2Delete(b Backend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := b.DeleteLabeler(r.Context(), r.PathValue("id")); err != nil {
+			writeV2Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func labelerStatus(r *http.Request, lab darwin.Labeler) (darwin.Status, error) {
+	st, ok := lab.(darwin.Statuser)
+	if !ok {
+		return darwin.Status{}, fmt.Errorf("%w: labeler does not report status", darwin.ErrInternal)
+	}
+	return st.Status(r.Context())
+}
+
+// Page applies cursor pagination over a sorted id list: items strictly after
+// cursor, at most limit (clamped to the /v2 page bounds), plus the next
+// cursor ("" when the page is last). internal/shard reuses it for its
+// fan-out merges.
+func Page(ids []string, cursor string, limit int) (pageIDs []string, next string) {
+	limit = ClampPageLimit(limit)
+	start := 0
+	if cursor != "" {
+		start = sort.SearchStrings(ids, cursor)
+		if start < len(ids) && ids[start] == cursor {
+			start++
+		}
+	}
+	end := start + limit
+	if end > len(ids) {
+		end = len(ids)
+	}
+	pageIDs = ids[start:end]
+	if end < len(ids) {
+		next = ids[end-1]
+	}
+	return pageIDs, next
+}
+
+// ClampPageLimit resolves a requested page limit against the /v2 bounds
+// (non-positive → default, capped at the maximum).
+func ClampPageLimit(limit int) int {
+	if limit <= 0 {
+		return defaultPageLimit
+	}
+	if limit > maxPageLimit {
+		return maxPageLimit
+	}
+	return limit
+}
+
+func parseLimit(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, nil
+	}
+	limit, err := strconv.Atoi(raw)
+	if err != nil || limit <= 0 {
+		return 0, fmt.Errorf("%w: limit must be a positive integer, got %q", darwin.ErrInvalid, raw)
+	}
+	return limit, nil
+}
+
+// --- *Server as the local Backend ---
+
+// timedSessionLabeler folds session suggest latency into the healthz
+// aggregate on the /v2 path, mirroring what the /v1 handlers do through
+// suggestStep. Embedding keeps every other Labeler/BatchAnswerer/Statuser
+// method on the adapter itself.
+type timedSessionLabeler struct {
+	*darwin.SessionLabeler
+	store *Store
+}
+
+func (l *timedSessionLabeler) Suggest(ctx context.Context) (darwin.Suggestion, error) {
+	start := time.Now()
+	sug, err := l.SessionLabeler.Suggest(ctx)
+	l.store.RecordStep(time.Since(start))
+	return sug, err
+}
+
+// CreateLabeler implements Backend.
+func (s *Server) CreateLabeler(ctx context.Context, req darwin.CreateOptions) (darwin.Status, error) {
+	switch req.Mode {
+	case "", darwin.ModeSession:
+		return s.createSessionLabeler(ctx, req)
+	case darwin.ModeWorkspace:
+		return s.createWorkspaceLabeler(ctx, req)
+	default:
+		return darwin.Status{}, fmt.Errorf("%w: unknown mode %q (want %q or %q)",
+			darwin.ErrInvalid, req.Mode, darwin.ModeSession, darwin.ModeWorkspace)
+	}
+}
+
+func (s *Server) createSessionLabeler(ctx context.Context, req darwin.CreateOptions) (darwin.Status, error) {
+	lab, en, err := s.newSessionLabeler(req.Dataset, req.SeedRules, req.SeedPositiveIDs, req.Budget, req.Seed)
+	if err != nil {
+		return darwin.Status{}, err
+	}
+	st, err := lab.Status(ctx)
+	if err != nil {
+		return darwin.Status{}, err
+	}
+	st.ID = en.id
+	return st, nil
+}
+
+func (s *Server) createWorkspaceLabeler(ctx context.Context, req darwin.CreateOptions) (darwin.Status, error) {
+	if req.Annotator == "" {
+		return darwin.Status{}, fmt.Errorf("%w: annotator name is required in workspace mode", darwin.ErrInvalid)
+	}
+	wsID := req.Workspace
+	fresh := wsID == ""
+	if fresh {
+		// Fresh workspace for this labeler; its durability and TTL are the
+		// workspace manager's business.
+		if _, ok := s.datasets[req.Dataset]; !ok {
+			return darwin.Status{}, fmt.Errorf("%w: unknown dataset %q (have %v)", darwin.ErrNotFound, req.Dataset, s.DatasetNames())
+		}
+		if len(req.SeedRules) > s.cfg.MaxSeedRules {
+			return darwin.Status{}, fmt.Errorf("%w: too many seed rules (%d > %d)", darwin.ErrInvalid, len(req.SeedRules), s.cfg.MaxSeedRules)
+		}
+		budget := req.Budget
+		if budget <= 0 {
+			budget = s.cfg.DefaultBudget
+		}
+		ws, err := s.mgr.Create(req.Dataset, workspace.Options{
+			SeedRules:       req.SeedRules,
+			SeedPositiveIDs: req.SeedPositiveIDs,
+			Budget:          budget,
+			Seed:            req.Seed,
+		})
+		if err != nil {
+			return darwin.Status{}, fmt.Errorf("%w: %v", darwin.ErrInvalid, err)
+		}
+		wsID = ws.ID()
+	} else {
+		// Joining an existing workspace: the workspace's own dataset,
+		// seeds, budget and seed govern; silently ignoring conflicting
+		// request fields would hand the caller a labeler over a different
+		// corpus than they asked for.
+		ws, ok := s.mgr.Get(wsID)
+		if !ok {
+			return darwin.Status{}, fmt.Errorf("%w: unknown or expired workspace %q", darwin.ErrNotFound, wsID)
+		}
+		if req.Dataset != "" && req.Dataset != ws.Dataset() {
+			return darwin.Status{}, fmt.Errorf("%w: workspace %s serves dataset %q, not %q",
+				darwin.ErrInvalid, wsID, ws.Dataset(), req.Dataset)
+		}
+		if len(req.SeedRules) > 0 || len(req.SeedPositiveIDs) > 0 || req.Budget > 0 || req.Seed != 0 {
+			return darwin.Status{}, fmt.Errorf("%w: seed_rules, seed_positive_ids, budget and seed cannot be set when joining an existing workspace", darwin.ErrInvalid)
+		}
+	}
+	// From here on a failure must not orphan a freshly created (and
+	// journaled) workspace the client never learned the id of.
+	fail := func(err error) (darwin.Status, error) {
+		if fresh {
+			s.mgr.Evict(wsID, "labeler create failed")
+		}
+		return darwin.Status{}, err
+	}
+	lab, err := darwin.AttachWorkspace(s.mgr, wsID, req.Annotator)
+	if err != nil {
+		return fail(err)
+	}
+	// The labeler id is a pure function of (workspace, annotator), so the
+	// same attachment resolves under the same id after a restart.
+	id := wsLabelerID(wsID, req.Annotator)
+	en := &wsLabeler{id: id, lab: lab}
+	if err := s.labelers.add(en); err != nil {
+		// At capacity: evict entries orphaned by workspace TTL eviction and
+		// retry once before refusing.
+		s.pruneDeadLabelers()
+		if err := s.labelers.add(en); err != nil {
+			_ = lab.Close(ctx)
+			return fail(err)
+		}
+	}
+	st, err := lab.Status(ctx)
+	if err != nil {
+		return darwin.Status{}, err
+	}
+	st.ID = id
+	return st, nil
+}
+
+// Labeler implements Backend: it maps a labeler id to its darwin.Labeler.
+func (s *Server) Labeler(id string) (darwin.Labeler, error) {
 	if en, ok := s.store.Get(id); ok {
-		return en.lab, nil
+		return &timedSessionLabeler{SessionLabeler: en.lab, store: s.store}, nil
 	}
 	if en, ok := s.labelers.get(id); ok {
 		// A TTL-evicted workspace leaves its attachment entries behind;
@@ -154,10 +594,39 @@ func (s *Server) pruneDeadLabelers() int {
 	return s.labelers.prune(func(en *wsLabeler) bool { return live[en.lab.Workspace()] })
 }
 
-// statusPeek reports a labeler's status without refreshing any idle timer —
-// the lookup for GET /v2/labelers/{id} and the listing, so that periodic
-// monitoring cannot keep abandoned labelers alive forever.
-func (s *Server) statusPeek(ctx context.Context, id string) (darwin.Status, error) {
+// rebuildLabelers re-registers one labeler per journaled workspace
+// attachment after recovery. Together with the deterministic id derivation
+// this is what lets a remote client resume its labeler across a darwind
+// restart: the registry itself is volatile, but its content is a pure
+// function of the recovered workspaces.
+func (s *Server) rebuildLabelers() {
+	for _, wsID := range s.mgr.IDs() {
+		ws, ok := s.mgr.Peek(wsID)
+		if !ok {
+			continue
+		}
+		for _, name := range ws.Annotators() {
+			lab, err := darwin.AdoptWorkspace(s.mgr, wsID, name)
+			if err != nil {
+				// The workspace recovered but its attachment cannot be
+				// served; the client holding this id will 404, so leave an
+				// operator-visible trace.
+				log.Printf("server: recovery: attachment %s/%s not re-adopted: %v", wsID, name, err)
+				continue
+			}
+			if err := s.labelers.add(&wsLabeler{id: wsLabelerID(wsID, name), lab: lab}); err != nil {
+				log.Printf("server: recovery: attachment %s/%s not registered: %v", wsID, name, err)
+			}
+		}
+	}
+}
+
+// LabelerStatus implements Backend: a status peek that never refreshes idle
+// timers, so periodic monitoring cannot keep abandoned labelers alive
+// forever. Workspace statuses read the workspace's cached counters snapshot
+// and therefore do not wait on a workspace lock held by an in-flight
+// suggest.
+func (s *Server) LabelerStatus(ctx context.Context, id string) (darwin.Status, error) {
 	if en, ok := s.store.Peek(id); ok {
 		st, err := en.lab.Status(ctx)
 		if err != nil {
@@ -188,350 +657,43 @@ func (s *Server) statusPeek(ctx context.Context, id string) (darwin.Status, erro
 	return darwin.Status{}, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
 }
 
-// --- create / status / list ---
-
-func (s *Server) handleV2Create(w http.ResponseWriter, r *http.Request) {
-	var req darwin.CreateOptions
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeV2Error(w, fmt.Errorf("%w: invalid JSON body: %v", darwin.ErrInvalid, err))
-		return
-	}
-	switch req.Mode {
-	case "", darwin.ModeSession:
-		s.createV2Session(w, r, req)
-	case darwin.ModeWorkspace:
-		s.createV2Workspace(w, r, req)
-	default:
-		writeV2Error(w, fmt.Errorf("%w: unknown mode %q (want %q or %q)",
-			darwin.ErrInvalid, req.Mode, darwin.ModeSession, darwin.ModeWorkspace))
-	}
-}
-
-func (s *Server) createV2Session(w http.ResponseWriter, r *http.Request, req darwin.CreateOptions) {
-	lab, en, err := s.newSessionLabeler(req.Dataset, req.SeedRules, req.SeedPositiveIDs, req.Budget, req.Seed)
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	st, err := lab.Status(r.Context())
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	st.ID = en.id
-	writeJSON(w, http.StatusCreated, st)
-}
-
-func (s *Server) createV2Workspace(w http.ResponseWriter, r *http.Request, req darwin.CreateOptions) {
-	if req.Annotator == "" {
-		writeV2Error(w, fmt.Errorf("%w: annotator name is required in workspace mode", darwin.ErrInvalid))
-		return
-	}
-	wsID := req.Workspace
-	fresh := wsID == ""
-	if fresh {
-		// Fresh workspace for this labeler; its durability and TTL are the
-		// workspace manager's business.
-		if _, ok := s.datasets[req.Dataset]; !ok {
-			writeV2Error(w, fmt.Errorf("%w: unknown dataset %q (have %v)", darwin.ErrNotFound, req.Dataset, s.DatasetNames()))
-			return
-		}
-		if len(req.SeedRules) > s.cfg.MaxSeedRules {
-			writeV2Error(w, fmt.Errorf("%w: too many seed rules (%d > %d)", darwin.ErrInvalid, len(req.SeedRules), s.cfg.MaxSeedRules))
-			return
-		}
-		budget := req.Budget
-		if budget <= 0 {
-			budget = s.cfg.DefaultBudget
-		}
-		ws, err := s.mgr.Create(req.Dataset, workspace.Options{
-			SeedRules:       req.SeedRules,
-			SeedPositiveIDs: req.SeedPositiveIDs,
-			Budget:          budget,
-			Seed:            req.Seed,
-		})
-		if err != nil {
-			writeV2Error(w, fmt.Errorf("%w: %v", darwin.ErrInvalid, err))
-			return
-		}
-		wsID = ws.ID()
-	} else {
-		// Joining an existing workspace: the workspace's own dataset,
-		// seeds, budget and seed govern; silently ignoring conflicting
-		// request fields would hand the caller a labeler over a different
-		// corpus than they asked for.
-		ws, ok := s.mgr.Get(wsID)
-		if !ok {
-			writeV2Error(w, fmt.Errorf("%w: unknown or expired workspace %q", darwin.ErrNotFound, wsID))
-			return
-		}
-		if req.Dataset != "" && req.Dataset != ws.Dataset() {
-			writeV2Error(w, fmt.Errorf("%w: workspace %s serves dataset %q, not %q",
-				darwin.ErrInvalid, wsID, ws.Dataset(), req.Dataset))
-			return
-		}
-		if len(req.SeedRules) > 0 || len(req.SeedPositiveIDs) > 0 || req.Budget > 0 || req.Seed != 0 {
-			writeV2Error(w, fmt.Errorf("%w: seed_rules, seed_positive_ids, budget and seed cannot be set when joining an existing workspace", darwin.ErrInvalid))
-			return
-		}
-	}
-	// From here on a failure must not orphan a freshly created (and
-	// journaled) workspace the client never learned the id of.
-	fail := func(err error) {
-		if fresh {
-			s.mgr.Evict(wsID, "labeler create failed")
-		}
-		writeV2Error(w, err)
-	}
-	lab, err := darwin.AttachWorkspace(s.mgr, wsID, req.Annotator)
-	if err != nil {
-		fail(err)
-		return
-	}
-	id, err := newSessionID()
-	if err != nil {
-		_ = lab.Close(r.Context())
-		fail(fmt.Errorf("%w: %v", darwin.ErrInternal, err))
-		return
-	}
-	en := &wsLabeler{id: id, lab: lab}
-	if err := s.labelers.add(en); err != nil {
-		// At capacity: evict entries orphaned by workspace TTL eviction and
-		// retry once before refusing.
-		s.pruneDeadLabelers()
-		if err := s.labelers.add(en); err != nil {
-			_ = lab.Close(r.Context())
-			fail(err)
-			return
-		}
-	}
-	st, err := lab.Status(r.Context())
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	st.ID = id
-	writeJSON(w, http.StatusCreated, st)
-}
-
-func (s *Server) handleV2Get(w http.ResponseWriter, r *http.Request) {
-	st, err := s.statusPeek(r.Context(), r.PathValue("id"))
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-func labelerStatus(r *http.Request, lab darwin.Labeler) (darwin.Status, error) {
-	st, ok := lab.(darwin.Statuser)
-	if !ok {
-		return darwin.Status{}, fmt.Errorf("%w: labeler does not report status", darwin.ErrInternal)
-	}
-	return st.Status(r.Context())
-}
-
-// page applies cursor pagination over a sorted id list: items strictly after
-// cursor, at most limit, plus the next cursor ("" when the page is last).
-func page(ids []string, cursor string, limit int) (pageIDs []string, next string) {
-	if limit <= 0 {
-		limit = defaultPageLimit
-	}
-	if limit > maxPageLimit {
-		limit = maxPageLimit
-	}
-	start := 0
-	if cursor != "" {
-		start = sort.SearchStrings(ids, cursor)
-		if start < len(ids) && ids[start] == cursor {
-			start++
-		}
-	}
-	end := start + limit
-	if end > len(ids) {
-		end = len(ids)
-	}
-	pageIDs = ids[start:end]
-	if end < len(ids) {
-		next = ids[end-1]
-	}
-	return pageIDs, next
-}
-
-func (s *Server) handleV2List(w http.ResponseWriter, r *http.Request) {
-	limit, err := parseLimit(r)
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
+// ListLabelers implements Backend.
+func (s *Server) ListLabelers(ctx context.Context, cursor string, limit int) (darwin.LabelerPage, error) {
 	s.pruneDeadLabelers()
 	ids := append(s.store.IDs(), s.labelers.ids()...)
 	sort.Strings(ids)
-	pageIDs, next := page(ids, r.URL.Query().Get("cursor"), limit)
-	resp := darwin.LabelerPage{Labelers: make([]darwin.Status, 0, len(pageIDs)), NextCursor: next}
+	pageIDs, next := Page(ids, cursor, limit)
+	page := darwin.LabelerPage{Labelers: make([]darwin.Status, 0, len(pageIDs)), NextCursor: next}
 	for _, id := range pageIDs {
-		st, err := s.statusPeek(r.Context(), id)
+		st, err := s.LabelerStatus(ctx, id)
 		if err != nil {
 			continue // evicted between listing and resolution
 		}
-		resp.Labelers = append(resp.Labelers, st)
+		page.Labelers = append(page.Labelers, st)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return page, nil
 }
 
-func (s *Server) handleV2Datasets(w http.ResponseWriter, r *http.Request) {
-	limit, err := parseLimit(r)
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	names, next := page(s.DatasetNames(), r.URL.Query().Get("cursor"), limit)
-	writeJSON(w, http.StatusOK, darwin.DatasetPage{Datasets: names, NextCursor: next})
+// ListDatasets implements Backend.
+func (s *Server) ListDatasets(ctx context.Context, cursor string, limit int) (darwin.DatasetPage, error) {
+	names, next := Page(s.DatasetNames(), cursor, limit)
+	return darwin.DatasetPage{Datasets: names, NextCursor: next}, nil
 }
 
-func parseLimit(r *http.Request) (int, error) {
-	raw := r.URL.Query().Get("limit")
-	if raw == "" {
-		return 0, nil
-	}
-	limit, err := strconv.Atoi(raw)
-	if err != nil || limit <= 0 {
-		return 0, fmt.Errorf("%w: limit must be a positive integer, got %q", darwin.ErrInvalid, raw)
-	}
-	return limit, nil
-}
-
-// --- the Labeler verbs ---
-
-func (s *Server) handleV2Suggest(w http.ResponseWriter, r *http.Request) {
-	lab, err := s.resolveLabeler(r.PathValue("id"))
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	var sug darwin.Suggestion
-	if sl, ok := lab.(*darwin.SessionLabeler); ok {
-		// Session steps feed the healthz latency aggregate.
-		sug, _, err = s.suggestStep(r.Context(), sl)
-	} else {
-		sug, err = lab.Suggest(r.Context())
-	}
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, sug)
-}
-
-func (s *Server) handleV2Answers(w http.ResponseWriter, r *http.Request) {
-	lab, err := s.resolveLabeler(r.PathValue("id"))
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	var req struct {
-		Answers []darwin.Answer `json:"answers"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeV2Error(w, fmt.Errorf("%w: invalid JSON body: %v", darwin.ErrInvalid, err))
-		return
-	}
-	if len(req.Answers) == 0 {
-		writeV2Error(w, fmt.Errorf("%w: at least one answer is required", darwin.ErrInvalid))
-		return
-	}
-	recs, batchErr := darwin.AnswerBatch(r.Context(), lab, req.Answers)
-	if batchErr != nil && len(recs) == 0 {
-		// Nothing applied: a plain error response.
-		writeV2Error(w, batchErr)
-		return
-	}
-	st, err := labelerStatus(r, lab)
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	resp := struct {
-		Applied    int                   `json:"applied"`
-		Records    []darwin.RuleRecord   `json:"records"`
-		Questions  int                   `json:"questions"`
-		BudgetLeft int                   `json:"budget_left"`
-		Positives  int                   `json:"positives"`
-		Done       bool                  `json:"done"`
-		Error      *darwin.ErrorEnvelope `json:"error,omitempty"`
-	}{
-		Applied:    len(recs),
-		Records:    recs,
-		Questions:  st.Questions,
-		BudgetLeft: st.Budget - st.Questions,
-		Positives:  st.Positives,
-		Done:       st.Done,
-	}
-	if len(recs) > 0 {
-		// Derive the caller-visible counters from the batch's own last
-		// record (its committed question number), not from the racy status
-		// read above — a concurrent annotator on the same workspace must
-		// not shift this response. Budget is immutable, so st.Budget is
-		// safe to combine.
-		last := recs[len(recs)-1]
-		resp.Questions = last.Question
-		resp.BudgetLeft = st.Budget - last.Question
-		resp.Positives = last.PositivesAfter
-		resp.Done = last.Question >= st.Budget
-	}
-	if batchErr != nil {
-		// Fail-fast mid-batch: report the applied prefix alongside the
-		// typed error (nothing applied is rolled back — each applied answer
-		// already went through the journal).
-		env := darwin.Envelope(batchErr)
-		resp.Error = &env
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleV2Report(w http.ResponseWriter, r *http.Request) {
-	lab, err := s.resolveLabeler(r.PathValue("id"))
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	rep, err := lab.Report(r.Context())
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, rep)
-}
-
-func (s *Server) handleV2Export(w http.ResponseWriter, r *http.Request) {
-	lab, err := s.resolveLabeler(r.PathValue("id"))
-	if err != nil {
-		writeV2Error(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	// Headers are sent on first write; a mid-stream failure can only
-	// truncate the body.
-	_ = lab.Export(r.Context(), w)
-}
-
-func (s *Server) handleV2Delete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// DeleteLabeler implements Backend.
+func (s *Server) DeleteLabeler(ctx context.Context, id string) error {
 	if en, ok := s.labelers.get(id); ok {
 		// Close (detach) first, and drop the registry entry only once it
 		// succeeded — a failed detach (broken journal) must stay
 		// addressable so the DELETE can be retried.
-		if err := en.lab.Close(r.Context()); err != nil && !errors.Is(err, darwin.ErrNotFound) {
-			writeV2Error(w, err)
-			return
+		if err := en.lab.Close(ctx); err != nil && !errors.Is(err, darwin.ErrNotFound) {
+			return err
 		}
 		s.labelers.remove(id)
-		w.WriteHeader(http.StatusNoContent)
-		return
+		return nil
 	}
-	if s.deleteSession(r.Context(), id) {
-		w.WriteHeader(http.StatusNoContent)
-		return
+	if s.deleteSession(ctx, id) {
+		return nil
 	}
-	writeV2Error(w, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id))
+	return fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/pkg/darwin"
@@ -492,5 +494,71 @@ func TestV2WorkspaceLabelerOrphanedByEviction(t *testing.T) {
 		if l.ID == st.ID {
 			t.Errorf("orphaned labeler %s still listed", st.ID)
 		}
+	}
+}
+
+// TestV2AttachmentResumesAcrossRestart pins the durable-attachment-id
+// bugfix: a workspace-attachment labeler id is derived deterministically
+// from (workspace, annotator) and the registry is rebuilt from the journal,
+// so a remote client resumes the exact labeler id it held before a darwind
+// restart (pre-fix the id was a random per-create token living only in
+// process memory, and this test 404ed after the restart).
+func TestV2AttachmentResumesAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	srv1, _ := newTestServer(t, Config{JournalPath: path})
+	ts1 := httptest.NewServer(srv1)
+
+	var st darwin.Status
+	if status := doJSON(t, ts1, http.MethodPost, "/v2/labelers", darwin.CreateOptions{
+		Dataset: "directions", Mode: darwin.ModeWorkspace, Annotator: "alice",
+		SeedRules: []string{"best way to get to"}, Budget: 12, Seed: 3,
+	}, &st); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	var sug darwin.Suggestion
+	if status := doJSON(t, ts1, http.MethodGet, "/v2/labelers/"+st.ID+"/suggestion", nil, &sug); status != http.StatusOK {
+		t.Fatalf("suggestion: status %d", status)
+	}
+	if status := doJSON(t, ts1, http.MethodPost, "/v2/labelers/"+st.ID+"/answers",
+		map[string]any{"answers": []darwin.Answer{{Key: sug.Key, Accept: true}}}, nil); status != http.StatusOK {
+		t.Fatalf("answer: status %d", status)
+	}
+	var before darwin.Report
+	if status := doJSON(t, ts1, http.MethodGet, "/v2/labelers/"+st.ID+"/report", nil, &before); status != http.StatusOK {
+		t.Fatalf("report: status %d", status)
+	}
+	ts1.Close()
+	if err := srv1.Workspaces().Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _ := newTestServer(t, Config{JournalPath: path})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	// The same labeler id resolves on the restarted server.
+	var resumed darwin.Status
+	if status := doJSON(t, ts2, http.MethodGet, "/v2/labelers/"+st.ID, nil, &resumed); status != http.StatusOK {
+		t.Fatalf("status after restart: %d (labeler id did not survive)", status)
+	}
+	if resumed.Workspace != st.Workspace || resumed.Annotator != "alice" || resumed.Questions != 1 {
+		t.Fatalf("resumed status %+v does not match pre-restart identity %+v", resumed, st)
+	}
+	var after darwin.Report
+	if status := doJSON(t, ts2, http.MethodGet, "/v2/labelers/"+st.ID+"/report", nil, &after); status != http.StatusOK {
+		t.Fatalf("report after restart: status %d", status)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("report changed across restart")
+	}
+	// The resumed labeler keeps stepping, and DELETE detaches as usual.
+	if status := doJSON(t, ts2, http.MethodGet, "/v2/labelers/"+st.ID+"/suggestion", nil, &sug); status != http.StatusOK {
+		t.Fatalf("suggestion after restart: status %d", status)
+	}
+	if status := doJSON(t, ts2, http.MethodDelete, "/v2/labelers/"+st.ID, nil, nil); status != http.StatusNoContent {
+		t.Fatalf("delete after restart: status %d", status)
+	}
+	if status := doJSON(t, ts2, http.MethodGet, "/v2/labelers/"+st.ID, nil, nil); status != http.StatusNotFound {
+		t.Fatalf("deleted labeler still resolves: status %d", status)
 	}
 }

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual nodes per shard on the hash ring.
+// 64 points per shard keeps the expected load imbalance across a handful of
+// shards in the few-percent range while the ring stays tiny.
+const ringReplicas = 64
+
+// hashRing is a consistent-hash ring over shard indices: keys map to the
+// first virtual node clockwise from their hash. Adding or removing one shard
+// moves only the keys that hashed to its arcs, which is what lets a fleet
+// grow without re-homing every dataset.
+type hashRing struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h   uint64
+	idx int
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a diffuses short, similar strings (vnode labels differ only in a
+	// trailing counter) poorly in the high bits the ring is ordered by, so
+	// finish with a splitmix64-style avalanche.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+func newHashRing(names []string) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, len(names)*ringReplicas)}
+	for i, name := range names {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{h: hashKey(fmt.Sprintf("%s#%d", name, v)), idx: i})
+		}
+	}
+	// Ties broken by shard index so the ring is deterministic regardless of
+	// input order (names arrive sorted).
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].h != r.points[b].h {
+			return r.points[a].h < r.points[b].h
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// lookup returns the shard index owning key.
+func (r *hashRing) lookup(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].idx
+}

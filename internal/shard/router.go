@@ -1,0 +1,567 @@
+// Package shard scales the darwin serving tier horizontally: a Router
+// presents one logical labeler namespace over a fleet of darwind shards,
+// the way GrapAL fronts a partitioned literature graph with a single query
+// surface. It implements the internal/server Backend interface, so the
+// unmodified /v2 handler set mounts directly over it (cmd/darwin-router);
+// each labeler the router hands out is a darwin.Labeler delegating to a
+// darwin.RemoteLabeler on the owning shard.
+//
+// # Id routing
+//
+// Placement is a consistent hash: a fresh create hashes its dataset onto
+// the ring, so every labeler (and workspace) of a dataset lives on the
+// shard that dataset hashes to, and growing the fleet re-homes only the
+// datasets on the new shard's arcs. Every id the router returns is
+// namespaced "<shard>~<backend id>"; id-addressed requests route by that
+// prefix alone — no fan-out, no lookup table, nothing to rebuild after a
+// router restart. Workspace ids in statuses are namespaced the same way,
+// and joining an existing workspace expects the namespaced form.
+//
+// # Failure handling
+//
+// Each shard is probed on /healthz; requests are always attempted (an
+// id-addressed request to a just-recovered shard succeeds without waiting
+// for a probe), idempotent calls (suggest, status, report, list, and
+// exports that have not written yet) retry bounded with backoff while the
+// error is retryable per the pkg/darwin taxonomy, and non-idempotent calls
+// (create, answers, delete) are attempted exactly once. A shard that stays
+// down surfaces darwin.ErrUnavailable (retryable) for its labelers only;
+// list endpoints degrade to the live shards and the router's healthz names
+// the gap.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/darwin"
+)
+
+// Sep separates the shard name from the backend id in router-namespaced
+// labeler and workspace ids. Shard names must not contain it; backend ids
+// (hex tokens) never do.
+const Sep = "~"
+
+// Spec names one backend darwind shard.
+type Spec struct {
+	// Name is the shard's stable ring identity. Renaming a shard re-homes
+	// every dataset, so treat it as permanent.
+	Name string
+	// URL is the shard's base URL (e.g. http://10.0.0.7:8080).
+	URL string
+	// Token, when non-empty, is sent as the bearer token on every request
+	// to this shard.
+	Token string
+}
+
+// Config tunes the router.
+type Config struct {
+	// Retries bounds how many times an idempotent call is retried after a
+	// retryable error (default 2, so at most 3 attempts; negative disables
+	// retries entirely).
+	Retries int
+	// RetryBackoff is the first retry's pause, doubled per attempt
+	// (default 100ms).
+	RetryBackoff time.Duration
+	// HTTPClient is used for shard requests and health probes (default: a
+	// client with a 30s timeout).
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// shard is one live backend: its client plus probed health.
+type shard struct {
+	name   string
+	url    string
+	client *darwin.Client
+	up     atomic.Bool
+	// lastErr holds the most recent probe/fan-out failure as a string
+	// ("" when healthy).
+	lastErr atomic.Value
+}
+
+func (sh *shard) setHealth(err error) {
+	if err == nil {
+		sh.up.Store(true)
+		sh.lastErr.Store("")
+		return
+	}
+	sh.up.Store(false)
+	sh.lastErr.Store(err.Error())
+}
+
+// Router routes one logical /v2 labeler namespace across a set of darwind
+// shards. It implements the internal/server Backend interface; all methods
+// are safe for concurrent use.
+type Router struct {
+	cfg    Config
+	shards []*shard // sorted by name; listing order and ring indices
+	byName map[string]*shard
+	ring   *hashRing
+}
+
+// Compile-time check: the unmodified /v2 handler set serves the router.
+var _ server.Backend = (*Router)(nil)
+
+// New creates a router over the given shards.
+func New(specs []Spec, cfg Config) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("shard: at least one shard is required")
+	}
+	r := &Router{cfg: cfg.withDefaults(), byName: make(map[string]*shard, len(specs))}
+	for _, spec := range specs {
+		if spec.Name == "" || strings.Contains(spec.Name, Sep) {
+			return nil, fmt.Errorf("shard: invalid shard name %q (must be non-empty and not contain %q)", spec.Name, Sep)
+		}
+		if spec.URL == "" {
+			return nil, fmt.Errorf("shard: shard %q has no URL", spec.Name)
+		}
+		if _, dup := r.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("shard: duplicate shard name %q", spec.Name)
+		}
+		sh := &shard{
+			name:   spec.Name,
+			url:    strings.TrimRight(spec.URL, "/"),
+			client: darwin.NewClient(spec.URL, spec.Token, darwin.WithHTTPClient(r.cfg.HTTPClient)),
+		}
+		sh.setHealth(nil) // assume up until a probe says otherwise
+		r.byName[spec.Name] = sh
+		r.shards = append(r.shards, sh)
+	}
+	sort.Slice(r.shards, func(a, b int) bool { return r.shards[a].name < r.shards[b].name })
+	names := make([]string, len(r.shards))
+	for i, sh := range r.shards {
+		names[i] = sh.name
+	}
+	r.ring = newHashRing(names)
+	return r, nil
+}
+
+// Place returns the name of the shard that owns key (a dataset for fresh
+// creates) on the consistent-hash ring.
+func (r *Router) Place(key string) string {
+	return r.shards[r.ring.lookup(key)].name
+}
+
+// locate resolves a router-namespaced id to its shard and backend id.
+func (r *Router) locate(publicID string) (*shard, string, error) {
+	name, backendID, ok := strings.Cut(publicID, Sep)
+	if ok {
+		if sh := r.byName[name]; sh != nil && backendID != "" {
+			return sh, backendID, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: unknown labeler %q (router ids are \"<shard>%s<id>\")", darwin.ErrNotFound, publicID, Sep)
+}
+
+func (sh *shard) publicID(backendID string) string {
+	return sh.name + Sep + backendID
+}
+
+// namespaceStatus rewrites a shard-local status into the router namespace.
+func (sh *shard) namespaceStatus(st darwin.Status) darwin.Status {
+	if st.ID != "" {
+		st.ID = sh.publicID(st.ID)
+	}
+	if st.Workspace != "" {
+		st.Workspace = sh.publicID(st.Workspace)
+	}
+	return st
+}
+
+// retry runs op, retrying bounded with exponential backoff while the error
+// is retryable per the shared taxonomy. Only idempotent operations go
+// through here.
+func (r *Router) retry(ctx context.Context, op func() error) error {
+	return r.retryWhile(ctx, op, func() bool { return true })
+}
+
+// retryWhile is retry with an extra gate: a retry happens only while
+// again() also holds (Export uses it to stop once bytes have streamed).
+func (r *Router) retryWhile(ctx context.Context, op func() error, again func() bool) error {
+	backoff := r.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !darwin.Retryable(err) || attempt >= r.cfg.Retries || !again() {
+			return err
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+// --- the server Backend interface ---
+
+// CreateLabeler implements the server Backend: fresh creates are placed by
+// the dataset's ring position; joining an existing workspace routes to the
+// shard named in the workspace id. Creates are never retried — a lost
+// response could otherwise leave an orphan labeler on the shard.
+func (r *Router) CreateLabeler(ctx context.Context, opts darwin.CreateOptions) (darwin.Status, error) {
+	var sh *shard
+	if opts.Workspace != "" {
+		var backendWS string
+		var err error
+		sh, backendWS, err = r.locate(opts.Workspace)
+		if err != nil {
+			return darwin.Status{}, fmt.Errorf("%w: unknown workspace %q (router workspace ids are \"<shard>%s<id>\")", darwin.ErrNotFound, opts.Workspace, Sep)
+		}
+		opts.Workspace = backendWS
+	} else {
+		if opts.Dataset == "" {
+			return darwin.Status{}, fmt.Errorf("%w: dataset is required (the router places fresh labelers by dataset)", darwin.ErrInvalid)
+		}
+		sh = r.shards[r.ring.lookup(opts.Dataset)]
+	}
+	st, err := sh.client.CreateLabeler(ctx, opts)
+	if err != nil {
+		return darwin.Status{}, err
+	}
+	return sh.namespaceStatus(st), nil
+}
+
+// Labeler implements the server Backend: the returned labeler delegates
+// every verb to the owning shard over /v2.
+func (r *Router) Labeler(id string) (darwin.Labeler, error) {
+	sh, backendID, err := r.locate(id)
+	if err != nil {
+		return nil, err
+	}
+	return &routedLabeler{r: r, sh: sh, rem: sh.client.OpenLabeler(backendID)}, nil
+}
+
+// LabelerStatus implements the server Backend.
+func (r *Router) LabelerStatus(ctx context.Context, id string) (darwin.Status, error) {
+	lab, err := r.Labeler(id)
+	if err != nil {
+		return darwin.Status{}, err
+	}
+	return lab.(*routedLabeler).Status(ctx)
+}
+
+// ListLabelers implements the server Backend: a fan-out merge. Shards are
+// walked in name order (the namespaced ids of one shard are contiguous in
+// the listing), and the cursor "<shard>~<backend cursor>" resumes mid-shard,
+// so one logical page costs one request to at most a few shards regardless
+// of fleet size. Shards marked down are skipped — the listing degrades to
+// the live fleet rather than failing, and healthz names the gap.
+func (r *Router) ListLabelers(ctx context.Context, cursor string, limit int) (darwin.LabelerPage, error) {
+	limit = server.ClampPageLimit(limit)
+	startIdx, backendCursor := 0, ""
+	if cursor != "" {
+		name, bc, ok := strings.Cut(cursor, Sep)
+		if !ok {
+			return darwin.LabelerPage{}, fmt.Errorf("%w: malformed cursor %q", darwin.ErrInvalid, cursor)
+		}
+		startIdx = sort.Search(len(r.shards), func(i int) bool { return r.shards[i].name >= name })
+		if startIdx < len(r.shards) && r.shards[startIdx].name == name {
+			backendCursor = bc
+		}
+	}
+	out := darwin.LabelerPage{Labelers: []darwin.Status{}}
+	for idx := startIdx; idx < len(r.shards); idx++ {
+		sh := r.shards[idx]
+		if !sh.up.Load() {
+			continue
+		}
+		bc := ""
+		if idx == startIdx {
+			bc = backendCursor
+		}
+		for {
+			var sub darwin.LabelerPage
+			err := r.retry(ctx, func() error {
+				var e error
+				sub, e = sh.client.ListLabelers(ctx, bc, limit-len(out.Labelers))
+				return e
+			})
+			if err != nil {
+				if ctx.Err() == nil && errors.Is(err, darwin.ErrUnavailable) {
+					// A down shard degrades the listing: mark it so /healthz
+					// names the gap (the prober restores it within one
+					// interval once it answers again).
+					sh.setHealth(err)
+					break
+				}
+				// Everything else must surface, never silently shrink the
+				// listing: client-class failures (bad -shard-token, rate
+				// limit) while the shard probes healthy, and our caller's
+				// own expired context (which says nothing about the shard —
+				// but a truncated page with a nil error would read as the
+				// complete fleet).
+				return darwin.LabelerPage{}, err
+			}
+			for _, st := range sub.Labelers {
+				out.Labelers = append(out.Labelers, sh.namespaceStatus(st))
+			}
+			if len(out.Labelers) >= limit {
+				if sub.NextCursor != "" || idx+1 < len(r.shards) {
+					out.NextCursor = out.Labelers[len(out.Labelers)-1].ID
+				}
+				return out, nil
+			}
+			// A page can be empty yet carry a cursor (every id on it was
+			// evicted between the shard's listing and status resolution), so
+			// the cursor — which strictly advances — is the only
+			// end-of-shard signal.
+			if sub.NextCursor == "" || sub.NextCursor == bc {
+				break
+			}
+			bc = sub.NextCursor
+		}
+	}
+	return out, nil
+}
+
+// ListDatasets implements the server Backend: the union of every live
+// shard's datasets, paginated with the same cursor semantics as a single
+// darwind. Each page request rebuilds the full union — fine while fleets
+// serve tens of datasets (one request per shard per page); cache it here if
+// dataset counts ever grow past that.
+func (r *Router) ListDatasets(ctx context.Context, cursor string, limit int) (darwin.DatasetPage, error) {
+	seen := make(map[string]bool)
+	for _, sh := range r.shards {
+		if !sh.up.Load() {
+			continue
+		}
+		bc := ""
+		for {
+			var sub darwin.DatasetPage
+			err := r.retry(ctx, func() error {
+				var e error
+				sub, e = sh.client.ListDatasets(ctx, bc, 0)
+				return e
+			})
+			if err != nil {
+				if ctx.Err() == nil && errors.Is(err, darwin.ErrUnavailable) {
+					sh.setHealth(err)
+					break
+				}
+				return darwin.DatasetPage{}, err
+			}
+			for _, name := range sub.Datasets {
+				seen[name] = true
+			}
+			if sub.NextCursor == "" {
+				break
+			}
+			bc = sub.NextCursor
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pageNames, next := server.Page(names, cursor, limit)
+	return darwin.DatasetPage{Datasets: pageNames, NextCursor: next}, nil
+}
+
+// DeleteLabeler implements the server Backend. Deletes are attempted once:
+// a retry after a lost response would surface not-found for a delete that
+// in fact succeeded.
+func (r *Router) DeleteLabeler(ctx context.Context, id string) error {
+	sh, backendID, err := r.locate(id)
+	if err != nil {
+		return err
+	}
+	return sh.client.OpenLabeler(backendID).Close(ctx)
+}
+
+// --- health ---
+
+// ShardHealth is one shard's probed state, served by the router's healthz.
+type ShardHealth struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Health reports every shard's last probed state, in name order.
+func (r *Router) Health() []ShardHealth {
+	out := make([]ShardHealth, 0, len(r.shards))
+	for _, sh := range r.shards {
+		h := ShardHealth{Name: sh.name, URL: sh.url, Healthy: sh.up.Load()}
+		if e, _ := sh.lastErr.Load().(string); e != "" {
+			h.Error = e
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// ProbeNow probes every shard's /healthz once (concurrently, so one dark
+// shard's connect timeout does not delay detection for the rest of the
+// fleet) and returns how many are up.
+func (r *Router) ProbeNow(ctx context.Context) int {
+	var up atomic.Int32
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			if r.probe(ctx, sh) {
+				up.Add(1)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	return int(up.Load())
+}
+
+func (r *Router) probe(ctx context.Context, sh *shard) bool {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
+	if err != nil {
+		sh.setHealth(err)
+		return false
+	}
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		sh.setHealth(fmt.Errorf("healthz: %v", err))
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sh.setHealth(fmt.Errorf("healthz: HTTP %d", resp.StatusCode))
+		return false
+	}
+	sh.setHealth(nil)
+	return true
+}
+
+// Prober probes every shard each interval until stop is closed. Run it in a
+// goroutine: go router.Prober(5*time.Second, stopCh).
+func (r *Router) Prober(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.ProbeNow(context.Background())
+		case <-stop:
+			return
+		}
+	}
+}
+
+// --- the routed labeler ---
+
+// routedLabeler is one namespaced labeler: a darwin.Labeler (plus
+// BatchAnswerer and Statuser) delegating to the owning shard's
+// RemoteLabeler, with the router's retry policy applied per verb.
+type routedLabeler struct {
+	r   *Router
+	sh  *shard
+	rem *darwin.RemoteLabeler
+}
+
+// Suggest implements darwin.Labeler. Suggest is idempotent while a
+// suggestion is pending, so it retries.
+func (l *routedLabeler) Suggest(ctx context.Context) (darwin.Suggestion, error) {
+	var sug darwin.Suggestion
+	err := l.r.retry(ctx, func() error {
+		var e error
+		sug, e = l.rem.Suggest(ctx)
+		return e
+	})
+	return sug, err
+}
+
+// Answer implements darwin.Labeler. Answers are applied exactly once — a
+// blind retry could consume a fresh suggestion.
+func (l *routedLabeler) Answer(ctx context.Context, ans darwin.Answer) error {
+	return l.rem.Answer(ctx, ans)
+}
+
+// AnswerBatch implements darwin.BatchAnswerer (single attempt, like Answer).
+func (l *routedLabeler) AnswerBatch(ctx context.Context, answers []darwin.Answer) ([]darwin.RuleRecord, error) {
+	return l.rem.AnswerBatch(ctx, answers)
+}
+
+// Report implements darwin.Labeler (read-only; retries).
+func (l *routedLabeler) Report(ctx context.Context) (darwin.Report, error) {
+	var rep darwin.Report
+	err := l.r.retry(ctx, func() error {
+		var e error
+		rep, e = l.rem.Report(ctx)
+		return e
+	})
+	return rep, err
+}
+
+// Export implements darwin.Labeler: read-only, but it streams — a retry is
+// safe only while nothing has been written to w yet.
+func (l *routedLabeler) Export(ctx context.Context, w io.Writer) error {
+	cw := &countingWriter{w: w}
+	return l.r.retryWhile(ctx,
+		func() error { return l.rem.Export(ctx, cw) },
+		func() bool { return cw.n == 0 })
+}
+
+// Close implements darwin.Labeler (single attempt; see DeleteLabeler).
+func (l *routedLabeler) Close(ctx context.Context) error {
+	return l.rem.Close(ctx)
+}
+
+// Status implements darwin.Statuser (read-only; retries). The returned
+// status carries router-namespaced labeler and workspace ids.
+func (l *routedLabeler) Status(ctx context.Context) (darwin.Status, error) {
+	var st darwin.Status
+	err := l.r.retry(ctx, func() error {
+		var e error
+		st, e = l.rem.Status(ctx)
+		return e
+	})
+	if err != nil {
+		return darwin.Status{}, err
+	}
+	return l.sh.namespaceStatus(st), nil
+}
+
+// countingWriter counts bytes through to w so Export can tell whether a
+// failed attempt already produced output.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

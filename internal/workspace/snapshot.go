@@ -167,6 +167,7 @@ func Restore(eng *core.Engine, snap *Snapshot, log LogFunc) (*Workspace, error) 
 			return nil, fmt.Errorf("workspace: snapshot %s: refit classifier: %w", snap.ID, err)
 		}
 	}
+	ws.publishStatsLocked()
 	return ws, nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/classifier"
@@ -158,6 +159,25 @@ type Workspace struct {
 
 	annotators map[string]*annotator
 	annOrder   []string
+
+	// statsSnap is the cached status snapshot behind Stats: monitoring polls
+	// read it lock-free, so a status poll never waits on ws.mu held across an
+	// in-flight shared suggest (which can hold the mutex through a full
+	// hierarchy regeneration under the engine's index lock).
+	statsSnap atomic.Pointer[statsCounters]
+}
+
+// statsCounters is the cheap status snapshot published after every applied
+// state change. Budget is immutable and lives on the workspace itself.
+type statsCounters struct {
+	questions int
+	positives int
+}
+
+// publishStatsLocked refreshes the lock-free status snapshot. Callers hold
+// ws.mu (or are in a constructor before the workspace is shared).
+func (ws *Workspace) publishStatsLocked() {
+	ws.statsSnap.Store(&statsCounters{questions: ws.questions, positives: len(ws.positives)})
 }
 
 // mix derives a deterministic per-event RNG seed from the workspace seed and
@@ -238,6 +258,7 @@ func New(eng *core.Engine, id, dataset string, opts Options, log LogFunc) (*Work
 	}
 	ws.retrain() // event 0: the create itself
 	ws.eventSeq = 1
+	ws.publishStatsLocked()
 	return ws, nil
 }
 
@@ -526,6 +547,7 @@ func (ws *Workspace) Answer(name, key string, accept bool) (Record, error) {
 		an.accepts++
 	}
 	ws.applied("answer", answerData{Annotator: name, Key: key, Accept: accept})
+	ws.publishStatsLocked()
 	return rec, ws.journalErrLocked()
 }
 
@@ -539,12 +561,21 @@ func (ws *Workspace) HierarchyGenerations() int {
 }
 
 // Stats returns the workspace's cheap status counters (questions answered,
-// |P|, done) without copying the full report — the serving layer's list
-// endpoints poll this per labeler.
+// |P|, done) without copying the full report — the serving layer's list and
+// status endpoints poll this per labeler. It reads the cached snapshot of
+// the last applied state change, never ws.mu: a monitoring poll must not
+// stall behind an in-flight shared suggest holding the workspace lock.
 func (ws *Workspace) Stats() (questions, positives int, done bool) {
+	snap := ws.statsSnap.Load()
+	return snap.questions, snap.positives, snap.questions >= ws.budget
+}
+
+// Annotators returns the attached annotator names in attach order — what the
+// serving layer re-adopts as labelers after journal recovery.
+func (ws *Workspace) Annotators() []string {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
-	return ws.questions, len(ws.positives), ws.questions >= ws.budget
+	return append([]string(nil), ws.annOrder...)
 }
 
 // PositivesMap returns a copy of the shared positive set.

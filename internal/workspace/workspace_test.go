@@ -676,3 +676,61 @@ func TestRestoreRefitsClassifier(t *testing.T) {
 			lsug.Key, lok, lerr, rsug.Key, rok, rerr)
 	}
 }
+
+// TestStatsDoesNotBlockOnInFlightSuggest pins the status-poll bugfix: Stats
+// reads the cached counters snapshot, so a monitoring poll returns while an
+// in-flight shared suggest holds ws.mu blocked on the engine's index lock
+// (here: a concurrent materialization parked inside the materialize hook,
+// which fires under the index write lock).
+func TestStatsDoesNotBlockOnInFlightSuggest(t *testing.T) {
+	eng := newTestEngine(t)
+	ws, err := New(eng, "ws-stats", "directions", Options{SeedRules: []string{seedRule}, Budget: 20, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Attach("alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	eng.SetMaterializeHook(func([]string) { close(entered); <-release })
+	matDone := make(chan struct{})
+	go func() {
+		defer close(matDone)
+		eng.MaterializeRule("how do i get")
+	}()
+	<-entered // the index write lock is now held and parked
+
+	sugDone := make(chan struct{})
+	go func() {
+		defer close(sugDone)
+		ws.Suggest("alice")
+	}()
+	// Let the suggest take ws.mu and block inside WithIndexRead.
+	time.Sleep(300 * time.Millisecond)
+	select {
+	case <-sugDone:
+		t.Fatal("suggest completed while the index write lock was held")
+	default:
+	}
+
+	statsDone := make(chan struct{})
+	var questions, positives int
+	go func() {
+		defer close(statsDone)
+		questions, positives, _ = ws.Stats()
+	}()
+	select {
+	case <-statsDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stats blocked behind an in-flight suggest")
+	}
+	if questions != 0 || positives == 0 {
+		t.Errorf("Stats = (%d questions, %d positives), want (0, >0)", questions, positives)
+	}
+
+	close(release)
+	<-matDone
+	<-sugDone
+}

@@ -62,10 +62,20 @@ type CreateOptions struct {
 	Seed   int64 `json:"seed,omitempty"`
 }
 
+// CreateLabeler creates a labeler on the server and returns its full status
+// (ID set). Most callers want NewLabeler, which wraps the status in a
+// RemoteLabeler handle; a sharding router uses the status form directly to
+// re-expose the created labeler under its own namespace.
+func (c *Client) CreateLabeler(ctx context.Context, opts CreateOptions) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v2/labelers", opts, &st)
+	return st, err
+}
+
 // NewLabeler creates a labeler on the server and returns its remote handle.
 func (c *Client) NewLabeler(ctx context.Context, opts CreateOptions) (*RemoteLabeler, error) {
-	var st Status
-	if err := c.do(ctx, http.MethodPost, "/v2/labelers", opts, &st); err != nil {
+	st, err := c.CreateLabeler(ctx, opts)
+	if err != nil {
 		return nil, err
 	}
 	return &RemoteLabeler{c: c, id: st.ID}, nil

@@ -15,6 +15,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/grammar"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/tokensregex"
 	"repro/internal/workspace"
 	"repro/pkg/darwin"
@@ -79,6 +80,24 @@ func newTestServer(t testing.TB) *httptest.Server {
 	return ts
 }
 
+// newRouterTestServer serves the /v2 surface over a sharding router in
+// front of two darwind-equivalent shards, so the conformance suite and the
+// golden replay drive client → router → shard → core.
+func newRouterTestServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	shardA, shardB := newTestServer(t), newTestServer(t)
+	rt, err := shard.New([]shard.Spec{
+		{Name: "alpha", URL: shardA.URL},
+		{Name: "beta", URL: shardB.URL},
+	}, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.V2Handler(rt))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
 // factory builds a fresh labeler with the standard test seeds and budget.
 type factory func(t *testing.T) darwin.Labeler
 
@@ -129,6 +148,34 @@ func factories() map[string]factory {
 		},
 		"http-workspace": func(t *testing.T) darwin.Labeler {
 			ts := newTestServer(t)
+			lab, err := darwin.NewClient(ts.URL, "").NewLabeler(context.Background(), darwin.CreateOptions{
+				Dataset:   testDataset,
+				Mode:      darwin.ModeWorkspace,
+				Annotator: "alice",
+				SeedRules: []string{testSeedRule},
+				Budget:    testBudget,
+				Seed:      42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lab
+		},
+		"router-session": func(t *testing.T) darwin.Labeler {
+			ts := newRouterTestServer(t)
+			lab, err := darwin.NewClient(ts.URL, "").NewLabeler(context.Background(), darwin.CreateOptions{
+				Dataset:   testDataset,
+				SeedRules: []string{testSeedRule},
+				Budget:    testBudget,
+				Seed:      42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lab
+		},
+		"router-workspace": func(t *testing.T) darwin.Labeler {
+			ts := newRouterTestServer(t)
 			lab, err := darwin.NewClient(ts.URL, "").NewLabeler(context.Background(), darwin.CreateOptions{
 				Dataset:   testDataset,
 				Mode:      darwin.ModeWorkspace,

@@ -3,6 +3,7 @@ package darwin_test
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"reflect"
 	"testing"
 
@@ -43,7 +44,17 @@ var goldenPositives = []int{7, 75, 210, 211, 246, 262, 462, 499, 587}
 // suggestion sequence, same coverage counts, same benefit floats (float64
 // survives the JSON round trip exactly), same final positive set.
 func TestGoldenReplayThroughRemoteLabeler(t *testing.T) {
-	ts := newTestServer(t)
+	testGoldenReplay(t, newTestServer(t))
+}
+
+// TestGoldenReplayThroughRouter pins the sharded deployment to the same
+// bar: one extra hop (client → darwin-router's /v2 → shard's /v2 → adapter
+// → core) must not perturb a single float or suggestion.
+func TestGoldenReplayThroughRouter(t *testing.T) {
+	testGoldenReplay(t, newRouterTestServer(t))
+}
+
+func testGoldenReplay(t *testing.T, ts *httptest.Server) {
 	ctx := context.Background()
 	lab, err := darwin.NewClient(ts.URL, "").NewLabeler(ctx, darwin.CreateOptions{
 		Dataset:   testDataset,

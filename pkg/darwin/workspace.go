@@ -48,6 +48,23 @@ func AttachWorkspace(mgr *workspace.Manager, wsID, annotator string) (*Workspace
 	return l, nil
 }
 
+// AdoptWorkspace wraps an annotator's already-existing attachment as a
+// Labeler that owns it: like AttachWorkspace, Close detaches the annotator —
+// but the attachment itself is not created here. The serving layer uses it
+// to re-adopt journaled attachments after a restart, so a recovered
+// workspace's labelers keep their delete-detaches semantics.
+func AdoptWorkspace(mgr *workspace.Manager, wsID, annotator string) (*WorkspaceLabeler, error) {
+	if annotator == "" {
+		return nil, fmt.Errorf("%w: annotator name is required", ErrInvalid)
+	}
+	l, err := BindWorkspace(mgr, wsID, annotator)
+	if err != nil {
+		return nil, err
+	}
+	l.detach = true
+	return l, nil
+}
+
 // BindWorkspace wraps an already-attached annotator as a Labeler without
 // touching the attachment (Close leaves it in place). The serving layer uses
 // it to answer v1 and v2 requests over one code path.
