@@ -5,16 +5,40 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/pkg/darwin"
 )
+
+// procLogs accumulates a child process's stderr so the test can assert on
+// its structured request logs.
+type procLogs struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (p *procLogs) append(line string) {
+	p.mu.Lock()
+	p.buf.WriteString(line)
+	p.buf.WriteByte('\n')
+	p.mu.Unlock()
+}
+
+func (p *procLogs) contains(s string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return strings.Contains(p.buf.String(), s)
+}
 
 // TestMultiShardFailoverE2E is the end-to-end sharding test: two real
 // darwind shard processes (journaled) behind a real darwin-router process,
@@ -38,7 +62,7 @@ func TestMultiShardFailoverE2E(t *testing.T) {
 	}
 
 	listenRE := regexp.MustCompile(`listening on ([0-9.:]+)`)
-	start := func(bin string, args ...string) (*exec.Cmd, string) {
+	start := func(bin string, args ...string) (*exec.Cmd, string, *procLogs) {
 		t.Helper()
 		cmd := exec.Command(bin, args...)
 		stderr, err := cmd.StderrPipe()
@@ -49,10 +73,12 @@ func TestMultiShardFailoverE2E(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		logs := &procLogs{}
 		addrCh := make(chan string, 1)
 		go func() {
 			sc := bufio.NewScanner(stderr)
 			for sc.Scan() {
+				logs.append(sc.Text())
 				if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
 					addrCh <- m[1]
 				}
@@ -60,10 +86,10 @@ func TestMultiShardFailoverE2E(t *testing.T) {
 		}()
 		select {
 		case addr := <-addrCh:
-			return cmd, addr
+			return cmd, addr, logs
 		case <-time.After(120 * time.Second):
 			t.Fatalf("%s did not start listening", bin)
-			return nil, ""
+			return nil, "", nil
 		}
 	}
 
@@ -83,10 +109,10 @@ func TestMultiShardFailoverE2E(t *testing.T) {
 	}
 	journalA := filepath.Join(dir, "shard-alpha.jsonl")
 	journalB := filepath.Join(dir, "shard-beta.jsonl")
-	_, addrA := start(darwind, shardArgs("127.0.0.1:0", journalA)...)
-	procB, addrB := start(darwind, shardArgs("127.0.0.1:0", journalB)...)
+	_, addrA, logsA := start(darwind, shardArgs("127.0.0.1:0", journalA)...)
+	procB, addrB, _ := start(darwind, shardArgs("127.0.0.1:0", journalB)...)
 
-	_, routerAddr := start(routerBin,
+	_, routerAddr, logsRouter := start(routerBin,
 		"-addr", "127.0.0.1:0",
 		"-shards", fmt.Sprintf("alpha=http://%s,beta=http://%s", addrA, addrB),
 		"-probe-every", "200ms",
@@ -141,6 +167,41 @@ func TestMultiShardFailoverE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// One request id must trace the whole router → shard path: issue a call
+	// with a caller-chosen id and find that id in BOTH daemons' structured
+	// request logs.
+	const traceID = "e2e-trace-0451"
+	if _, err := survivor.Status(obs.WithRequestID(ctx, traceID)); err != nil {
+		t.Fatalf("traced status: %v", err)
+	}
+	waitForLog(t, "router", logsRouter, traceID)
+	waitForLog(t, "shard alpha", logsA, traceID)
+
+	// Scrape /metrics from the router and from shard alpha mid-test: both
+	// must serve valid Prometheus text exposition covering their layers.
+	routerMetrics := scrapeMetrics(t, "http://"+routerAddr)
+	for _, series := range []string{
+		`darwin_http_requests_total{daemon="darwin-router"`,
+		`darwin_shard_requests_total{shard="alpha"`,
+		`darwin_shard_up{shard="alpha"} 1`,
+		"darwin_http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(routerMetrics, series) {
+			t.Errorf("router /metrics is missing %q", series)
+		}
+	}
+	shardMetrics := scrapeMetrics(t, "http://"+addrA)
+	for _, series := range []string{
+		`darwin_http_requests_total{daemon="darwind"`,
+		"darwin_sessions_live",
+		"darwin_journal_appends_total",
+		"darwin_suggest_step_duration_seconds_count",
+	} {
+		if !strings.Contains(shardMetrics, series) {
+			t.Errorf("shard /metrics is missing %q", series)
+		}
+	}
+
 	// SIGKILL shard beta: no shutdown hook runs; the journal's kernel
 	// writes are all that survives.
 	if err := procB.Process.Kill(); err != nil {
@@ -184,6 +245,42 @@ func TestMultiShardFailoverE2E(t *testing.T) {
 	if err := victim.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: false}); err != nil {
 		t.Fatalf("answer after recovery: %v", err)
 	}
+}
+
+// waitForLog polls a process's captured stderr until the wanted substring
+// appears (request logs are written asynchronously to the response).
+func waitForLog(t *testing.T, who string, logs *procLogs, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if logs.contains(want) {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s logs never contained %q", who, want)
+}
+
+// scrapeMetrics fetches base/metrics and validates it as Prometheus text
+// exposition before returning it.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s/metrics: %v", base, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape %s/metrics: HTTP %d (%v)", base, resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("scrape %s/metrics: Content-Type %q, want %q", base, ct, obs.ContentType)
+	}
+	if err := obs.CheckExposition(string(body)); err != nil {
+		t.Fatalf("%s/metrics is not valid exposition: %v", base, err)
+	}
+	return string(body)
 }
 
 // waitHealthy polls a healthz URL until it answers 200.

@@ -27,14 +27,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -50,6 +53,8 @@ func main() {
 		probeEvery = flag.Duration("probe-every", 5*time.Second, "shard /healthz probe interval")
 		retries    = flag.Int("retries", 2, "bounded retries of retryable errors on idempotent shard calls (negative disables)")
 		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "first retry backoff (doubled per attempt)")
+		accessLog  = flag.Bool("access-log", true, "emit one structured (JSON) log line per request, carrying the request id")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (unauthenticated; bind accordingly)")
 	)
 	flag.Parse()
 
@@ -82,8 +87,26 @@ func main() {
 			Shards []shard.ShardHealth `json:"shards"`
 		}{Status: status, Shards: shardHealth})
 	})
+	mux.Handle("GET /metrics", obs.Default().Handler())
 	server.RegisterV2(router, func(pattern string, h http.HandlerFunc) { mux.HandleFunc(pattern, h) })
-	handler := server.Middleware(*token, *rateLimit, *rateBurst, mux)
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	// Instrument sits outside auth/rate-limit so 401s and 429s are counted
+	// and every request carries a request id into the shard fan-out.
+	handler := obs.Instrument(obs.Default(), "darwin-router", logger,
+		server.Middleware(*token, *rateLimit, *rateBurst, mux))
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
 
 	stop := make(chan struct{})
 	go router.Prober(*probeEvery, stop)

@@ -29,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -70,6 +72,8 @@ func main() {
 		rateLimit  = flag.Float64("rate-limit", 0, "per-IP request rate limit in requests/second (0 disables)")
 		rateBurst  = flag.Int("rate-burst", 0, "per-IP burst size (default 2x -rate-limit)")
 		featCap    = flag.Int("feature-cache-cap", 0, "cap the per-engine sparse feature cache to this many sentences (0 caches the whole corpus; ~0.5 KB/entry)")
+		accessLog  = flag.Bool("access-log", true, "emit one structured (JSON) log line per request, carrying the request id")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (unauthenticated; bind accordingly)")
 	)
 	flag.Parse()
 
@@ -93,6 +97,10 @@ func main() {
 		sets = append(sets, buildDataset(name, c, *seed, *budget, *candidates, *sketchD, *featCap, *useTree))
 	}
 
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv, err := server.New(server.Config{
 		SessionTTL:    *ttl,
 		MaxSessions:   *maxSess,
@@ -104,6 +112,8 @@ func main() {
 		Token:         *token,
 		RatePerSec:    *rateLimit,
 		RateBurst:     *rateBurst,
+		Daemon:        "darwind",
+		AccessLog:     logger,
 	}, sets...)
 	if err != nil {
 		fatalf("%v", err)
@@ -124,8 +134,19 @@ func main() {
 	if err != nil {
 		fatalf("listen %s: %v", *addr, err)
 	}
+	var handler http.Handler = srv
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", srv)
+		handler = outer
+	}
 	httpSrv := &http.Server{
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {

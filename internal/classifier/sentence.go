@@ -5,9 +5,26 @@ import (
 	"math"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/embedding"
+	"repro/internal/obs"
+)
+
+// Classifier telemetry: the feature cache's hit ratio is what makes
+// concurrent sessions affordable (a miss featurizes a sentence from scratch),
+// and Fit is the per-accept retraining cost.
+var (
+	featureCacheHits = obs.Default().Counter("darwin_classifier_feature_cache_hits_total",
+		"Feature-vector lookups served from the sparse feature cache.")
+	featureCacheMisses = obs.Default().Counter("darwin_classifier_feature_cache_misses_total",
+		"Feature-vector lookups that featurized the sentence from scratch.")
+	fitsTotal = obs.Default().Counter("darwin_classifier_fits_total",
+		"Classifier training rounds (one per accepted rule).")
+	fitDurations = obs.Default().Histogram("darwin_classifier_fit_duration_seconds",
+		"Latency of one classifier training round (featurize + model fit).",
+		obs.LatencyBuckets)
 )
 
 // Kind selects which underlying model a SentenceClassifier trains.
@@ -165,6 +182,7 @@ func (sc *SentenceClassifier) featuresInto(id int, dst []float64) []float64 {
 	}
 	fc := sc.cache.get(id)
 	if fc == nil {
+		featureCacheMisses.Inc()
 		full := sc.feat.Features(sc.corp.Sentence(id).Tokens)
 		fc = &sparseFeatures{}
 		embDim := sc.feat.EmbDim()
@@ -178,6 +196,8 @@ func (sc *SentenceClassifier) featuresInto(id int, dst []float64) []float64 {
 			}
 		}
 		sc.cache.put(id, fc)
+	} else {
+		featureCacheHits.Inc()
 	}
 	clear(dst)
 	copy(dst, fc.emb)
@@ -203,6 +223,8 @@ func (sc *SentenceClassifier) TrainFromPositives(positiveIDs map[int]bool) error
 	if len(positiveIDs) == 0 {
 		return fmt.Errorf("classifier: %w", ErrNoTrainingData)
 	}
+	fitsTotal.Inc()
+	defer fitDurations.ObserveSince(time.Now())
 	var X [][]float64
 	var y []int
 	for id := 0; id < sc.corp.Len(); id++ {

@@ -9,8 +9,21 @@ import (
 	"repro/internal/classifier"
 	"repro/internal/grammar"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/traversal"
+)
+
+// Engine-level telemetry: the interactive loop's two verbs, measured at the
+// core layer (below HTTP and labeler locking) so solo sessions and legacy Run
+// callers are covered alike.
+var (
+	nextDurations = obs.Default().Histogram("darwin_session_next_duration_seconds",
+		"Latency of one Session.Next that did real work (hierarchy reuse or regen + traversal).",
+		obs.LatencyBuckets)
+	answerDurations = obs.Default().Histogram("darwin_session_answer_duration_seconds",
+		"Latency of one Session.Answer (on accept: positive-set merge + classifier retrain + rescore).",
+		obs.LatencyBuckets)
 )
 
 // SessionOptions configures one interactive discovery session.
@@ -255,6 +268,7 @@ func (s *Session) Next() (Suggestion, bool) {
 		s.lastStep = d
 		s.stepTotal += d
 		s.stepCount++
+		nextDurations.Observe(d.Seconds())
 	}()
 	e := s.e
 	e.ixMu.RLock()
@@ -323,6 +337,7 @@ func (s *Session) Next() (Suggestion, bool) {
 // and retrains the classifier; either way it informs the traversal strategy.
 // The key must match the pending suggestion's key.
 func (s *Session) Answer(key string, accept bool) (RuleRecord, error) {
+	defer answerDurations.ObserveSince(time.Now())
 	if s.pending == nil {
 		return RuleRecord{}, fmt.Errorf("core: no pending suggestion to answer (call Next first)")
 	}

@@ -16,10 +16,24 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/grammar"
 	"repro/internal/index"
+	"repro/internal/obs"
+)
+
+// Hierarchy regeneration is the dominant cost of a suggest step whenever the
+// positive set changed; every interactive caller (solo sessions and shared
+// workspaces) funnels through GenerateBits, so one counter + histogram here
+// covers the fleet.
+var (
+	regensTotal = obs.Default().Counter("darwin_hierarchy_regens_total",
+		"Full candidate-hierarchy regenerations (one per positive-set or index change).")
+	regenDurations = obs.Default().Histogram("darwin_hierarchy_regen_duration_seconds",
+		"Latency of one full hierarchy regeneration (candidate generation + arrangement).",
+		obs.LatencyBuckets)
 )
 
 // Node is one candidate heuristic arranged in the hierarchy.
@@ -456,6 +470,8 @@ func Generate(ix *index.Index, positives map[int]bool, cfg Config) *Hierarchy {
 // path entry point (sessions maintain their positive set as a bitset and
 // pass it here without conversion).
 func GenerateBits(ix *index.Index, positives bitset.Set, cfg Config) *Hierarchy {
+	defer regenDurations.ObserveSince(time.Now())
+	regensTotal.Inc()
 	keys := GenerateCandidatesBits(ix, positives, cfg)
 	return BuildBits(ix, keys, positives, cfg)
 }

@@ -26,6 +26,26 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Journal telemetry: append and fsync latency are the durability tax on the
+// answer hot path, so both get histograms; compactions are rare and get a
+// counter.
+var (
+	appendDurations = obs.Default().Histogram("darwin_journal_append_duration_seconds",
+		"Latency of one journal append (marshal + kernel write; excludes fsync batching).",
+		obs.LatencyBuckets)
+	fsyncDurations = obs.Default().Histogram("darwin_journal_fsync_duration_seconds",
+		"Latency of one journal fsync (batched per Options.SyncEvery / SyncInterval).",
+		obs.LatencyBuckets)
+	appendTotal = obs.Default().Counter("darwin_journal_appends_total",
+		"Events appended to the journal.")
+	fsyncTotal = obs.Default().Counter("darwin_journal_fsyncs_total",
+		"fsync calls issued by the journal writer.")
+	compactionsTotal = obs.Default().Counter("darwin_journal_compactions_total",
+		"Snapshot+truncate compactions of the journal.")
 )
 
 // Event is one journaled record. Exactly one of WS / Dataset scopes it:
@@ -165,6 +185,7 @@ func (w *Writer) Append(typ, ws, dataset string, data any) (Event, error) {
 		}
 		raw = b
 	}
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -183,6 +204,11 @@ func (w *Writer) Append(typ, ws, dataset string, data any) (Event, error) {
 	w.since++
 	w.pending++
 	w.dirty = true
+	// Observed before a batch-boundary fsync so the append histogram
+	// measures marshal + lock wait + kernel write only; fsync cost has its
+	// own series.
+	appendTotal.Inc()
+	appendDurations.ObserveSince(start)
 	if w.pending >= w.opts.SyncEvery {
 		w.syncLocked()
 	}
@@ -212,10 +238,13 @@ func (w *Writer) syncLocked() {
 	if !w.dirty || w.err != nil {
 		return
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.err = fmt.Errorf("journal: fsync: %w", err)
 		return
 	}
+	fsyncTotal.Inc()
+	fsyncDurations.ObserveSince(start)
 	w.dirty = false
 	w.pending = 0
 }
@@ -298,6 +327,7 @@ func (w *Writer) Rewrite(events []Event) error {
 	w.since = 0
 	w.pending = 0
 	w.dirty = false
+	compactionsTotal.Inc()
 	return nil
 }
 

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition is a strict parser for the subset of the Prometheus text
+// format this package emits. It validates metric/label name charsets, label
+// quoting and escaping, sample values, TYPE declarations, and histogram
+// invariants (cumulative buckets, trailing +Inf equal to _count). Tests use
+// it on golden output and the multi-shard e2e test reuses it on live
+// /metrics scrapes.
+func CheckExposition(text string) error {
+	types := map[string]string{}
+	// histogram bookkeeping per series (family name + labels minus le)
+	lastBucket := map[string]uint64{}
+	infBucket := map[string]uint64{}
+	countVal := map[string]uint64{}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return fmt.Errorf("line %d: malformed HELP", lineNo)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !validMetricName(fields[0]) {
+				return fmt.Errorf("line %d: malformed TYPE", lineNo)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", lineNo, fields[1])
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := histogramBase(name, types)
+		if base == "" {
+			continue // not a histogram series; nothing more to check
+		}
+		series := base + "|" + labelsWithoutLe(labels)
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bucket value %q not a count", lineNo, value)
+			}
+			le := leValue(labels)
+			if le == "" {
+				return fmt.Errorf("line %d: bucket without le label", lineNo)
+			}
+			if n < lastBucket[series] {
+				return fmt.Errorf("line %d: buckets not cumulative", lineNo)
+			}
+			lastBucket[series] = n
+			if le == "+Inf" {
+				infBucket[series] = n
+			}
+		case strings.HasSuffix(name, "_count"):
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: count value %q not a count", lineNo, value)
+			}
+			countVal[series] = n
+		}
+	}
+	for series, n := range countVal {
+		if inf, ok := infBucket[series]; ok && inf != n {
+			return fmt.Errorf("series %s: +Inf bucket %d != count %d", series, inf, n)
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value` (labels optional) and validates
+// each part.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := findLabelEnd(rest[i:])
+		if j < 0 {
+			return "", "", "", fmt.Errorf("unterminated label set")
+		}
+		labels = rest[i+1 : i+j]
+		rest = strings.TrimLeft(rest[i+j+1:], " ")
+		if err := checkLabels(labels); err != nil {
+			return "", "", "", err
+		}
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", "", "", fmt.Errorf("sample without value")
+		}
+	}
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	value = strings.TrimSpace(rest)
+	if value != "+Inf" && value != "-Inf" && value != "NaN" {
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return "", "", "", fmt.Errorf("invalid sample value %q", value)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// findLabelEnd returns the offset of the closing '}' of a label set that
+// starts at s[0] == '{', honoring quoted values with escapes.
+func findLabelEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// checkLabels validates a comma-separated k="v" list.
+func checkLabels(labels string) error {
+	for _, pair := range splitLabels(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || !validLabelName(k) {
+			return fmt.Errorf("invalid label pair %q", pair)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", pair)
+		}
+		body := v[1 : len(v)-1]
+		for i := 0; i < len(body); i++ {
+			switch body[i] {
+			case '"':
+				return fmt.Errorf("unescaped quote in label value %q", pair)
+			case '\\':
+				i++
+				if i >= len(body) || (body[i] != '\\' && body[i] != '"' && body[i] != 'n') {
+					return fmt.Errorf("bad escape in label value %q", pair)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func labelsWithoutLe(labels string) string {
+	var out []string
+	for _, pair := range splitLabels(labels) {
+		if !strings.HasPrefix(pair, "le=") {
+			out = append(out, pair)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+func leValue(labels string) string {
+	for _, pair := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}
+
+// histogramBase returns the family name when name is a histogram series
+// (_bucket/_sum/_count of a declared histogram), else "".
+func histogramBase(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestGoldenExposition freezes the full exposition output of a small
+// registry. The format is what promtool parses: HELP/TYPE preambles,
+// sorted families, cumulative histogram buckets, escaped label values.
+func TestGoldenExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("g_requests_total", "Requests served.").Add(3)
+	cv := reg.CounterVec("g_errors_total", "Errors by kind.", "kind")
+	cv.With("timeout").Add(2)
+	cv.With("bad\"quote\\and\nnewline").Inc()
+	reg.Gauge("g_in_flight", "In-flight requests.").Set(1.5)
+	reg.GaugeFunc("g_sessions", "Live sessions.", func() float64 { return 4 })
+	h := reg.Histogram("g_latency_seconds", "Latency.", []float64{0.1, 0.5, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP g_errors_total Errors by kind.
+# TYPE g_errors_total counter
+g_errors_total{kind="bad\"quote\\and\nnewline"} 1
+g_errors_total{kind="timeout"} 2
+# HELP g_in_flight In-flight requests.
+# TYPE g_in_flight gauge
+g_in_flight 1.5
+# HELP g_latency_seconds Latency.
+# TYPE g_latency_seconds histogram
+g_latency_seconds_bucket{le="0.1"} 2
+g_latency_seconds_bucket{le="0.5"} 3
+g_latency_seconds_bucket{le="1"} 3
+g_latency_seconds_bucket{le="+Inf"} 4
+g_latency_seconds_sum 2.4
+g_latency_seconds_count 4
+# HELP g_requests_total Requests served.
+# TYPE g_requests_total counter
+g_requests_total 3
+# HELP g_sessions Live sessions.
+# TYPE g_sessions gauge
+g_sessions 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := CheckExposition(sb.String()); err != nil {
+		t.Errorf("golden output fails the strict checker: %v", err)
+	}
+}
+
+// TestHandler checks the HTTP wrapper: content type and a body that passes
+// the strict format checker.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h_total", "Help.").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if err := CheckExposition(rec.Body.String()); err != nil {
+		t.Errorf("exposition does not parse: %v", err)
+	}
+}
+
+// TestExpositionParses runs the strict checker over a registry exercising
+// every metric type, including awkward label values.
+func TestExpositionParses(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("p_total", "Help.", "a", "b").With(`x\y"z`, "plain").Add(7)
+	reg.GaugeVec("p_gauge", "Help.", "shard").With("alpha").Set(-2.5)
+	reg.GaugeFunc("p_fn", "Help.", func() float64 { return math.Inf(1) })
+	reg.HistogramVec("p_seconds", "Help.", LatencyBuckets, "route").With("GET /v2/labelers").Observe(0.02)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExposition(sb.String()); err != nil {
+		t.Errorf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+}
+
+// TestCheckExpositionRejects makes sure the strict checker actually rejects
+// malformed exposition (otherwise the e2e scrape assertion is vacuous).
+func TestCheckExpositionRejects(t *testing.T) {
+	bad := []string{
+		"metric{label=unquoted} 1\n",
+		"metric{l=\"v\"} notanumber\n",
+		"0leading_digit 1\n",
+		"# TYPE m bogus\nm 1\n",
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"+Inf\"} 3\n",
+		"metric{l=\"unterminated} 1\n",
+	}
+	for _, text := range bad {
+		if err := CheckExposition(text); err == nil {
+			t.Errorf("checker accepted malformed input:\n%s", text)
+		}
+	}
+}

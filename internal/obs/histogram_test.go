@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets pins bucket assignment: an observation exactly on a
+// bound lands in that bound's le bucket (cumulative semantics).
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 0.5, 0.9, 1, 7} {
+		h.Observe(v)
+	}
+	counts, total := h.readCounts()
+	if total != 7 {
+		t.Fatalf("total = %d, want 7", total)
+	}
+	want := []uint64{2, 2, 2, 1} // le=0.1: {0.05, 0.1}; le=0.5: {0.3, 0.5}; le=1: {0.9, 1}; +Inf: {7}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("Count() = %d, want 7", got)
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.3+0.5+0.9+1+7; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum() = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramQuantileVsOracle checks the bucket-interpolated quantiles
+// against a sort-based oracle: the estimate must land within the width of
+// the bucket containing the oracle's answer — the best any fixed-bucket
+// histogram can promise.
+func TestHistogramQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	h := newHistogram(LatencyBuckets)
+	samples := make([]float64, n)
+	for i := range samples {
+		// Log-uniform over [100µs, 5s): spans most buckets like real
+		// latencies do.
+		v := math.Exp(rng.Float64()*math.Log(5e4)) * 1e-4
+		samples[i] = v
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		oracle := samples[int(q*float64(n))-1]
+		got := h.Quantile(q)
+		lo, hi := bucketAround(LatencyBuckets, oracle)
+		if got < lo || got > hi {
+			t.Errorf("q=%v: estimate %v outside oracle bucket [%v, %v] (oracle %v)", q, got, lo, hi, oracle)
+		}
+	}
+}
+
+// bucketAround returns the [lower, upper] bounds of the bucket containing v.
+func bucketAround(bounds []float64, v float64) (float64, float64) {
+	i := sort.SearchFloat64s(bounds, v)
+	lo := 0.0
+	if i > 0 {
+		lo = bounds[i-1]
+	}
+	if i == len(bounds) {
+		return lo, math.Inf(1)
+	}
+	return lo, bounds[i]
+}
+
+// TestHistogramQuantileEdgeCases pins behavior on empty histograms and
+// +Inf-bucket observations.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want highest finite bound 2", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 1 || s.Last != 100 {
+		t.Errorf("snapshot = %+v, want Count 1 Last 100", s)
+	}
+}
+
+// TestConcurrentWriters hammers one registry from many goroutines; run
+// under -race this is the data-race test, and the totals check that no
+// increment is lost.
+func TestConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "t")
+	cv := reg.CounterVec("test_labeled_total", "t", "worker")
+	g := reg.Gauge("test_gauge", "t")
+	h := reg.Histogram("test_seconds", "t", LatencyBuckets)
+	hv := reg.HistogramVec("test_labeled_seconds", "t", LatencyBuckets, "worker")
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				cv.With(name).Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) * 1e-3)
+				hv.With(name).Observe(float64(i%100) * 1e-3)
+			}
+		}(w)
+	}
+	// Concurrent rendering must be safe too.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb stringWriter
+			_ = reg.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		name := string(rune('a' + w))
+		if got := cv.With(name).Value(); got != iters {
+			t.Errorf("counter{worker=%s} = %d, want %d", name, got, iters)
+		}
+	}
+}
+
+type stringWriter struct{ b []byte }
+
+func (w *stringWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// TestSetEnabled checks the collection kill switch used by the benchrunner
+// overhead experiment: writes while disabled vanish, reads still work.
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	reg := NewRegistry()
+	c := reg.Counter("kill_total", "t")
+	h := reg.Histogram("kill_seconds", "t", []float64{1})
+	c.Inc()
+	h.Observe(0.5)
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(0.5)
+	SetEnabled(true)
+	if got := c.Value(); got != 1 {
+		t.Errorf("counter = %d, want 1 (disabled write leaked)", got)
+	}
+	if got := h.Count(); got != 1 {
+		t.Errorf("histogram count = %d, want 1 (disabled write leaked)", got)
+	}
+}
+
+// TestRegistryConflicts pins the fail-loudly contract for re-registration.
+func TestRegistryConflicts(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("same_total", "t")
+	if reg.Counter("same_total", "t") == nil {
+		t.Fatal("re-registration with matching shape must return the family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration must panic")
+		}
+	}()
+	reg.Gauge("same_total", "t")
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Instrument wraps next with the edge telemetry both daemons share: a
+// request id (accepted from RequestIDHeader or minted here) placed in the
+// request context and echoed in the response header, per-route/per-status
+// request counters, a per-route latency histogram, an in-flight gauge, and
+// one structured log line per request. It sits outside auth and rate
+// limiting so 401s and 429s are counted too. logger may be nil to disable
+// request logs (unit tests).
+func Instrument(reg *Registry, daemon string, logger *slog.Logger, next http.Handler) http.Handler {
+	requests := reg.CounterVec("darwin_http_requests_total",
+		"HTTP requests served, by daemon, route pattern, method and status code.",
+		"daemon", "route", "method", "status")
+	durations := reg.HistogramVec("darwin_http_request_duration_seconds",
+		"HTTP request latency in seconds, by daemon and route pattern.",
+		LatencyBuckets, "daemon", "route")
+	inFlight := reg.GaugeVec("darwin_http_in_flight_requests",
+		"HTTP requests currently being served, by daemon.",
+		"daemon").With(daemon)
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := SanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		// WithContext clones the request; ServeMux sets Pattern on the clone
+		// it routes, so the route must be read from rr after next returns,
+		// not from r.
+		rr := r.WithContext(WithRequestID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		inFlight.Inc()
+		next.ServeHTTP(sw, rr)
+		inFlight.Dec()
+
+		route := rr.Pattern
+		if route == "" {
+			route = "unrouted"
+		}
+		elapsed := time.Since(start)
+		requests.With(daemon, route, r.Method, strconv.Itoa(sw.status)).Inc()
+		durations.With(daemon, route).Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.LogAttrs(rr.Context(), slog.LevelInfo, "http_request",
+				slog.String("daemon", daemon),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("duration_us", elapsed.Microseconds()),
+				slog.String("request_id", id),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// statusWriter records the status code written by the handler (200 when the
+// handler never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush passes through to the wrapped writer so streaming handlers (export)
+// keep working.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

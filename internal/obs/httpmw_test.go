@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestInstrumentRequestID checks the edge contract: a valid incoming
+// X-Request-Id is kept (context + response header), an invalid or missing
+// one is replaced with a fresh id.
+func TestInstrumentRequestID(t *testing.T) {
+	reg := NewRegistry()
+	var seen string
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	})
+	h := Instrument(reg, "testd", nil, mux)
+
+	req := httptest.NewRequest("GET", "/ping", nil)
+	req.Header.Set(RequestIDHeader, "client-id-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "client-id-1" {
+		t.Errorf("context id = %q, want client-id-1", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "client-id-1" {
+		t.Errorf("echoed id = %q, want client-id-1", got)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ping", nil))
+	generated := rec.Header().Get(RequestIDHeader)
+	if generated == "" || generated == "client-id-1" {
+		t.Errorf("missing header must mint a fresh id, got %q", generated)
+	}
+	if seen != generated {
+		t.Errorf("context id %q != response header %q", seen, generated)
+	}
+
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/ping", nil)
+	req.Header.Set(RequestIDHeader, "bad id with spaces\x01")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got == "" || strings.Contains(got, " ") {
+		t.Errorf("invalid incoming id must be replaced, got %q", got)
+	}
+}
+
+// TestInstrumentMetrics checks the route pattern (read post-routing from
+// the mux-mutated clone), the status label (including handler 404s), and
+// the latency histogram.
+func TestInstrumentMetrics(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/labelers/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") == "missing" {
+			http.Error(w, "nope", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	h := Instrument(reg, "testd", nil, mux)
+
+	for _, path := range []string{"/v2/labelers/a", "/v2/labelers/b", "/v2/labelers/missing", "/unknown"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+
+	requests := reg.CounterVec("darwin_http_requests_total", "", "daemon", "route", "method", "status")
+	if got := requests.With("testd", "GET /v2/labelers/{id}", "GET", "200").Value(); got != 2 {
+		t.Errorf("200s on route = %d, want 2", got)
+	}
+	if got := requests.With("testd", "GET /v2/labelers/{id}", "GET", "404").Value(); got != 1 {
+		t.Errorf("404s on route = %d, want 1", got)
+	}
+	if got := requests.With("testd", "unrouted", "GET", "404").Value(); got != 1 {
+		t.Errorf("unrouted 404s = %d, want 1", got)
+	}
+	durations := reg.HistogramVec("darwin_http_request_duration_seconds", "", LatencyBuckets, "daemon", "route")
+	if got := durations.With("testd", "GET /v2/labelers/{id}").Count(); got != 3 {
+		t.Errorf("histogram count = %d, want 3", got)
+	}
+	if got := reg.GaugeVec("darwin_http_in_flight_requests", "", "daemon").With("testd").Value(); got != 0 {
+		t.Errorf("in-flight after quiesce = %v, want 0", got)
+	}
+}
+
+// TestInstrumentLogs checks the structured request log carries the request
+// id, route and status.
+func TestInstrumentLogs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {})
+	h := Instrument(NewRegistry(), "testd", logger, mux)
+
+	req := httptest.NewRequest("GET", "/ping", nil)
+	req.Header.Set(RequestIDHeader, "trace-me-7")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	line := buf.String()
+	for _, want := range []string{`"request_id":"trace-me-7"`, `"route":"GET /ping"`, `"status":200`, `"daemon":"testd"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %s:\n%s", want, line)
+		}
+	}
+}

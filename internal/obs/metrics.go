@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. All methods are lock-free.
+type Counter struct {
+	n atomic.Uint64
+}
+
+func (*Counter) isMetric() {}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (callers pass non-negative deltas; counters only go up).
+func (c *Counter) Add(n uint64) {
+	if !Enabled() {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down (float64, stored as bits so Set
+// and Add stay lock-free).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+func (*Gauge) isMetric() {}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if !Enabled() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (negative to decrement) via a CAS loop.
+func (g *Gauge) Add(d float64) {
+	if !Enabled() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram of float64 observations (typically
+// seconds). Observe is lock-free: one binary search plus four atomic adds.
+// Snapshots and quantiles are computed from the bucket counts, matching
+// Prometheus histogram_quantile semantics (linear interpolation within the
+// bucket containing the target rank).
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit at the end
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    Gauge // reuses the CAS-loop float accumulator
+	last   atomic.Uint64
+}
+
+func (*Histogram) isMetric() {}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if !Enabled() {
+		return
+	}
+	// SearchFloat64s returns the first i with bounds[i] >= v, which is
+	// exactly the le-bucket the observation belongs to; v above every bound
+	// lands at len(bounds), the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.last.Store(math.Float64bits(v))
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Snapshot is a point-in-time summary of a histogram.
+type Snapshot struct {
+	Count uint64
+	Sum   float64
+	Last  float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Snapshot summarizes the histogram. Under concurrent writers the numbers
+// are approximate (buckets are read one atomic at a time), which is fine
+// for monitoring.
+func (h *Histogram) Snapshot() Snapshot {
+	counts, total := h.readCounts()
+	return Snapshot{
+		Count: total,
+		Sum:   h.sum.Value(),
+		Last:  math.Float64frombits(h.last.Load()),
+		P50:   quantile(h.bounds, counts, total, 0.50),
+		P95:   quantile(h.bounds, counts, total, 0.95),
+		P99:   quantile(h.bounds, counts, total, 0.99),
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, total := h.readCounts()
+	return quantile(h.bounds, counts, total, q)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Last returns the most recent observation (zero before the first).
+func (h *Histogram) Last() float64 { return math.Float64frombits(h.last.Load()) }
+
+func (h *Histogram) readCounts() ([]uint64, uint64) {
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// quantile walks the cumulative bucket counts to the target rank and
+// interpolates linearly inside the bucket that contains it. Observations in
+// the +Inf bucket are attributed to the highest finite bound (the standard
+// histogram_quantile fallback).
+func quantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i == len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		return lower + (upper-lower)*(target-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// LatencyBuckets are the default upper bounds (seconds) for request and
+// step latency histograms: 100µs to 10s, roughly 2.5x apart, bracketing
+// everything from a bitset probe to a cold hierarchy regeneration.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}

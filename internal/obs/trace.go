@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// RequestIDHeader carries the request id between processes. The router
+// forwards an incoming id unchanged to the owning shard, so one id names
+// the whole fan-in path and grepping both daemons' logs for it yields the
+// full trace.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds accepted client-supplied ids; anything longer (or
+// empty) is replaced by a fresh id at the edge.
+const maxRequestIDLen = 128
+
+// ctxKey is the private context key type for request ids.
+type ctxKey struct{}
+
+// NewRequestID returns a fresh 16-byte random id in hex.
+func NewRequestID() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero id beats a
+		// panic in a logging path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// WithRequestID returns a context carrying the id. The SDK client forwards
+// it on outgoing requests via RequestIDHeader.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestIDFrom returns the request id carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// SanitizeRequestID validates a client-supplied id: printable ASCII, no
+// spaces, at most maxRequestIDLen bytes. Invalid or empty ids return "".
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' {
+			return ""
+		}
+	}
+	return id
+}

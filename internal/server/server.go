@@ -52,12 +52,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/workspace"
 	"repro/pkg/darwin"
 )
@@ -104,6 +106,14 @@ type Config struct {
 	RatePerSec float64
 	// RateBurst is the per-IP burst size.
 	RateBurst int
+
+	// Daemon labels this process's series in /metrics and request logs
+	// (default "darwind"; the router runs its own edge with
+	// "darwin-router").
+	Daemon string
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, route, status, duration, request id).
+	AccessLog *slog.Logger
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -169,6 +179,7 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 		s.rebuildLabelers()
 	}
 	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", obs.Default().Handler().ServeHTTP)
 	s.handle("POST /v1/sessions", s.handleCreate)
 	s.handle("GET /v1/sessions/{id}/suggest", s.handleSuggest)
 	s.handle("POST /v1/sessions/{id}/answer", s.handleAnswer)
@@ -185,7 +196,22 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 	s.handle("DELETE /v1/workspaces/{id}", s.handleWSDelete)
 	s.registerV2()
 	sort.Strings(s.routes)
-	s.handler = s.middleware(s.mux)
+	if cfg.Daemon == "" {
+		cfg.Daemon = "darwind"
+		s.cfg.Daemon = "darwind"
+	}
+	// Live-object gauges are callbacks so /metrics and /healthz read the
+	// same stores at scrape time. Last registration wins, so repeated server
+	// construction in tests tracks the newest instance.
+	obs.Default().GaugeFunc("darwin_sessions_live",
+		"Live solo sessions in the store.",
+		func() float64 { return float64(s.store.Len()) })
+	obs.Default().GaugeFunc("darwin_workspaces_live",
+		"Live workspaces in the manager.",
+		func() float64 { return float64(s.mgr.Len()) })
+	// Instrumentation wraps the auth/rate-limit middleware so 401s and 429s
+	// are counted and logged too.
+	s.handler = obs.Instrument(obs.Default(), cfg.Daemon, cfg.AccessLog, s.middleware(s.mux))
 	return s, nil
 }
 

@@ -8,8 +8,16 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/darwin"
 )
+
+// stepHist is the process-wide suggest-step latency histogram. healthz
+// derives its steps/last/avg fields from the same histogram /metrics
+// serves, so the two surfaces can never disagree.
+var stepHist = obs.Default().Histogram("darwin_suggest_step_duration_seconds",
+	"Wall-clock latency of the suggest step as seen by the serving handler.",
+	obs.LatencyBuckets)
 
 // sessionEntry is one live solo labeler in the store. Serialization of
 // concurrent handlers on the same session lives in the SDK adapter
@@ -36,10 +44,6 @@ type Store struct {
 	ttl   time.Duration
 	max   int
 	now   func() time.Time
-
-	stepCount int64
-	stepNanos int64
-	lastStep  time.Duration
 }
 
 // Default store limits.
@@ -163,25 +167,21 @@ func (st *Store) IDs() []string {
 	return out
 }
 
-// RecordStep folds one suggest-step duration into the server-wide latency
-// aggregate surfaced by healthz.
+// RecordStep folds one suggest-step duration into the process-wide latency
+// histogram surfaced by both healthz and /metrics.
 func (st *Store) RecordStep(d time.Duration) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.stepCount++
-	st.stepNanos += int64(d)
-	st.lastStep = d
+	stepHist.Observe(d.Seconds())
 }
 
 // StepStats returns the number of suggest steps served and their last/average
-// latency (zero before the first step).
+// latency (zero before the first step). The numbers come from the same
+// histogram /metrics renders.
 func (st *Store) StepStats() (count int64, last, avg time.Duration) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.stepCount > 0 {
-		avg = time.Duration(st.stepNanos / st.stepCount)
+	n := stepHist.Count()
+	if n > 0 {
+		avg = time.Duration(stepHist.Sum() / float64(n) * float64(time.Second))
 	}
-	return st.stepCount, st.lastStep, avg
+	return int64(n), time.Duration(stepHist.Last() * float64(time.Second)), avg
 }
 
 // Sweep evicts all sessions idle longer than the TTL and returns how many

@@ -278,15 +278,31 @@ func handleV2Answers(b Backend) http.HandlerFunc {
 			writeV2Error(w, fmt.Errorf("%w: at least one answer is required", darwin.ErrInvalid))
 			return
 		}
-		recs, batchErr := darwin.AnswerBatch(r.Context(), lab, req.Answers)
+		var (
+			recs     []darwin.RuleRecord
+			st       darwin.Status
+			batchErr error
+		)
+		if bs, ok := lab.(darwin.BatchStatusAnswerer); ok {
+			// One call returns the post-batch status alongside the records,
+			// so the router needs no second Status round trip — and a shard
+			// dying between the two calls can no longer 503 a batch that was
+			// already durably applied.
+			recs, st, batchErr = bs.AnswerBatchStatus(r.Context(), req.Answers)
+		} else {
+			recs, batchErr = darwin.AnswerBatch(r.Context(), lab, req.Answers)
+			if batchErr == nil || len(recs) > 0 {
+				var stErr error
+				st, stErr = labelerStatus(r, lab)
+				if stErr != nil {
+					writeV2Error(w, stErr)
+					return
+				}
+			}
+		}
 		if batchErr != nil && len(recs) == 0 {
 			// Nothing applied: a plain error response.
 			writeV2Error(w, batchErr)
-			return
-		}
-		st, err := labelerStatus(r, lab)
-		if err != nil {
-			writeV2Error(w, err)
 			return
 		}
 		resp := struct {

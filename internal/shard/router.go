@@ -42,8 +42,36 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/pkg/darwin"
+)
+
+// Router telemetry: per-shard request/retry/failure counters, probe state,
+// and fan-out latency — the series that attribute a p95 tail to "router
+// retried shard X" versus "shard X was slow".
+var (
+	shardRequests = obs.Default().CounterVec("darwin_shard_requests_total",
+		"Requests attempted against a backend shard, by shard and verb (every retry is an attempt).",
+		"shard", "verb")
+	shardRetries = obs.Default().CounterVec("darwin_shard_retries_total",
+		"Retries of idempotent shard requests after a retryable error.",
+		"shard", "verb")
+	shardFailures = obs.Default().CounterVec("darwin_shard_failures_total",
+		"Shard requests that failed after the retry policy was exhausted.",
+		"shard", "verb")
+	shardUpGauge = obs.Default().GaugeVec("darwin_shard_up",
+		"1 while the shard's last probe or fan-out succeeded, 0 while it is marked down.",
+		"shard")
+	shardProbes = obs.Default().CounterVec("darwin_shard_probes_total",
+		"Health probes, by shard and result.",
+		"shard", "result")
+	shardConsecFailures = obs.Default().GaugeVec("darwin_shard_consecutive_probe_failures",
+		"Consecutive failed health probes per shard (0 while healthy).",
+		"shard")
+	fanoutDurations = obs.Default().HistogramVec("darwin_router_fanout_duration_seconds",
+		"Latency of full fan-out merges across the fleet, by endpoint.",
+		obs.LatencyBuckets, "endpoint")
 )
 
 // Sep separates the shard name from the backend id in router-namespaced
@@ -101,16 +129,32 @@ type shard struct {
 	// lastErr holds the most recent probe/fan-out failure as a string
 	// ("" when healthy).
 	lastErr atomic.Value
+	// lastProbe is the wall-clock of the last completed probe (UnixNano;
+	// 0 before the first), and consecFails counts probe failures since the
+	// last success. Both feed the router's /healthz and /metrics.
+	lastProbe   atomic.Int64
+	consecFails atomic.Int64
 }
 
 func (sh *shard) setHealth(err error) {
 	if err == nil {
 		sh.up.Store(true)
 		sh.lastErr.Store("")
+		shardUpGauge.With(sh.name).Set(1)
 		return
 	}
 	sh.up.Store(false)
 	sh.lastErr.Store(err.Error())
+	shardUpGauge.With(sh.name).Set(0)
+}
+
+// observeOnce counts a single-attempt (non-idempotent) shard request; the
+// retrying verbs count inside retryWhile instead.
+func observeOnce(sh *shard, verb string, err error) {
+	shardRequests.With(sh.name, verb).Inc()
+	if err != nil {
+		shardFailures.With(sh.name, verb).Inc()
+	}
 }
 
 // Router routes one logical /v2 labeler namespace across a set of darwind
@@ -194,24 +238,33 @@ func (sh *shard) namespaceStatus(st darwin.Status) darwin.Status {
 
 // retry runs op, retrying bounded with exponential backoff while the error
 // is retryable per the shared taxonomy. Only idempotent operations go
-// through here.
-func (r *Router) retry(ctx context.Context, op func() error) error {
-	return r.retryWhile(ctx, op, func() bool { return true })
+// through here. sh and verb label the per-shard request/retry/failure
+// counters.
+func (r *Router) retry(ctx context.Context, sh *shard, verb string, op func() error) error {
+	return r.retryWhile(ctx, sh, verb, op, func() bool { return true })
 }
 
 // retryWhile is retry with an extra gate: a retry happens only while
 // again() also holds (Export uses it to stop once bytes have streamed).
-func (r *Router) retryWhile(ctx context.Context, op func() error, again func() bool) error {
+func (r *Router) retryWhile(ctx context.Context, sh *shard, verb string, op func() error, again func() bool) error {
 	backoff := r.cfg.RetryBackoff
+	requests := shardRequests.With(sh.name, verb)
 	for attempt := 0; ; attempt++ {
+		requests.Inc()
 		err := op()
-		if err == nil || !darwin.Retryable(err) || attempt >= r.cfg.Retries || !again() {
+		if err == nil {
+			return nil
+		}
+		if !darwin.Retryable(err) || attempt >= r.cfg.Retries || !again() {
+			shardFailures.With(sh.name, verb).Inc()
 			return err
 		}
+		shardRetries.With(sh.name, verb).Inc()
 		t := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
 			t.Stop()
+			shardFailures.With(sh.name, verb).Inc()
 			return err
 		case <-t.C:
 		}
@@ -242,6 +295,7 @@ func (r *Router) CreateLabeler(ctx context.Context, opts darwin.CreateOptions) (
 		sh = r.shards[r.ring.lookup(opts.Dataset)]
 	}
 	st, err := sh.client.CreateLabeler(ctx, opts)
+	observeOnce(sh, "create", err)
 	if err != nil {
 		return darwin.Status{}, err
 	}
@@ -286,6 +340,8 @@ func (r *Router) ListLabelers(ctx context.Context, cursor string, limit int) (da
 			backendCursor = bc
 		}
 	}
+	fanoutStart := time.Now()
+	defer fanoutDurations.With("list_labelers").ObserveSince(fanoutStart)
 	out := darwin.LabelerPage{Labelers: []darwin.Status{}}
 	for idx := startIdx; idx < len(r.shards); idx++ {
 		sh := r.shards[idx]
@@ -298,7 +354,7 @@ func (r *Router) ListLabelers(ctx context.Context, cursor string, limit int) (da
 		}
 		for {
 			var sub darwin.LabelerPage
-			err := r.retry(ctx, func() error {
+			err := r.retry(ctx, sh, "list_labelers", func() error {
 				var e error
 				sub, e = sh.client.ListLabelers(ctx, bc, limit-len(out.Labelers))
 				return e
@@ -347,6 +403,8 @@ func (r *Router) ListLabelers(ctx context.Context, cursor string, limit int) (da
 // serve tens of datasets (one request per shard per page); cache it here if
 // dataset counts ever grow past that.
 func (r *Router) ListDatasets(ctx context.Context, cursor string, limit int) (darwin.DatasetPage, error) {
+	fanoutStart := time.Now()
+	defer fanoutDurations.With("list_datasets").ObserveSince(fanoutStart)
 	seen := make(map[string]bool)
 	for _, sh := range r.shards {
 		if !sh.up.Load() {
@@ -355,7 +413,7 @@ func (r *Router) ListDatasets(ctx context.Context, cursor string, limit int) (da
 		bc := ""
 		for {
 			var sub darwin.DatasetPage
-			err := r.retry(ctx, func() error {
+			err := r.retry(ctx, sh, "list_datasets", func() error {
 				var e error
 				sub, e = sh.client.ListDatasets(ctx, bc, 0)
 				return e
@@ -393,7 +451,9 @@ func (r *Router) DeleteLabeler(ctx context.Context, id string) error {
 	if err != nil {
 		return err
 	}
-	return sh.client.OpenLabeler(backendID).Close(ctx)
+	err = sh.client.OpenLabeler(backendID).Close(ctx)
+	observeOnce(sh, "delete", err)
+	return err
 }
 
 // --- health ---
@@ -404,15 +464,28 @@ type ShardHealth struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
 	Error   string `json:"error,omitempty"`
+	// LastProbe is when the shard's /healthz was last probed (absent before
+	// the first probe); ConsecutiveFailures counts failed probes since the
+	// last success.
+	LastProbe           time.Time `json:"last_probe,omitzero"`
+	ConsecutiveFailures int       `json:"consecutive_failures"`
 }
 
 // Health reports every shard's last probed state, in name order.
 func (r *Router) Health() []ShardHealth {
 	out := make([]ShardHealth, 0, len(r.shards))
 	for _, sh := range r.shards {
-		h := ShardHealth{Name: sh.name, URL: sh.url, Healthy: sh.up.Load()}
+		h := ShardHealth{
+			Name:                sh.name,
+			URL:                 sh.url,
+			Healthy:             sh.up.Load(),
+			ConsecutiveFailures: int(sh.consecFails.Load()),
+		}
 		if e, _ := sh.lastErr.Load().(string); e != "" {
 			h.Error = e
+		}
+		if ns := sh.lastProbe.Load(); ns != 0 {
+			h.LastProbe = time.Unix(0, ns).UTC()
 		}
 		out = append(out, h)
 	}
@@ -439,26 +512,38 @@ func (r *Router) ProbeNow(ctx context.Context) int {
 }
 
 func (r *Router) probe(ctx context.Context, sh *shard) bool {
+	err := r.probeOnce(ctx, sh)
+	sh.setHealth(err)
+	sh.lastProbe.Store(time.Now().UnixNano())
+	if err != nil {
+		shardProbes.With(sh.name, "fail").Inc()
+		shardConsecFailures.With(sh.name).Set(float64(sh.consecFails.Add(1)))
+		return false
+	}
+	sh.consecFails.Store(0)
+	shardProbes.With(sh.name, "ok").Inc()
+	shardConsecFailures.With(sh.name).Set(0)
+	return true
+}
+
+// probeOnce performs one GET /healthz against the shard.
+func (r *Router) probeOnce(ctx context.Context, sh *shard) error {
 	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
 	if err != nil {
-		sh.setHealth(err)
-		return false
+		return err
 	}
 	resp, err := r.cfg.HTTPClient.Do(req)
 	if err != nil {
-		sh.setHealth(fmt.Errorf("healthz: %v", err))
-		return false
+		return fmt.Errorf("healthz: %v", err)
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		sh.setHealth(fmt.Errorf("healthz: HTTP %d", resp.StatusCode))
-		return false
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
 	}
-	sh.setHealth(nil)
-	return true
+	return nil
 }
 
 // Prober probes every shard each interval until stop is closed. Run it in a
@@ -494,7 +579,7 @@ type routedLabeler struct {
 // suggestion is pending, so it retries.
 func (l *routedLabeler) Suggest(ctx context.Context) (darwin.Suggestion, error) {
 	var sug darwin.Suggestion
-	err := l.r.retry(ctx, func() error {
+	err := l.r.retry(ctx, l.sh, "suggest", func() error {
 		var e error
 		sug, e = l.rem.Suggest(ctx)
 		return e
@@ -505,18 +590,32 @@ func (l *routedLabeler) Suggest(ctx context.Context) (darwin.Suggestion, error) 
 // Answer implements darwin.Labeler. Answers are applied exactly once — a
 // blind retry could consume a fresh suggestion.
 func (l *routedLabeler) Answer(ctx context.Context, ans darwin.Answer) error {
-	return l.rem.Answer(ctx, ans)
+	err := l.rem.Answer(ctx, ans)
+	observeOnce(l.sh, "answer", err)
+	return err
 }
 
 // AnswerBatch implements darwin.BatchAnswerer (single attempt, like Answer).
 func (l *routedLabeler) AnswerBatch(ctx context.Context, answers []darwin.Answer) ([]darwin.RuleRecord, error) {
-	return l.rem.AnswerBatch(ctx, answers)
+	recs, err := l.rem.AnswerBatch(ctx, answers)
+	observeOnce(l.sh, "answers", err)
+	return recs, err
+}
+
+// AnswerBatchStatus implements darwin.BatchStatusAnswerer (single attempt):
+// the one POST carries the post-batch counters back, so the /v2 answers
+// handler mounted over the router makes exactly one shard request per batch
+// — there is no second status call for a dying shard to fail.
+func (l *routedLabeler) AnswerBatchStatus(ctx context.Context, answers []darwin.Answer) ([]darwin.RuleRecord, darwin.Status, error) {
+	recs, st, err := l.rem.AnswerBatchStatus(ctx, answers)
+	observeOnce(l.sh, "answers", err)
+	return recs, l.sh.namespaceStatus(st), err
 }
 
 // Report implements darwin.Labeler (read-only; retries).
 func (l *routedLabeler) Report(ctx context.Context) (darwin.Report, error) {
 	var rep darwin.Report
-	err := l.r.retry(ctx, func() error {
+	err := l.r.retry(ctx, l.sh, "report", func() error {
 		var e error
 		rep, e = l.rem.Report(ctx)
 		return e
@@ -528,21 +627,23 @@ func (l *routedLabeler) Report(ctx context.Context) (darwin.Report, error) {
 // safe only while nothing has been written to w yet.
 func (l *routedLabeler) Export(ctx context.Context, w io.Writer) error {
 	cw := &countingWriter{w: w}
-	return l.r.retryWhile(ctx,
+	return l.r.retryWhile(ctx, l.sh, "export",
 		func() error { return l.rem.Export(ctx, cw) },
 		func() bool { return cw.n == 0 })
 }
 
 // Close implements darwin.Labeler (single attempt; see DeleteLabeler).
 func (l *routedLabeler) Close(ctx context.Context) error {
-	return l.rem.Close(ctx)
+	err := l.rem.Close(ctx)
+	observeOnce(l.sh, "close", err)
+	return err
 }
 
 // Status implements darwin.Statuser (read-only; retries). The returned
 // status carries router-namespaced labeler and workspace ids.
 func (l *routedLabeler) Status(ctx context.Context) (darwin.Status, error) {
 	var st darwin.Status
-	err := l.r.retry(ctx, func() error {
+	err := l.r.retry(ctx, l.sh, "status", func() error {
 		var e error
 		st, e = l.rem.Status(ctx)
 		return e

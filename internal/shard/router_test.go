@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -431,5 +432,99 @@ func TestRouterFailoverAndRecovery(t *testing.T) {
 	}
 	if _, err := onB.Suggest(ctx); err != nil {
 		t.Fatalf("suggest after shard recovery: %v", err)
+	}
+}
+
+// TestBatchAnswersNeedNoStatusRoundTrip pins the single-request contract of
+// the /v2 batch-answers path through the router: the post-batch counters ride
+// in the answers response itself, so a shard that dies (or starts failing)
+// right after applying the batch cannot turn a durably-applied batch into a
+// 503. The fake shard answers the batch POST once and 503s everything else —
+// if the router issued a second status round trip, the call would fail and
+// the status GET counter would be nonzero.
+func TestBatchAnswersNeedNoStatusRoundTrip(t *testing.T) {
+	var statusGets, answerPosts atomic.Int32
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v2/labelers/x1/answers":
+			answerPosts.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"applied":1,"records":[{"question":3,"key":"k1","rule":"word(go)","coverage":4,"accepted":true,"positives_after":5}],"questions":3,"budget_left":7,"positives":5,"done":false}`)
+		case r.Method == http.MethodGet && r.URL.Path == "/v2/labelers/x1":
+			statusGets.Add(1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			// The shard is dead to every other request.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer fake.Close()
+
+	_, ts := newRouterServer(t, []shard.Spec{{Name: "alpha", URL: fake.URL}}, shard.Config{})
+	client := darwin.NewClient(ts.URL, "")
+	lab := client.OpenLabeler("alpha" + shard.Sep + "x1")
+
+	recs, st, err := lab.AnswerBatchStatus(context.Background(), []darwin.Answer{{Key: "k1", Accept: true}})
+	if err != nil {
+		t.Fatalf("batch through router with dead status path: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Question != 3 || !recs[0].Accepted {
+		t.Fatalf("records = %+v, want the applied record", recs)
+	}
+	if st.ID != "alpha"+shard.Sep+"x1" || st.Questions != 3 || st.Budget != 10 || st.Positives != 5 || st.Done {
+		t.Fatalf("post-batch status = %+v, want the counters carried in the answers response", st)
+	}
+	if got := answerPosts.Load(); got != 1 {
+		t.Fatalf("answers POST hit the shard %d times, want exactly 1", got)
+	}
+	if got := statusGets.Load(); got != 0 {
+		t.Fatalf("router issued %d status GETs after the batch; the counters must ride the answers response", got)
+	}
+}
+
+// TestHealthProbeBookkeeping pins the per-shard probe state surfaced by
+// Health() (and thus the router's /healthz JSON): last probe time and the
+// consecutive-failure streak.
+func TestHealthProbeBookkeeping(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rt, err := shard.New([]shard.Spec{{Name: "alpha", URL: up.URL}}, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	healthOf := func() shard.ShardHealth {
+		hs := rt.Health()
+		if len(hs) != 1 {
+			t.Fatalf("Health() returned %d shards, want 1", len(hs))
+		}
+		return hs[0]
+	}
+	if h := healthOf(); !h.LastProbe.IsZero() {
+		t.Fatalf("LastProbe %v before any probe, want zero", h.LastProbe)
+	}
+
+	before := time.Now().Add(-time.Second)
+	rt.ProbeNow(ctx)
+	h := healthOf()
+	if !h.Healthy || h.ConsecutiveFailures != 0 {
+		t.Fatalf("after healthy probe: %+v", h)
+	}
+	if h.LastProbe.Before(before) || h.LastProbe.After(time.Now().Add(time.Second)) {
+		t.Fatalf("LastProbe %v is not a recent timestamp", h.LastProbe)
+	}
+
+	up.Close()
+	for want := 1; want <= 2; want++ {
+		rt.ProbeNow(ctx)
+		h = healthOf()
+		if h.Healthy || h.ConsecutiveFailures != want || h.Error == "" {
+			t.Fatalf("after %d failed probes: %+v", want, h)
+		}
+	}
+	if h.LastProbe.IsZero() {
+		t.Fatal("LastProbe lost after a failed probe")
 	}
 }

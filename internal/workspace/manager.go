@@ -12,6 +12,18 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// Recovery telemetry: Recover runs once per process start, so plain gauges
+// capture what the last (only) recovery did.
+var (
+	recoveryDuration = obs.Default().Gauge("darwin_workspace_recovery_duration_seconds",
+		"Wall-clock duration of the last journal replay at startup.")
+	recoveryEvents = obs.Default().Gauge("darwin_workspace_recovery_events",
+		"Journal events replayed by the last recovery.")
+	recoverySkipped = obs.Default().Gauge("darwin_workspace_recovery_skipped_workspaces",
+		"Workspaces the last recovery could not reconstruct and skipped.")
 )
 
 // Default manager limits.
@@ -469,7 +481,13 @@ type RecoveryStats struct {
 func (m *Manager) Recover(events []journal.Event) RecoveryStats {
 	m.recovering.Store(true)
 	defer m.recovering.Store(false)
+	start := time.Now()
 	stats := RecoveryStats{Skipped: make(map[string]string)}
+	defer func() {
+		recoveryDuration.Set(time.Since(start).Seconds())
+		recoveryEvents.Set(float64(stats.Events))
+		recoverySkipped.Set(float64(len(stats.Skipped)))
+	}()
 	broken := stats.Skipped
 	fail := func(id, format string, args ...any) {
 		broken[id] = fmt.Sprintf(format, args...)

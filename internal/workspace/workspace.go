@@ -33,14 +33,31 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/traversal"
+)
+
+// Workspace telemetry: every applied (journaled) event is counted by type,
+// and the two interactive verbs get latency histograms measured around the
+// whole call — lock wait, shared-hierarchy work and journal append included,
+// since that is what an annotator actually waits on.
+var (
+	wsEventsTotal = obs.Default().CounterVec("darwin_workspace_events_total",
+		"State-changing workspace events applied (and journaled), by event type.", "type")
+	wsSuggestDurations = obs.Default().Histogram("darwin_workspace_suggest_duration_seconds",
+		"Latency of one shared-workspace suggest (includes hierarchy regeneration when the positive set changed).",
+		obs.LatencyBuckets)
+	wsAnswerDurations = obs.Default().Histogram("darwin_workspace_answer_duration_seconds",
+		"Latency of one shared-workspace answer (includes classifier retrain on accept).",
+		obs.LatencyBuckets)
 )
 
 // Sentinel errors, exposed so the HTTP layer can map them to status codes.
@@ -363,6 +380,7 @@ func (ws *Workspace) Detach(name string) error {
 // equals apply order) and advances the event sequence. Callers hold ws.mu.
 func (ws *Workspace) applied(typ string, data any) {
 	ws.eventSeq++
+	wsEventsTotal.With(typ).Inc()
 	if ws.log != nil {
 		if err := ws.log(typ, data); err != nil && ws.logErr == nil {
 			ws.logErr = err
@@ -400,6 +418,7 @@ func (ws *Workspace) outstandingLocked() int {
 // when |P| or the index changed, and one benefit-kernel pass over the
 // candidates — runs under the engine's read lock.
 func (ws *Workspace) Suggest(name string) (Suggestion, bool, error) {
+	defer wsSuggestDurations.ObserveSince(time.Now())
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	an, ok := ws.annotators[name]
@@ -504,6 +523,7 @@ func (ws *Workspace) pickLocked() (string, float64, int) {
 // retrains the shared classifier; either way the rule stays queried for the
 // whole workspace.
 func (ws *Workspace) Answer(name, key string, accept bool) (Record, error) {
+	defer wsAnswerDurations.ObserveSince(time.Now())
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	if err := ws.journalErrLocked(); err != nil {

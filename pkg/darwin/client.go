@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Client speaks the versioned /v2 HTTP surface of a darwind server. It is
@@ -176,6 +178,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body io.Rea
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		// Propagate the caller's request id so one id traces the whole
+		// router → shard path in both daemons' logs.
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -260,14 +267,30 @@ func (r *RemoteLabeler) Answer(ctx context.Context, ans Answer) error {
 // responds with the applied prefix plus an embedded error envelope, so the
 // returned records are exact even across the wire.
 func (r *RemoteLabeler) AnswerBatch(ctx context.Context, answers []Answer) ([]RuleRecord, error) {
+	recs, _, err := r.AnswerBatchStatus(ctx, answers)
+	return recs, err
+}
+
+// AnswerBatchStatus implements BatchStatusAnswerer. The /v2 batch-answers
+// response already carries the post-batch counters, so this is the same
+// single POST as AnswerBatch — no extra status round trip, and no window in
+// which the server can vanish between applying the batch and reporting it.
+func (r *RemoteLabeler) AnswerBatchStatus(ctx context.Context, answers []Answer) ([]RuleRecord, Status, error) {
 	var resp answersResponse
 	if err := r.c.do(ctx, http.MethodPost, r.path("/answers"), answersRequest{Answers: answers}, &resp); err != nil {
-		return nil, err
+		return nil, Status{}, err
+	}
+	st := Status{
+		ID:        r.id,
+		Questions: resp.Questions,
+		Budget:    resp.Questions + resp.BudgetLeft,
+		Positives: resp.Positives,
+		Done:      resp.Done,
 	}
 	if resp.Error != nil {
-		return resp.Records, resp.Error.Err()
+		return resp.Records, st, resp.Error.Err()
 	}
-	return resp.Records, nil
+	return resp.Records, st, nil
 }
 
 // Report implements Labeler.

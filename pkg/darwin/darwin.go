@@ -73,6 +73,19 @@ type Statuser interface {
 	Status(ctx context.Context) (Status, error)
 }
 
+// BatchStatusAnswerer is implemented by every Labeler in this package: it
+// applies a batch of verdicts and returns the post-batch status in the same
+// call. For local labelers that means one critical section; for remote ones
+// a single round trip. The serving layer prefers it over BatchAnswerer +
+// Statuser because the combined form removes the window in which the
+// labeler's process can die between a durably-applied batch and the status
+// poll that reports it. On error the records cover the applied prefix and
+// the status reflects the labeler after that prefix (zero when nothing can
+// be read).
+type BatchStatusAnswerer interface {
+	AnswerBatchStatus(ctx context.Context, answers []Answer) ([]RuleRecord, Status, error)
+}
+
 // AnswerBatch applies several verdicts through l, using the single-call
 // batch path when l implements BatchAnswerer (all labelers in this package
 // do) and falling back to one Answer per verdict otherwise (in which case

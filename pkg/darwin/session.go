@@ -126,6 +126,23 @@ func (l *SessionLabeler) Answer(ctx context.Context, ans Answer) error {
 func (l *SessionLabeler) AnswerBatch(ctx context.Context, answers []Answer) ([]RuleRecord, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.answerBatchLocked(answers)
+}
+
+// AnswerBatchStatus implements BatchStatusAnswerer: batch and status come
+// out of the same critical section, so the status is exactly the labeler
+// after this batch's applied prefix.
+func (l *SessionLabeler) AnswerBatchStatus(ctx context.Context, answers []Answer) ([]RuleRecord, Status, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs, err := l.answerBatchLocked(answers)
+	l.stMu.Lock()
+	st := l.st
+	l.stMu.Unlock()
+	return recs, st, err
+}
+
+func (l *SessionLabeler) answerBatchLocked(answers []Answer) ([]RuleRecord, error) {
 	if l.closed.Load() {
 		return nil, fmt.Errorf("%w: labeler is closed", ErrNotFound)
 	}

@@ -163,6 +163,23 @@ func (l *WorkspaceLabeler) AnswerBatch(ctx context.Context, answers []Answer) ([
 	return recs, nil
 }
 
+// AnswerBatchStatus implements BatchStatusAnswerer: the batch followed by a
+// status read of the shared workspace. Workspaces serialize per event (other
+// annotators may interleave), so the status is simply the workspace after
+// this caller's applied prefix plus any concurrent progress — the same
+// guarantee two separate calls gave, without the second round trip.
+func (l *WorkspaceLabeler) AnswerBatchStatus(ctx context.Context, answers []Answer) ([]RuleRecord, Status, error) {
+	recs, batchErr := l.AnswerBatch(ctx, answers)
+	if batchErr != nil && len(recs) == 0 {
+		return nil, Status{}, batchErr
+	}
+	st, stErr := l.Status(ctx)
+	if batchErr != nil {
+		return recs, st, batchErr
+	}
+	return recs, st, stErr
+}
+
 // Report implements Labeler: the report of the shared workspace.
 func (l *WorkspaceLabeler) Report(ctx context.Context) (Report, error) {
 	if err := l.live(); err != nil {
