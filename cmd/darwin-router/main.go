@@ -53,6 +53,9 @@ func main() {
 		probeEvery = flag.Duration("probe-every", 5*time.Second, "shard /healthz probe interval")
 		retries    = flag.Int("retries", 2, "bounded retries of retryable errors on idempotent shard calls (negative disables)")
 		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "first retry backoff (doubled per attempt)")
+		shardTO    = flag.Duration("shard-timeout", 0, "per-request deadline on JSON calls to shards; a hung shard fails fast with a retryable error (0 disables)")
+		failover   = flag.Int("failover-threshold", 0, "promote a dataset's replication follower after its primary fails this many consecutive probes (0 disables replication management)")
+		probeMax   = flag.Duration("probe-backoff-max", 30*time.Second, "cap on the exponential probe backoff for down shards")
 		accessLog  = flag.Bool("access-log", true, "emit one structured (JSON) log line per request, carrying the request id")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (unauthenticated; bind accordingly)")
 	)
@@ -63,8 +66,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	router, err := shard.New(specs, shard.Config{
-		Retries:      *retries,
-		RetryBackoff: *backoff,
+		Retries:           *retries,
+		RetryBackoff:      *backoff,
+		ShardTimeout:      *shardTO,
+		FailoverThreshold: *failover,
+		ProbeBackoffMax:   *probeMax,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -83,9 +89,10 @@ func main() {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
-			Status string              `json:"status"`
-			Shards []shard.ShardHealth `json:"shards"`
-		}{Status: status, Shards: shardHealth})
+			Status     string                `json:"status"`
+			Shards     []shard.ShardHealth   `json:"shards"`
+			Placements []shard.PlacementInfo `json:"placements,omitempty"`
+		}{Status: status, Shards: shardHealth, Placements: router.Placements()})
 	})
 	mux.Handle("GET /metrics", obs.Default().Handler())
 	server.RegisterV2(router, func(pattern string, h http.HandlerFunc) { mux.HandleFunc(pattern, h) })

@@ -68,6 +68,9 @@ func main() {
 		wsTTL      = flag.Duration("workspace-ttl", workspace.DefaultTTL, "evict workspaces idle longer than this")
 		maxWS      = flag.Int("max-workspaces", workspace.DefaultMaxWorkspaces, "maximum number of live workspaces")
 		compactN   = flag.Int("compact-every", workspace.DefaultCompactEvery, "compact the journal after this many appends (negative disables)")
+		attachTTL  = flag.Duration("attachment-ttl", 0, "detach workspace annotators idle longer than this, journaled (0 disables; the workspace itself lives until -workspace-ttl)")
+		replSync   = flag.Bool("repl-sync", true, "when this shard streams its journal to a replication follower, gate answer acknowledgements on the follower's ack (degrades to async if the follower is down)")
+		replSyncTO = flag.Duration("repl-sync-timeout", 2*time.Second, "how long a synchronously replicated append waits for the follower before degrading to async")
 		token      = flag.String("token", "", "require 'Authorization: Bearer <token>' on /v1/* endpoints")
 		rateLimit  = flag.Float64("rate-limit", 0, "per-IP request rate limit in requests/second (0 disables)")
 		rateBurst  = flag.Int("rate-burst", 0, "per-IP burst size (default 2x -rate-limit)")
@@ -102,18 +105,21 @@ func main() {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	srv, err := server.New(server.Config{
-		SessionTTL:    *ttl,
-		MaxSessions:   *maxSess,
-		DefaultBudget: *budget,
-		JournalPath:   *journalP,
-		WorkspaceTTL:  *wsTTL,
-		MaxWorkspaces: *maxWS,
-		CompactEvery:  *compactN,
-		Token:         *token,
-		RatePerSec:    *rateLimit,
-		RateBurst:     *rateBurst,
-		Daemon:        "darwind",
-		AccessLog:     logger,
+		SessionTTL:             *ttl,
+		MaxSessions:            *maxSess,
+		DefaultBudget:          *budget,
+		JournalPath:            *journalP,
+		WorkspaceTTL:           *wsTTL,
+		MaxWorkspaces:          *maxWS,
+		CompactEvery:           *compactN,
+		AttachmentTTL:          *attachTTL,
+		ReplicationSync:        *replSync,
+		ReplicationSyncTimeout: *replSyncTO,
+		Token:                  *token,
+		RatePerSec:             *rateLimit,
+		RateBurst:              *rateBurst,
+		Daemon:                 "darwind",
+		AccessLog:              logger,
 	}, sets...)
 	if err != nil {
 		fatalf("%v", err)

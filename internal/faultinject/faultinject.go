@@ -1,0 +1,203 @@
+// Package faultinject is the chaos toolbox the replication and failover
+// tests are proven with: seeded, deterministic fault injectors for the three
+// failure classes the paper's serving tier has to survive — lossy/slow
+// networks (Transport), hard partitions (Proxy), and torn journal tails
+// (TearTail). Everything is driven by an explicit *rand.Rand seed so a
+// failing chaos run replays bit-identically from its seed.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Transport is a deterministic chaos http.RoundTripper: with probability
+// DropProb a request fails with a connection-reset-flavored error before it
+// reaches the wire, and surviving requests are delayed by a uniform random
+// duration up to MaxDelay. Wrap a client's transport with it to test retry
+// and timeout policies without a real bad network.
+type Transport struct {
+	// Base performs the real round trips (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// DropProb in [0,1] is the per-request probability of an injected
+	// transport error.
+	DropProb float64
+	// MaxDelay bounds the injected per-request latency (0 injects none).
+	MaxDelay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTransport wraps base with seeded drop/delay injection.
+func NewTransport(base http.RoundTripper, seed int64, dropProb float64, maxDelay time.Duration) *Transport {
+	return &Transport{Base: base, DropProb: dropProb, MaxDelay: maxDelay, rng: rand.New(rand.NewSource(seed))}
+}
+
+// draw samples the injected fate of one request under the lock: whether it
+// drops, and how long it is delayed.
+func (t *Transport) draw() (drop bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(1))
+	}
+	drop = t.DropProb > 0 && t.rng.Float64() < t.DropProb
+	if t.MaxDelay > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.MaxDelay)))
+	}
+	return drop, delay
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, delay := t.draw()
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if drop {
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: fmt.Errorf("faultinject: connection reset (injected)")}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// Proxy is a TCP forwarder with a partition switch: it listens on its own
+// address and pipes each accepted connection to the target, until Partition
+// severs every live connection and refuses new ones. Pointing a router at a
+// shard through a Proxy makes "network partition" a one-call operation in a
+// test, distinct from killing the shard — the shard stays up, annotating,
+// and (wrongly) believing it is primary.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu          sync.Mutex
+	partitioned bool
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+// NewProxy starts a proxy on addr (e.g. "127.0.0.1:0") forwarding to target.
+func NewProxy(addr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the client under test dials.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is Addr as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Partition severs all live connections and refuses new ones until Heal.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// Heal ends the partition; new connections flow again.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down for good.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.Partition()
+}
+
+func (p *Proxy) accept() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.partitioned || p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.mu.Unlock()
+		go p.pipe(conn)
+	}
+}
+
+func (p *Proxy) pipe(client net.Conn) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	server, err := (&net.Dialer{}).DialContext(ctx, "tcp", p.target)
+	cancel()
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.partitioned || p.closed {
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+
+	done := make(chan struct{}, 2)
+	go func() { io.Copy(server, client); done <- struct{}{} }()
+	go func() { io.Copy(client, server); done <- struct{}{} }()
+	<-done
+	client.Close()
+	server.Close()
+	<-done
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, server)
+	p.mu.Unlock()
+}
+
+// TearTail truncates the file to cut the last n bytes off — the on-disk
+// shape of a crash mid-append (a torn journal record). n larger than the
+// file empties it.
+func TearTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}

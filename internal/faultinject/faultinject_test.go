@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTransportDeterministicDrops(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer backend.Close()
+
+	outcomes := func(seed int64) []bool {
+		tr := NewTransport(nil, seed, 0.5, 0)
+		hc := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 32; i++ {
+			resp, err := hc.Get(backend.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+
+	a, b := outcomes(42), outcomes(42)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: same seed produced different outcomes (%v vs %v)", i, a[i], b[i])
+		}
+		if !a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("drop prob 0.5 over %d requests produced %d drops — injector not sampling", len(a), drops)
+	}
+}
+
+func TestProxyPartitionAndHeal(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("through"))
+	}))
+	defer backend.Close()
+
+	p, err := NewProxy("127.0.0.1:0", backend.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	hc := &http.Client{Timeout: 2 * time.Second}
+	get := func() error {
+		resp, err := hc.Get(p.URL())
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		_, err = io.ReadAll(resp.Body)
+		return err
+	}
+
+	if err := get(); err != nil {
+		t.Fatalf("healthy proxy: %v", err)
+	}
+	p.Partition()
+	if err := get(); err == nil {
+		t.Fatal("partitioned proxy served a request")
+	}
+	p.Heal()
+	if err := get(); err != nil {
+		t.Fatalf("healed proxy: %v", err)
+	}
+}
+
+func TestTearTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearTail(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "012345" {
+		t.Fatalf("torn tail: got %q, want %q", got, "012345")
+	}
+	if err := TearTail(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if len(got) != 0 {
+		t.Fatalf("over-tear left %d bytes", len(got))
+	}
+}

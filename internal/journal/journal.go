@@ -20,8 +20,10 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -98,6 +100,13 @@ type Writer struct {
 	dirty   bool
 	err     error // sticky I/O error; all later operations fail fast
 
+	// gen counts Rewrites: followers tailing the file detect a compaction
+	// (which reassigns every sequence number) as a generation bump and
+	// restart from offset 0. notify is closed and replaced on every append
+	// so followers can block without polling.
+	gen    uint64
+	notify chan struct{}
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -105,9 +114,11 @@ type Writer struct {
 // Open opens (creating if absent) the journal at path for appending and
 // returns the writer together with all events already in the log, in file
 // order. A torn final line — the signature of a crash mid-append — is
-// tolerated and dropped; corruption earlier in the file is an error.
+// tolerated, dropped, and truncated away so a subsequent append cannot merge
+// with the torn bytes and corrupt the line framing; corruption earlier in
+// the file is an error.
 func Open(path string, opts Options) (*Writer, []Event, error) {
-	events, err := ReadAll(path)
+	events, validEnd, needNL, err := readAll(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,12 +126,30 @@ func Open(path string, opts Options) (*Writer, []Event, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
+	if fi, serr := f.Stat(); serr == nil && fi.Size() > validEnd {
+		// Crash artifact: a torn tail after the last fully-valid line. Repair
+		// the file in place before appending over it.
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if needNL {
+		// The last valid line parsed but lost its terminating newline in a
+		// crash; terminate it so the next append starts a fresh line.
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: repair %s: %w", path, err)
+		}
+	}
 	w := &Writer{
-		f:    f,
-		path: path,
-		opts: opts.withDefaults(),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		f:      f,
+		path:   path,
+		opts:   opts.withDefaults(),
+		gen:    1,
+		notify: make(chan struct{}),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	if n := len(events); n > 0 {
 		w.seq = events[n-1].Seq
@@ -133,44 +162,63 @@ func Open(path string, opts Options) (*Writer, []Event, error) {
 // file yields no events. A torn final line is dropped; a corrupt line that
 // is followed by valid lines is an error (real corruption, not a crash).
 func ReadAll(path string) ([]Event, error) {
+	events, _, _, err := readAll(path)
+	return events, err
+}
+
+// readAll is ReadAll plus recovery bookkeeping: validEnd is the byte offset
+// just past the last line that belongs in the repaired log, and needNL
+// reports that the final valid line is missing its terminating newline.
+func readAll(path string) (events []Event, validEnd int64, needNL bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, 0, false, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+		return nil, 0, false, fmt.Errorf("journal: read %s: %w", path, err)
 	}
 	defer f.Close()
-	var events []Event
+	br := bufio.NewReaderSize(f, 1<<20)
 	badLine := -1
 	var badErr error
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var off int64
 	line := 0
-	for sc.Scan() {
-		line++
-		b := sc.Bytes()
-		if len(b) == 0 {
-			continue
-		}
-		var ev Event
-		if err := json.Unmarshal(b, &ev); err != nil {
-			if badLine >= 0 {
-				return nil, fmt.Errorf("journal: %s line %d: %v", path, badLine, badErr)
+	for {
+		b, rerr := br.ReadBytes('\n')
+		if len(b) > 0 {
+			line++
+			complete := rerr == nil
+			trimmed := bytes.TrimRight(b, "\r\n")
+			if len(trimmed) > 0 {
+				var ev Event
+				if uerr := json.Unmarshal(trimmed, &ev); uerr != nil {
+					if badLine >= 0 {
+						return nil, 0, false, fmt.Errorf("journal: %s line %d: %v", path, badLine, badErr)
+					}
+					badLine, badErr = line, uerr
+				} else {
+					if badLine >= 0 {
+						// A valid line after a bad one: the bad line was not a
+						// torn tail.
+						return nil, 0, false, fmt.Errorf("journal: %s line %d: %v", path, badLine, badErr)
+					}
+					events = append(events, ev)
+					validEnd = off + int64(len(b))
+					needNL = !complete
+				}
+			} else if complete && badLine < 0 {
+				validEnd = off + int64(len(b))
 			}
-			badLine, badErr = line, err
-			continue
+			off += int64(len(b))
 		}
-		if badLine >= 0 {
-			// A valid line after a bad one: the bad line was not a torn tail.
-			return nil, fmt.Errorf("journal: %s line %d: %v", path, badLine, badErr)
+		if rerr == io.EOF {
+			break
 		}
-		events = append(events, ev)
+		if rerr != nil {
+			return nil, 0, false, fmt.Errorf("journal: scan %s: %w", path, rerr)
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: scan %s: %w", path, err)
-	}
-	return events, nil
+	return events, validEnd, needNL, nil
 }
 
 // Append marshals data, assigns the next sequence number and writes the
@@ -209,10 +257,42 @@ func (w *Writer) Append(typ, ws, dataset string, data any) (Event, error) {
 	// own series.
 	appendTotal.Inc()
 	appendDurations.ObserveSince(start)
+	w.broadcastLocked()
 	if w.pending >= w.opts.SyncEvery {
 		w.syncLocked()
 	}
 	return ev, nil
+}
+
+// broadcastLocked wakes every follower blocked in Next by closing the
+// current notify channel and installing a fresh one.
+func (w *Writer) broadcastLocked() {
+	close(w.notify)
+	w.notify = make(chan struct{})
+}
+
+// Seq returns the last assigned sequence number.
+func (w *Writer) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Generation counts compactions: it starts at 1 and is bumped by every
+// Rewrite. Sequence numbers are only comparable within one generation.
+func (w *Writer) Generation() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// state snapshots the notify channel and generation together so a follower
+// can check for a generation change, read the file, and then block without
+// missing an append that lands in between.
+func (w *Writer) state() (<-chan struct{}, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.notify, w.gen
 }
 
 // SinceRewrite returns the number of appends since the log was last
@@ -327,6 +407,8 @@ func (w *Writer) Rewrite(events []Event) error {
 	w.since = 0
 	w.pending = 0
 	w.dirty = false
+	w.gen++
+	w.broadcastLocked()
 	compactionsTotal.Inc()
 	return nil
 }
@@ -351,6 +433,9 @@ func (w *Writer) Close() error {
 	<-w.done
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Wake blocked followers one last time; the fresh channel is never
+	// closed again, so they park on their contexts from here on.
+	w.broadcastLocked()
 	w.syncLocked()
 	err := w.err
 	if cerr := w.f.Close(); err == nil && cerr != nil {

@@ -1,0 +1,315 @@
+package replicate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// replHeartbeat bounds how long a stream sits on an idle journal before it
+// re-checks its context; it also paces the very first (Reset) batch of a
+// session, so keep it short.
+const replHeartbeat = 200 * time.Millisecond
+
+// Tap is the primary side of replication: one streaming goroutine per
+// assigned dataset, each tailing the live journal through its own
+// journal.Follower and POSTing ordered batches to the dataset's follower
+// shard. It also hosts the sync-replication barrier (WaitAcked) that the
+// workspace manager blocks acknowledged writes on.
+type Tap struct {
+	source *journal.Writer
+	hc     *http.Client
+	logf   func(format string, args ...any)
+
+	mu      sync.Mutex
+	streams map[string]*stream
+	// ackCh is closed and replaced whenever any stream's ack watermark or
+	// health changes, waking WaitAcked parkers (same broadcast idiom as the
+	// journal's append notify).
+	ackCh chan struct{}
+}
+
+// stream is one dataset's replication session. The mutable fields at the
+// bottom are guarded by Tap.mu.
+type stream struct {
+	dataset  string
+	epoch    uint64
+	follower FollowerSpec
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	acked   uint64 // highest journal seq the follower has acked
+	healthy bool   // last send succeeded; false releases sync waiters fast
+	fenced  bool   // follower rejected our epoch: we are a zombie, stream is dead
+}
+
+// NewTap builds a tap over the shard's live journal.
+func NewTap(source *journal.Writer, hc *http.Client, logf func(format string, args ...any)) *Tap {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Tap{
+		source:  source,
+		hc:      hc,
+		logf:    logf,
+		streams: make(map[string]*stream),
+		ackCh:   make(chan struct{}),
+	}
+}
+
+func (t *Tap) broadcastLocked() {
+	close(t.ackCh)
+	t.ackCh = make(chan struct{})
+}
+
+// Assign starts (or restarts) streaming a dataset to the given follower at
+// the given epoch. Re-assigning the identical (epoch, follower) is a no-op,
+// so the router can push roles idempotently on every reconcile tick.
+func (t *Tap) Assign(dataset string, epoch uint64, follower FollowerSpec) {
+	t.mu.Lock()
+	cur := t.streams[dataset]
+	if cur != nil && cur.epoch == epoch && cur.follower == follower {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.streams, dataset)
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &stream{
+		dataset:  dataset,
+		epoch:    epoch,
+		follower: follower,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		healthy:  true,
+	}
+	t.streams[dataset] = st
+	t.broadcastLocked()
+	t.mu.Unlock()
+	if cur != nil {
+		cur.cancel()
+		<-cur.done
+	}
+	t.logf("replicate: streaming %s to %s (%s) at epoch %d", dataset, follower.Name, follower.URL, epoch)
+	go t.run(ctx, st)
+}
+
+// Unassign stops streaming a dataset and waits for its goroutine to exit.
+func (t *Tap) Unassign(dataset string) {
+	t.mu.Lock()
+	cur := t.streams[dataset]
+	delete(t.streams, dataset)
+	t.broadcastLocked()
+	t.mu.Unlock()
+	if cur != nil {
+		cur.cancel()
+		<-cur.done
+	}
+}
+
+// Close stops every stream.
+func (t *Tap) Close() {
+	t.mu.Lock()
+	streams := make([]*stream, 0, len(t.streams))
+	for _, st := range t.streams {
+		streams = append(streams, st)
+	}
+	t.streams = make(map[string]*stream)
+	t.broadcastLocked()
+	t.mu.Unlock()
+	for _, st := range streams {
+		st.cancel()
+		<-st.done
+	}
+}
+
+// run retries stream sessions until cancelled or fenced. A clean session end
+// (journal compaction) or a follower resync restarts immediately; transport
+// errors back off exponentially so a dead follower is not hammered.
+func (t *Tap) run(ctx context.Context, st *stream) {
+	defer close(st.done)
+	backoff := 250 * time.Millisecond
+	for ctx.Err() == nil {
+		err := t.streamOnce(ctx, st)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, ErrFenced):
+			// The follower has seen a higher epoch: we are the zombie side of
+			// a failover. Stop for good — only a new role assignment (with a
+			// new epoch) restarts replication for this dataset.
+			t.mu.Lock()
+			st.fenced = true
+			st.healthy = false
+			t.broadcastLocked()
+			t.mu.Unlock()
+			replFenced.Inc()
+			t.logf("replicate: stream %s@%d fenced by %s; stopping", st.dataset, st.epoch, st.follower.Name)
+			return
+		case err == nil || errors.Is(err, ErrResync):
+			replResyncs.Inc()
+			backoff = 250 * time.Millisecond
+		default:
+			replStreamErrors.With(st.dataset).Inc()
+			t.logf("replicate: stream %s -> %s: %v (retry in %v)", st.dataset, st.follower.Name, err, backoff)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+	}
+}
+
+// streamOnce runs a single stream session: open with a Reset batch covering
+// the journal from sequence 0, then ship every new batch as the follower
+// tails the log. Returns nil when the journal is compacted (the session must
+// restart so the follower rebuilds from the rewritten log), ErrFenced /
+// ErrResync as signalled by the follower, or a transport error.
+func (t *Tap) streamOnce(ctx context.Context, st *stream) error {
+	ctl := NewControl(st.follower.URL, st.follower.Token, t.hc)
+	fl := t.source.Follow()
+	defer fl.Close()
+	wsDS := make(map[string]string)
+	var upto uint64
+	first := true
+	for {
+		hctx, cancel := context.WithTimeout(ctx, replHeartbeat)
+		evs, reset, err := fl.Next(hctx)
+		cancel()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if reset {
+			return nil
+		}
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("tail journal: %w", err)
+		}
+		batch := Batch{Epoch: st.epoch, Gen: fl.Generation(), Reset: first, From: upto}
+		for _, ev := range evs {
+			if datasetOf(ev, wsDS) == st.dataset {
+				batch.Events = append(batch.Events, ev)
+			}
+			upto = ev.Seq
+		}
+		batch.Upto = upto
+		if !first && len(batch.Events) == 0 && batch.Upto == batch.From {
+			continue // idle heartbeat tick, nothing to ship
+		}
+		ack, err := ctl.SendEvents(ctx, st.dataset, batch)
+		if err != nil {
+			if !errors.Is(err, ErrFenced) && !errors.Is(err, ErrResync) {
+				t.mu.Lock()
+				st.healthy = false
+				t.broadcastLocked()
+				t.mu.Unlock()
+			}
+			return err
+		}
+		replShipped.With(st.dataset).Add(uint64(len(batch.Events)))
+		t.mu.Lock()
+		st.healthy = true
+		st.acked = ack.Upto
+		t.broadcastLocked()
+		t.mu.Unlock()
+		if seq := t.source.Seq(); seq > ack.Upto {
+			replLag.With(st.dataset).Set(float64(seq - ack.Upto))
+		} else {
+			replLag.With(st.dataset).Set(0)
+		}
+		first = false
+	}
+}
+
+// datasetOf resolves which dataset a journal event belongs to: engine-scoped
+// events carry it directly, create/snapshot events carry it in their payload
+// (and seed the workspace→dataset map), everything else resolves through
+// that map. Unresolvable events belong to no stream but still advance the
+// batch watermark.
+func datasetOf(ev journal.Event, wsDS map[string]string) string {
+	if ev.Dataset != "" {
+		return ev.Dataset
+	}
+	if ev.WS == "" {
+		return ""
+	}
+	if ds, ok := wsDS[ev.WS]; ok {
+		return ds
+	}
+	var d struct {
+		Dataset string `json:"dataset"`
+	}
+	if json.Unmarshal(ev.Data, &d) == nil && d.Dataset != "" {
+		wsDS[ev.WS] = d.Dataset
+		return d.Dataset
+	}
+	return ""
+}
+
+// WaitAcked blocks until the dataset's follower has acked journal sequence
+// seq, the stream is gone or degraded, or the timeout expires. It returns
+// true when the ack arrived (the write is replicated) and false when the
+// wait degraded to async — an unhealthy stream fails fast instead of making
+// every acknowledged write eat the full timeout while a follower is down.
+func (t *Tap) WaitAcked(dataset string, seq uint64, timeout time.Duration) bool {
+	start := nowFunc()
+	deadline := start.Add(timeout)
+	defer func() {
+		replSyncWait.Observe(nowFunc().Sub(start).Seconds())
+	}()
+	t.mu.Lock()
+	for {
+		st := t.streams[dataset]
+		if st == nil {
+			t.mu.Unlock()
+			return true // dataset is not replicated: nothing to wait for
+		}
+		if st.acked >= seq {
+			t.mu.Unlock()
+			return true
+		}
+		if !st.healthy || st.fenced {
+			t.mu.Unlock()
+			return false
+		}
+		remaining := deadline.Sub(nowFunc())
+		if remaining <= 0 {
+			t.mu.Unlock()
+			replSyncTimeouts.Inc()
+			return false
+		}
+		ch := t.ackCh
+		t.mu.Unlock()
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+		case <-timer.C:
+		}
+		timer.Stop()
+		t.mu.Lock()
+	}
+}
+
+// streamStatus reports a dataset's stream state for Status, or ok=false if
+// the dataset is not assigned.
+func (t *Tap) streamStatus(dataset string) (follower string, epoch, acked uint64, healthy bool, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.streams[dataset]
+	if st == nil {
+		return "", 0, 0, false, false
+	}
+	return st.follower.Name, st.epoch, st.acked, st.healthy && !st.fenced, true
+}

@@ -52,6 +52,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -60,6 +61,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/replicate"
 	"repro/internal/workspace"
 	"repro/pkg/darwin"
 )
@@ -97,6 +99,18 @@ type Config struct {
 	// CompactEvery compacts the journal (snapshot+truncate) after this many
 	// appends (default 4096; negative disables).
 	CompactEvery int
+	// AttachmentTTL detaches individual annotators idle longer than this
+	// during sweeps (0 disables). The detach is journaled, so it replays and
+	// replicates like a client-issued one.
+	AttachmentTTL time.Duration
+
+	// ReplicationSync blocks acknowledged workspace writes until the
+	// dataset's replication follower acks them (bounded by
+	// ReplicationSyncTimeout, default 2s). Only meaningful with a journal;
+	// the replication endpoints themselves are active whenever JournalPath
+	// is set.
+	ReplicationSync        bool
+	ReplicationSyncTimeout time.Duration
 
 	// Token, when non-empty, requires "Authorization: Bearer <token>" on
 	// every /v1/* and /v2/* endpoint.
@@ -127,6 +141,9 @@ type Server struct {
 	mgr      *workspace.Manager
 	labelers *labelerRegistry
 	recovery workspace.RecoveryStats
+	// repl is the journal-replication node (nil without a journal; the
+	// replication endpoints then answer 503).
+	repl *replicate.Node
 }
 
 // New creates a server over the given datasets. When Config.JournalPath is
@@ -170,6 +187,7 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 		TTL:           cfg.WorkspaceTTL,
 		MaxWorkspaces: cfg.MaxWorkspaces,
 		CompactEvery:  cfg.CompactEvery,
+		AttachmentTTL: cfg.AttachmentTTL,
 	})
 	if len(events) > 0 {
 		s.recovery = s.mgr.Recover(events)
@@ -177,6 +195,23 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 		// attachment labeler ids are a pure function of (workspace,
 		// annotator), so clients resume the ids they held before the restart.
 		s.rebuildLabelers()
+	}
+	if jw != nil {
+		// Replication rides the journal: stream it out when the router names
+		// this shard a primary, keep warm standbys when it names it a
+		// follower. Recovers on-disk standbys from a previous process.
+		s.repl = replicate.NewNode(replicate.NodeOptions{
+			Manager:       s.mgr,
+			Journal:       jw,
+			Engines:       engines,
+			JournalPath:   cfg.JournalPath,
+			Sync:          cfg.ReplicationSync,
+			SyncTimeout:   cfg.ReplicationSyncTimeout,
+			Logf:          log.Printf,
+			LabelersFor:   s.labelersFor,
+			AdoptLabelers: s.adoptLabelers,
+			DropLabelers:  s.dropLabelers,
+		})
 	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", obs.Default().Handler().ServeHTTP)
@@ -195,6 +230,7 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 	s.handle("GET /v1/workspaces/{id}/export", s.handleWSExport)
 	s.handle("DELETE /v1/workspaces/{id}", s.handleWSDelete)
 	s.registerV2()
+	s.registerReplication()
 	sort.Strings(s.routes)
 	if cfg.Daemon == "" {
 		cfg.Daemon = "darwind"
@@ -241,9 +277,14 @@ func (s *Server) Workspaces() *workspace.Manager { return s.mgr }
 // Recovery reports what was replayed from the journal at startup.
 func (s *Server) Recovery() workspace.RecoveryStats { return s.recovery }
 
-// Close flushes and closes the workspace journal. Call after the HTTP
-// server has drained.
-func (s *Server) Close() error { return s.mgr.Close() }
+// Close stops replication (keeping standbys warm on disk), then flushes and
+// closes the workspace journal. Call after the HTTP server has drained.
+func (s *Server) Close() error {
+	if s.repl != nil {
+		s.repl.Close()
+	}
+	return s.mgr.Close()
+}
 
 // DatasetNames returns the served dataset names, sorted.
 func (s *Server) DatasetNames() []string {

@@ -587,9 +587,12 @@ func (s *Server) Labeler(id string) (darwin.Labeler, error) {
 		return &timedSessionLabeler{SessionLabeler: en.lab, store: s.store}, nil
 	}
 	if en, ok := s.labelers.get(id); ok {
-		// A TTL-evicted workspace leaves its attachment entries behind;
-		// drop them on access instead of serving a dead labeler.
-		if _, live := s.mgr.Get(en.lab.Workspace()); !live {
+		// A TTL-evicted workspace leaves its attachment entries behind, and
+		// an attachment-TTL sweep can detach a single annotator from a live
+		// workspace; drop such entries on access instead of serving a dead
+		// labeler.
+		ws, live := s.mgr.Get(en.lab.Workspace())
+		if !live || !ws.HasAnnotator(en.lab.Annotator()) {
 			s.labelers.remove(id)
 			return nil, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
 		}
@@ -607,7 +610,15 @@ func (s *Server) pruneDeadLabelers() int {
 	for _, id := range s.mgr.IDs() {
 		live[id] = true
 	}
-	return s.labelers.prune(func(en *wsLabeler) bool { return live[en.lab.Workspace()] })
+	return s.labelers.prune(func(en *wsLabeler) bool {
+		if !live[en.lab.Workspace()] {
+			return false
+		}
+		// The workspace survived but the attachment itself may have been
+		// reclaimed by the attachment-TTL sweep.
+		ws, ok := s.mgr.Peek(en.lab.Workspace())
+		return ok && ws.HasAnnotator(en.lab.Annotator())
+	})
 }
 
 // rebuildLabelers re-registers one labeler per journaled workspace
@@ -653,7 +664,7 @@ func (s *Server) LabelerStatus(ctx context.Context, id string) (darwin.Status, e
 	}
 	if en, ok := s.labelers.get(id); ok {
 		ws, live := s.mgr.Peek(en.lab.Workspace())
-		if !live {
+		if !live || !ws.HasAnnotator(en.lab.Annotator()) {
 			s.labelers.remove(id)
 			return darwin.Status{}, fmt.Errorf("%w: unknown or expired labeler %q", darwin.ErrNotFound, id)
 		}

@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"context"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/replicate"
+)
+
+// Failover telemetry: the audit trail of every promotion the router drove.
+// The re-home table size is a GaugeFunc registered in newFailoverState.
+var routerPromotions = obs.Default().CounterVec("darwin_router_promotions_total",
+	"Dataset failovers driven by this router (the follower was promoted to primary).",
+	"dataset")
+
+// placement is one dataset's replication topology as the router believes it:
+// which shard serves it (primary), which shard keeps the warm standby
+// (follower), and the fencing epoch the roles are valid for. The router is
+// the epoch authority — every promotion bumps it — but the table itself is
+// soft state, rebuilt from shard statuses on restart.
+type placement struct {
+	primary  *shard
+	follower *shard
+	epoch    uint64
+	// promoting guards against concurrent promote attempts for the same
+	// dataset from successive probe rounds.
+	promoting bool
+}
+
+// failoverState is the router's replication bookkeeping. Its zero use (nil)
+// means replication management is disabled (Config.FailoverThreshold == 0)
+// and the router behaves exactly as before this subsystem existed.
+type failoverState struct {
+	mu         sync.RWMutex
+	placements map[string]*placement
+	// rehome maps backend ids (workspaces and labelers) that moved in a
+	// failover to the shard now serving them; locate consults it before
+	// trusting an id's "<shard>~" prefix.
+	rehome map[string]*shard
+}
+
+func newFailoverState() *failoverState {
+	fs := &failoverState{
+		placements: make(map[string]*placement),
+		rehome:     make(map[string]*shard),
+	}
+	obs.Default().GaugeFunc("darwin_router_rehomed_ids",
+		"Backend ids re-homed onto a different shard than their namespace prefix.",
+		func() float64 {
+			fs.mu.RLock()
+			defer fs.mu.RUnlock()
+			return float64(len(fs.rehome))
+		})
+	return fs
+}
+
+// PlacementInfo is one dataset's replication placement, for healthz.
+type PlacementInfo struct {
+	Dataset  string `json:"dataset"`
+	Primary  string `json:"primary"`
+	Follower string `json:"follower,omitempty"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+// Placements reports the router's per-dataset replication topology, sorted
+// by dataset (empty when replication management is disabled).
+func (r *Router) Placements() []PlacementInfo {
+	if r.failover == nil {
+		return nil
+	}
+	r.failover.mu.RLock()
+	defer r.failover.mu.RUnlock()
+	out := make([]PlacementInfo, 0, len(r.failover.placements))
+	for ds, pl := range r.failover.placements {
+		info := PlacementInfo{Dataset: ds, Primary: pl.primary.name, Epoch: pl.epoch}
+		if pl.follower != nil {
+			info.Follower = pl.follower.name
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dataset < out[b].Dataset })
+	return out
+}
+
+// rehomed returns the shard a backend id was re-homed to, or nil.
+func (r *Router) rehomed(backendID string) *shard {
+	if r.failover == nil {
+		return nil
+	}
+	r.failover.mu.RLock()
+	defer r.failover.mu.RUnlock()
+	return r.failover.rehome[backendID]
+}
+
+// primaryFor returns the shard that should serve fresh creates for a
+// dataset: the replication placement when one exists, else the ring owner.
+func (r *Router) primaryFor(dataset string) *shard {
+	if r.failover != nil {
+		r.failover.mu.RLock()
+		pl := r.failover.placements[dataset]
+		r.failover.mu.RUnlock()
+		if pl != nil {
+			return pl.primary
+		}
+	}
+	return r.shards[r.ring.lookup(dataset)]
+}
+
+// followerFor picks a dataset's replication follower: the first distinct
+// shard clockwise from the dataset's ring position that is not the primary.
+// With a single-shard fleet there is no follower.
+func (r *Router) followerFor(dataset string, primary *shard) *shard {
+	for _, idx := range r.ring.successors(dataset) {
+		if sh := r.shards[idx]; sh != primary {
+			return sh
+		}
+	}
+	return nil
+}
+
+func specOf(sh *shard) *replicate.FollowerSpec {
+	if sh == nil {
+		return nil
+	}
+	return &replicate.FollowerSpec{Name: sh.name, URL: sh.url, Token: sh.token}
+}
+
+// EnsureReplication reconciles the replication topology once: discover the
+// served datasets, adopt the highest-epoch primary claims from shard
+// statuses (which is how a restarted router relearns failovers it — or a
+// predecessor — drove), fill in ring-derived defaults, and push the role
+// assignments to every reachable shard. Role pushes are idempotent, so this
+// runs on a timer; a rejoining ex-primary is demoted (catch-up resync) by
+// the first tick that can reach it. No-op unless Config.FailoverThreshold
+// enables replication management.
+func (r *Router) EnsureReplication(ctx context.Context) {
+	if r.failover == nil || len(r.shards) < 2 {
+		return
+	}
+	fs := r.failover
+
+	// Collect replication statuses from live shards, concurrently.
+	type result struct {
+		sh *shard
+		st replicate.Status
+	}
+	results := make([]result, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		if !sh.up.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			st, err := sh.ctl.Status(ctx)
+			if err != nil {
+				return // unreachable or replication-less shard: nothing to adopt
+			}
+			results[i] = result{sh: sh, st: st}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	// The dataset universe: everything a live shard serves.
+	datasets := make(map[string]bool)
+	if page, err := r.ListDatasets(ctx, "", 0); err == nil {
+		for _, ds := range page.Datasets {
+			datasets[ds] = true
+		}
+	}
+	for _, res := range results {
+		for _, d := range res.st.Datasets {
+			datasets[d.Dataset] = true
+		}
+	}
+
+	// Adopt the authoritative (highest-epoch) primary claim per dataset.
+	fs.mu.Lock()
+	for ds := range datasets {
+		pl := fs.placements[ds]
+		for _, res := range results {
+			if res.sh == nil {
+				continue
+			}
+			for _, d := range res.st.Datasets {
+				if d.Dataset != ds || d.Role != replicate.RolePrimary {
+					continue
+				}
+				if pl == nil || d.Epoch > pl.epoch || (pl.primary == res.sh && d.Epoch == pl.epoch) {
+					if pl == nil || pl.primary != res.sh || d.Epoch > pl.epoch {
+						if pl == nil {
+							pl = &placement{}
+							fs.placements[ds] = pl
+						}
+						if pl.primary != res.sh {
+							log.Printf("shard: adopting %s as primary for %s at epoch %d (reported by shard status)", res.sh.name, ds, d.Epoch)
+						}
+						pl.primary = res.sh
+						pl.epoch = d.Epoch
+						for _, id := range d.Workspaces {
+							fs.setRehomeLocked(id, res.sh)
+						}
+						for _, id := range d.Labelers {
+							fs.setRehomeLocked(id, res.sh)
+						}
+					}
+				}
+			}
+		}
+		if pl == nil {
+			pl = &placement{primary: r.shards[r.ring.lookup(ds)], epoch: 1}
+			fs.placements[ds] = pl
+		}
+		pl.follower = r.followerFor(ds, pl.primary)
+	}
+	// Snapshot for pushing outside the lock.
+	type push struct {
+		sh  *shard
+		doc replicate.RoleDoc
+	}
+	var pushes []push
+	for ds, pl := range fs.placements {
+		if pl.follower != nil && pl.follower.up.Load() {
+			pushes = append(pushes, push{pl.follower, replicate.RoleDoc{
+				Dataset: ds, Epoch: pl.epoch, Role: replicate.RoleFollower,
+			}})
+		}
+		if pl.primary.up.Load() {
+			pushes = append(pushes, push{pl.primary, replicate.RoleDoc{
+				Dataset: ds, Epoch: pl.epoch, Role: replicate.RolePrimary, Follower: specOf(pl.follower),
+			}})
+		}
+	}
+	fs.mu.Unlock()
+
+	// Followers are pushed before their primary (slice order above), so the
+	// receiver is armed before the stream's first batch arrives.
+	for _, p := range pushes {
+		if err := p.sh.ctl.SetRole(ctx, p.doc); err != nil {
+			log.Printf("shard: push %s role for %s to %s: %v (will retry next reconcile)", p.doc.Role, p.doc.Dataset, p.sh.name, err)
+		}
+	}
+}
+
+// setRehomeLocked records that a backend id now lives on sh, dropping
+// entries that point back at the id's own namespace (no indirection needed).
+// Callers hold fs.mu.
+func (fs *failoverState) setRehomeLocked(id string, sh *shard) {
+	fs.rehome[id] = sh
+}
+
+// maybeFailover promotes the follower of every dataset whose primary is the
+// given dead shard. Called from the prober once a shard's consecutive
+// failures cross Config.FailoverThreshold; runs in the prober goroutine.
+func (r *Router) maybeFailover(ctx context.Context, dead *shard) {
+	if r.failover == nil {
+		return
+	}
+	fs := r.failover
+	type cand struct {
+		ds string
+		pl *placement
+	}
+	var cands []cand
+	fs.mu.Lock()
+	for ds, pl := range fs.placements {
+		if pl.primary == dead && !pl.promoting &&
+			pl.follower != nil && pl.follower != dead && pl.follower.up.Load() {
+			pl.promoting = true
+			cands = append(cands, cand{ds, pl})
+		}
+	}
+	fs.mu.Unlock()
+	sort.Slice(cands, func(a, b int) bool { return cands[a].ds < cands[b].ds })
+
+	for _, c := range cands {
+		fs.mu.RLock()
+		follower, newEpoch := c.pl.follower, c.pl.epoch+1
+		fs.mu.RUnlock()
+		resp, err := follower.ctl.Promote(ctx, c.ds, newEpoch)
+		fs.mu.Lock()
+		c.pl.promoting = false
+		if err != nil {
+			fs.mu.Unlock()
+			log.Printf("shard: failover of %s from %s to %s failed: %v (retrying on next probe round)",
+				c.ds, dead.name, follower.name, err)
+			continue
+		}
+		old := c.pl.primary
+		c.pl.primary = follower
+		c.pl.follower = old
+		c.pl.epoch = newEpoch
+		for _, id := range resp.Workspaces {
+			fs.setRehomeLocked(id, follower)
+		}
+		for _, id := range resp.Labelers {
+			fs.setRehomeLocked(id, follower)
+		}
+		fs.mu.Unlock()
+		routerPromotions.With(c.ds).Inc()
+		log.Printf("shard: dataset %s failed over %s -> %s at epoch %d (%d workspaces, %d labelers re-homed)",
+			c.ds, dead.name, follower.name, newEpoch, len(resp.Workspaces), len(resp.Labelers))
+		// Arm replication back toward the dead shard: the stream retries
+		// until it rejoins, at which point the next reconcile demotes it and
+		// the reset stream catches it up.
+		doc := replicate.RoleDoc{Dataset: c.ds, Epoch: newEpoch, Role: replicate.RolePrimary, Follower: specOf(old)}
+		if err := follower.ctl.SetRole(ctx, doc); err != nil {
+			log.Printf("shard: arm replication %s -> %s after failover: %v (will retry next reconcile)", c.ds, old.name, err)
+		}
+	}
+}
+
+// nextProbeDelay is the pause before re-probing a shard that has failed
+// `fails` consecutive probes: the base interval doubling per failure, capped
+// at max, with ±20% jitter so a fleet of routers does not thunder-herd a
+// recovering shard.
+func nextProbeDelay(fails int, base, max time.Duration) time.Duration {
+	if fails < 1 {
+		return 0
+	}
+	d := base
+	for i := 1; i < fails && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := 0.8 + 0.4*rand.Float64()
+	return time.Duration(float64(d) * jitter)
+}

@@ -1,0 +1,134 @@
+package shard_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/replicate"
+	"repro/internal/shard"
+	"repro/pkg/darwin"
+)
+
+// waitShardCaughtUp polls a shard's replication status until its stream for
+// the dataset is healthy with zero lag.
+func waitShardCaughtUp(t *testing.T, url, dataset string) {
+	t.Helper()
+	ctl := replicate.NewControl(url, "", nil)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := ctl.Status(context.Background())
+		if err == nil {
+			for _, d := range st.Datasets {
+				if d.Dataset == dataset && d.Role == replicate.RolePrimary && d.Healthy && d.Lag == 0 && d.AckedUpto > 0 {
+					return
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("shard %s never caught its follower up on %s", url, dataset)
+}
+
+// TestRouterDrivenReplicationFailover exercises the whole failover chain
+// in-process: the router assigns replication roles from the ring, the
+// primary streams the workload to its follower, and when the primary's
+// probes cross the failover threshold the router promotes the follower and
+// re-homes the dataset's ids — acknowledged answers survive, the old id
+// keeps working, and the placement records the new epoch.
+func TestRouterDrivenReplicationFailover(t *testing.T) {
+	dir := t.TempDir()
+	srvA := newShardServer(t, filepath.Join(dir, "alpha.jsonl"), "directions", "musicians")
+	srvB := newShardServer(t, filepath.Join(dir, "beta.jsonl"), "directions", "musicians")
+	shardA := httptest.NewServer(srvA)
+	t.Cleanup(shardA.Close)
+	shardB := httptest.NewServer(srvB)
+
+	router, ts := newRouterServer(t, []shard.Spec{
+		{Name: "alpha", URL: shardA.URL}, {Name: "beta", URL: shardB.URL},
+	}, shard.Config{Retries: 1, RetryBackoff: 20 * time.Millisecond, FailoverThreshold: 2})
+	client := darwin.NewClient(ts.URL, "")
+	ctx := context.Background()
+
+	// The ring places directions on beta with alpha as its follower.
+	if router.Place("directions") != "beta" {
+		t.Fatalf("directions placed on %s, want beta", router.Place("directions"))
+	}
+	router.EnsureReplication(ctx)
+	var pl shard.PlacementInfo
+	for _, p := range router.Placements() {
+		if p.Dataset == "directions" {
+			pl = p
+		}
+	}
+	if pl.Primary != "beta" || pl.Follower != "alpha" || pl.Epoch != 1 {
+		t.Fatalf("bootstrap placement %+v, want beta/alpha@1", pl)
+	}
+
+	lab, err := client.NewLabeler(ctx, darwin.CreateOptions{
+		Dataset: "directions", Mode: darwin.ModeWorkspace, Annotator: "alice",
+		SeedRules: []string{seedRuleFor("directions")}, Budget: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		sug, err := lab.Suggest(ctx)
+		if err != nil {
+			t.Fatalf("suggest %d: %v", i, err)
+		}
+		if err := lab.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: i%2 == 0}); err != nil {
+			t.Fatalf("answer %d: %v", i, err)
+		}
+	}
+	repBefore, err := lab.Report(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitShardCaughtUp(t, shardB.URL, "directions")
+
+	// Kill the primary (connection refused from here on) and let probes
+	// cross the threshold; the second failed probe triggers the promotion.
+	shardB.Close()
+	for i := 0; i < 2; i++ {
+		router.ProbeNow(ctx)
+	}
+	for _, p := range router.Placements() {
+		if p.Dataset == "directions" {
+			pl = p
+		}
+	}
+	if pl.Primary != "alpha" || pl.Epoch != 2 {
+		t.Fatalf("post-failover placement %+v, want primary alpha at epoch 2", pl)
+	}
+
+	// The pre-failover labeler id (namespaced "beta~...") keeps serving
+	// through the re-home table, with every acknowledged answer intact.
+	repAfter, err := lab.Report(ctx)
+	if err != nil {
+		t.Fatalf("report through promoted follower: %v", err)
+	}
+	if len(repAfter.History) != len(repBefore.History) || repAfter.Positives != repBefore.Positives {
+		t.Fatalf("acknowledged answers lost in failover: before %d/%d, after %d/%d",
+			len(repBefore.History), repBefore.Positives, len(repAfter.History), repAfter.Positives)
+	}
+	sug, err := lab.Suggest(ctx)
+	if err != nil {
+		t.Fatalf("suggest after failover: %v", err)
+	}
+	if err := lab.Answer(ctx, darwin.Answer{Key: sug.Key, Accept: true}); err != nil {
+		t.Fatalf("answer after failover: %v", err)
+	}
+	// Fresh creates for the dataset land on the promoted primary too.
+	st, err := client.CreateLabeler(ctx, darwin.CreateOptions{
+		Dataset: "directions", SeedRules: []string{seedRuleFor("directions")}, Budget: 10,
+	})
+	if err != nil {
+		t.Fatalf("create after failover: %v", err)
+	}
+	if got := st.ID[:len("alpha~")]; got != "alpha~" {
+		t.Fatalf("fresh create routed to %q, want the promoted primary alpha", st.ID)
+	}
+}

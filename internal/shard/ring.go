@@ -66,3 +66,24 @@ func (r *hashRing) lookup(key string) int {
 	}
 	return r.points[i].idx
 }
+
+// successors returns every distinct shard index in clockwise order starting
+// from key's ring position: element 0 is the owner (same as lookup), element
+// 1 the natural replication follower, and so on. Walking the ring — rather
+// than picking "owner+1 mod n" — keeps each dataset's follower stable when
+// the fleet grows, for the same reason placement itself is a consistent
+// hash.
+func (r *hashRing) successors(key string) []int {
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	seen := make(map[int]bool)
+	var out []int
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/replicate"
 	"repro/internal/server"
 	"repro/pkg/darwin"
 )
@@ -103,6 +104,23 @@ type Config struct {
 	// HTTPClient is used for shard requests and health probes (default: a
 	// client with a 30s timeout).
 	HTTPClient *http.Client
+	// ShardTimeout, when positive, bounds each JSON round trip to a shard
+	// with a per-request deadline (darwin.WithTimeout). A shard that accepts
+	// connections but never answers then fails fast with a retryable
+	// ErrUnavailable instead of pinning the caller for the full HTTPClient
+	// timeout.
+	ShardTimeout time.Duration
+	// FailoverThreshold, when positive, turns on replication management:
+	// the router assigns each dataset a follower shard, pushes replication
+	// roles, and promotes the follower once the primary fails this many
+	// consecutive health probes. 0 (the default) disables all of it — the
+	// router behaves exactly as a plain consistent-hash front.
+	FailoverThreshold int
+	// ProbeBackoffMax caps the exponential probe backoff for down shards
+	// (default 30s). The first failure re-probes after the prober interval
+	// as before; each further failure doubles the pause, so a long-dead
+	// shard is not hammered every tick.
+	ProbeBackoffMax time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
 	}
+	if c.ProbeBackoffMax <= 0 {
+		c.ProbeBackoffMax = 30 * time.Second
+	}
 	return c
 }
 
@@ -124,8 +145,12 @@ func (c Config) withDefaults() Config {
 type shard struct {
 	name   string
 	url    string
+	token  string
 	client *darwin.Client
-	up     atomic.Bool
+	// ctl speaks the shard's /v2/replication control surface (role pushes,
+	// promotion, status).
+	ctl *replicate.Control
+	up  atomic.Bool
 	// lastErr holds the most recent probe/fan-out failure as a string
 	// ("" when healthy).
 	lastErr atomic.Value
@@ -134,6 +159,10 @@ type shard struct {
 	// last success. Both feed the router's /healthz and /metrics.
 	lastProbe   atomic.Int64
 	consecFails atomic.Int64
+	// nextProbe (UnixNano) is the earliest the prober should probe this
+	// shard again: pushed into the future with exponential backoff while the
+	// shard keeps failing, zeroed on success. ProbeNow ignores it.
+	nextProbe atomic.Int64
 }
 
 func (sh *shard) setHealth(err error) {
@@ -165,6 +194,21 @@ type Router struct {
 	shards []*shard // sorted by name; listing order and ring indices
 	byName map[string]*shard
 	ring   *hashRing
+	// failover holds the replication placements and re-home table; nil when
+	// Config.FailoverThreshold leaves replication management off.
+	failover *failoverState
+	// proberEvery is the running Prober's interval in nanoseconds (0 before
+	// it starts); it is the base of the per-shard probe backoff.
+	proberEvery atomic.Int64
+}
+
+// proberInterval returns the running Prober's interval (5s before it
+// starts), the base unit of probe backoff.
+func (r *Router) proberInterval() time.Duration {
+	if ns := r.proberEvery.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return 5 * time.Second
 }
 
 // Compile-time check: the unmodified /v2 handler set serves the router.
@@ -186,10 +230,16 @@ func New(specs []Spec, cfg Config) (*Router, error) {
 		if _, dup := r.byName[spec.Name]; dup {
 			return nil, fmt.Errorf("shard: duplicate shard name %q", spec.Name)
 		}
+		clientOpts := []darwin.ClientOption{darwin.WithHTTPClient(r.cfg.HTTPClient)}
+		if r.cfg.ShardTimeout > 0 {
+			clientOpts = append(clientOpts, darwin.WithTimeout(r.cfg.ShardTimeout))
+		}
 		sh := &shard{
 			name:   spec.Name,
 			url:    strings.TrimRight(spec.URL, "/"),
-			client: darwin.NewClient(spec.URL, spec.Token, darwin.WithHTTPClient(r.cfg.HTTPClient)),
+			token:  spec.Token,
+			client: darwin.NewClient(spec.URL, spec.Token, clientOpts...),
+			ctl:    replicate.NewControl(spec.URL, spec.Token, r.cfg.HTTPClient),
 		}
 		sh.setHealth(nil) // assume up until a probe says otherwise
 		r.byName[spec.Name] = sh
@@ -201,6 +251,9 @@ func New(specs []Spec, cfg Config) (*Router, error) {
 		names[i] = sh.name
 	}
 	r.ring = newHashRing(names)
+	if r.cfg.FailoverThreshold > 0 {
+		r.failover = newFailoverState()
+	}
 	return r, nil
 }
 
@@ -210,11 +263,16 @@ func (r *Router) Place(key string) string {
 	return r.shards[r.ring.lookup(key)].name
 }
 
-// locate resolves a router-namespaced id to its shard and backend id.
+// locate resolves a router-namespaced id to its shard and backend id. Ids
+// re-homed by a failover keep their original "<shard>~" prefix (they are
+// durable client-side handles) but route to the shard that adopted them.
 func (r *Router) locate(publicID string) (*shard, string, error) {
 	name, backendID, ok := strings.Cut(publicID, Sep)
 	if ok {
 		if sh := r.byName[name]; sh != nil && backendID != "" {
+			if moved := r.rehomed(backendID); moved != nil {
+				return moved, backendID, nil
+			}
 			return sh, backendID, nil
 		}
 	}
@@ -292,7 +350,9 @@ func (r *Router) CreateLabeler(ctx context.Context, opts darwin.CreateOptions) (
 		if opts.Dataset == "" {
 			return darwin.Status{}, fmt.Errorf("%w: dataset is required (the router places fresh labelers by dataset)", darwin.ErrInvalid)
 		}
-		sh = r.shards[r.ring.lookup(opts.Dataset)]
+		// The dataset's current primary — the ring owner unless a failover
+		// re-homed the dataset onto its follower.
+		sh = r.primaryFor(opts.Dataset)
 	}
 	st, err := sh.client.CreateLabeler(ctx, opts)
 	observeOnce(sh, "create", err)
@@ -494,11 +554,25 @@ func (r *Router) Health() []ShardHealth {
 
 // ProbeNow probes every shard's /healthz once (concurrently, so one dark
 // shard's connect timeout does not delay detection for the rest of the
-// fleet) and returns how many are up.
+// fleet) and returns how many are up. It ignores per-shard probe backoff —
+// an explicit probe always probes.
 func (r *Router) ProbeNow(ctx context.Context) int {
+	return r.probeAll(ctx, false)
+}
+
+func (r *Router) probeAll(ctx context.Context, honorBackoff bool) int {
+	now := time.Now().UnixNano()
 	var up atomic.Int32
 	var wg sync.WaitGroup
 	for _, sh := range r.shards {
+		if honorBackoff && sh.nextProbe.Load() > now {
+			// Still in backoff: keep counting it by its last known state so
+			// the up total stays meaningful between probes.
+			if sh.up.Load() {
+				up.Add(1)
+			}
+			continue
+		}
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
@@ -517,10 +591,19 @@ func (r *Router) probe(ctx context.Context, sh *shard) bool {
 	sh.lastProbe.Store(time.Now().UnixNano())
 	if err != nil {
 		shardProbes.With(sh.name, "fail").Inc()
-		shardConsecFailures.With(sh.name).Set(float64(sh.consecFails.Add(1)))
+		fails := sh.consecFails.Add(1)
+		shardConsecFailures.With(sh.name).Set(float64(fails))
+		// Back off re-probes of a shard that keeps failing, and once the
+		// failure streak crosses the failover threshold, move its datasets
+		// to their followers.
+		sh.nextProbe.Store(time.Now().Add(nextProbeDelay(int(fails), r.proberInterval(), r.cfg.ProbeBackoffMax)).UnixNano())
+		if r.failover != nil && fails >= int64(r.cfg.FailoverThreshold) {
+			r.maybeFailover(ctx, sh)
+		}
 		return false
 	}
 	sh.consecFails.Store(0)
+	sh.nextProbe.Store(0)
 	shardProbes.With(sh.name, "ok").Inc()
 	shardConsecFailures.With(sh.name).Set(0)
 	return true
@@ -546,18 +629,30 @@ func (r *Router) probeOnce(ctx context.Context, sh *shard) error {
 	return nil
 }
 
-// Prober probes every shard each interval until stop is closed. Run it in a
+// Prober probes every shard each interval until stop is closed, honoring
+// per-shard exponential backoff for shards that keep failing. With
+// replication management enabled it also reconciles the replication
+// topology each tick (EnsureReplication is idempotent). Run it in a
 // goroutine: go router.Prober(5*time.Second, stopCh).
 func (r *Router) Prober(interval time.Duration, stop <-chan struct{}) {
 	if interval <= 0 {
 		interval = 5 * time.Second
+	}
+	r.proberEvery.Store(int64(interval))
+	if r.failover != nil {
+		// Bootstrap placements before the first tick so fresh creates route
+		// through the placement table from the start.
+		r.EnsureReplication(context.Background())
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			r.ProbeNow(context.Background())
+			r.probeAll(context.Background(), true)
+			if r.failover != nil {
+				r.EnsureReplication(context.Background())
+			}
 		case <-stop:
 			return
 		}

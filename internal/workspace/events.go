@@ -12,6 +12,7 @@ const (
 	evEvict       = "evict"
 	evMaterialize = "materialize"
 	evSnapshot    = "snapshot"
+	evFence       = "fence"
 )
 
 // createData records a workspace creation with the budget and seed already
@@ -48,6 +49,14 @@ type answerData struct {
 
 type evictData struct {
 	Reason string `json:"reason,omitempty"`
+}
+
+// fenceData records a replication fence for a dataset: once journaled, this
+// shard rejects replication batches for the dataset stamped with an epoch
+// below Epoch, even across restarts and compactions. It is how a promoted
+// follower (and a demoted ex-primary) makes zombie-rejection durable.
+type fenceData struct {
+	Epoch uint64 `json:"epoch"`
 }
 
 // materializeData records seed-rule materializations into a dataset's

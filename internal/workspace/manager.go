@@ -42,6 +42,12 @@ type ManagerConfig struct {
 	// CompactEvery triggers snapshot+truncate compaction of the journal
 	// after this many appends (default 4096; negative disables).
 	CompactEvery int
+	// AttachmentTTL detaches individual annotators idle longer than this
+	// during sweeps, releasing their pending suggestion back to the shared
+	// pool well before the whole workspace expires (0 disables). The detach
+	// is journaled like a client-issued one, so it replays — and replicates —
+	// identically.
+	AttachmentTTL time.Duration
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -89,6 +95,17 @@ type Manager struct {
 	matSpecs map[string][]string
 	matSeen  map[string]map[string]bool
 
+	// fenceMu guards fences: the per-dataset minimum replication epoch this
+	// shard accepts. Fences are journaled (and re-emitted by compaction) so
+	// zombie rejection survives restarts.
+	fenceMu sync.Mutex
+	fences  map[string]uint64
+
+	// barrier, when set, is invoked after every acknowledged state change
+	// with the workspace's dataset; synchronous replication installs the
+	// wait-for-follower-ack here. It runs outside all manager locks.
+	barrier atomic.Pointer[func(dataset string)]
+
 	recovering atomic.Bool
 	compacting atomic.Bool
 }
@@ -107,6 +124,7 @@ func NewManager(engines map[string]*core.Engine, jw *journal.Writer, cfg Manager
 		now:      time.Now,
 		matSpecs: make(map[string][]string),
 		matSeen:  make(map[string]map[string]bool),
+		fences:   make(map[string]uint64),
 	}
 	if jw != nil {
 		for name, eng := range engines {
@@ -182,6 +200,14 @@ func newWorkspaceID() (string, error) {
 // Create builds a new workspace on the named dataset's engine, resolving
 // budget and seed against the engine defaults, and journals its creation.
 func (m *Manager) Create(dataset string, opts Options) (*Workspace, error) {
+	ws, err := m.create(dataset, opts)
+	if err == nil {
+		m.awaitReplication(dataset)
+	}
+	return ws, err
+}
+
+func (m *Manager) create(dataset string, opts Options) (*Workspace, error) {
 	m.gate.RLock()
 	defer m.gate.RUnlock()
 	eng, ok := m.engines[dataset]
@@ -222,6 +248,25 @@ func (m *Manager) Create(dataset string, opts Options) (*Workspace, error) {
 	m.items[id] = &entry{ws: ws, lastUsed: m.now()}
 	m.mu.Unlock()
 	return ws, nil
+}
+
+// awaitReplication runs the installed replication barrier, if any. Callers
+// must not hold the appender gate: a synchronous-replication wait here must
+// not stall compaction or other appenders.
+func (m *Manager) awaitReplication(dataset string) {
+	if b := m.barrier.Load(); b != nil {
+		(*b)(dataset)
+	}
+}
+
+// SetBarrier installs (or clears, with nil) the post-acknowledge replication
+// barrier. It is called once at startup, before the manager serves traffic.
+func (m *Manager) SetBarrier(f func(dataset string)) {
+	if f == nil {
+		m.barrier.Store(nil)
+		return
+	}
+	m.barrier.Store(&f)
 }
 
 // Engine returns the engine serving the named dataset (the serving layer
@@ -271,45 +316,68 @@ func (m *Manager) Peek(id string) (*Workspace, bool) {
 // Attach adds an annotator to a workspace.
 func (m *Manager) Attach(id, name string) error {
 	m.gate.RLock()
-	defer m.gate.RUnlock()
 	ws, ok := m.get(id)
 	if !ok {
+		m.gate.RUnlock()
 		return errUnknown(id)
 	}
-	return ws.Attach(name)
+	err := ws.Attach(name)
+	m.gate.RUnlock()
+	if err == nil {
+		m.awaitReplication(ws.Dataset())
+	}
+	return err
 }
 
 // Detach removes an annotator from a workspace.
 func (m *Manager) Detach(id, name string) error {
 	m.gate.RLock()
-	defer m.gate.RUnlock()
 	ws, ok := m.get(id)
 	if !ok {
+		m.gate.RUnlock()
 		return errUnknown(id)
 	}
-	return ws.Detach(name)
+	err := ws.Detach(name)
+	m.gate.RUnlock()
+	if err == nil {
+		m.awaitReplication(ws.Dataset())
+	}
+	return err
 }
 
 // Suggest returns (or assigns) the annotator's next suggestion.
 func (m *Manager) Suggest(id, name string) (Suggestion, bool, error) {
 	m.gate.RLock()
-	defer m.gate.RUnlock()
 	ws, ok := m.get(id)
 	if !ok {
+		m.gate.RUnlock()
 		return Suggestion{}, false, errUnknown(id)
 	}
-	return ws.Suggest(name)
+	sug, assigned, err := ws.Suggest(name)
+	m.gate.RUnlock()
+	if err == nil && assigned {
+		m.awaitReplication(ws.Dataset())
+	}
+	return sug, assigned, err
 }
 
-// Answer records an annotator's verdict.
+// Answer records an annotator's verdict. With a replication barrier
+// installed, Answer does not return until the applied event is acknowledged
+// by the follower (or the sync timeout degrades the wait) — this is what
+// makes "acknowledged answer" mean "survives primary loss".
 func (m *Manager) Answer(id, name, key string, accept bool) (Record, error) {
 	m.gate.RLock()
-	defer m.gate.RUnlock()
 	ws, ok := m.get(id)
 	if !ok {
+		m.gate.RUnlock()
 		return Record{}, errUnknown(id)
 	}
-	return ws.Answer(name, key, accept)
+	rec, err := ws.Answer(name, key, accept)
+	m.gate.RUnlock()
+	if err == nil {
+		m.awaitReplication(ws.Dataset())
+	}
+	return rec, err
 }
 
 // Evict drops a workspace (journaling the eviction so replay drops it too)
@@ -351,6 +419,13 @@ func (m *Manager) sweepLocked(now time.Time) int {
 		if now.Sub(en.lastUsed) > m.cfg.TTL {
 			m.evictLocked(id, "ttl")
 			n++
+			continue
+		}
+		if m.cfg.AttachmentTTL > 0 && !m.recovering.Load() {
+			// Reclaim individual abandoned attachments long before the
+			// workspace itself expires; each detach journals (and
+			// replicates) like a client-issued one.
+			en.ws.DetachIdle(now.Add(-m.cfg.AttachmentTTL))
 		}
 	}
 	return n
@@ -423,6 +498,23 @@ func (m *Manager) Compact() error {
 		}
 		events = append(events, journal.Event{Type: evMaterialize, Dataset: d, Data: data})
 	}
+	// Replication fences must survive compaction: losing one would let a
+	// fenced zombie primary's stale stream be accepted after a restart.
+	m.fenceMu.Lock()
+	fenced := make([]string, 0, len(m.fences))
+	for d := range m.fences {
+		fenced = append(fenced, d)
+	}
+	sort.Strings(fenced)
+	for _, d := range fenced {
+		data, err := json.Marshal(fenceData{Epoch: m.fences[d]})
+		if err != nil {
+			m.fenceMu.Unlock()
+			return fmt.Errorf("workspace: compact fence: %w", err)
+		}
+		events = append(events, journal.Event{Type: evFence, Dataset: d, Data: data})
+	}
+	m.fenceMu.Unlock()
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.items))
 	for id := range m.items {
@@ -458,6 +550,140 @@ func (m *Manager) Close() error {
 	return m.jw.Close()
 }
 
+// Seq returns the journal's last assigned sequence number (0 without a
+// journal). The replication tap uses it as the sync-barrier watermark.
+func (m *Manager) Seq() uint64 {
+	if m.jw == nil {
+		return 0
+	}
+	return m.jw.Seq()
+}
+
+// Fence records (and journals, durably) that this shard rejects replication
+// batches for the dataset below the given epoch. Fences only ratchet up.
+func (m *Manager) Fence(dataset string, epoch uint64) error {
+	if !m.recordFence(dataset, epoch) {
+		return nil
+	}
+	if m.jw == nil {
+		return nil
+	}
+	m.gate.RLock()
+	_, err := m.jw.Append(evFence, "", dataset, fenceData{Epoch: epoch})
+	m.gate.RUnlock()
+	if err != nil {
+		return fmt.Errorf("workspace: %w: %v", ErrJournal, err)
+	}
+	// A fence that is not on disk before the promote/demote is acknowledged
+	// is no fence at all: force it down.
+	return m.jw.Sync()
+}
+
+// recordFence ratchets the in-memory fence and reports whether it moved.
+func (m *Manager) recordFence(dataset string, epoch uint64) bool {
+	m.fenceMu.Lock()
+	defer m.fenceMu.Unlock()
+	if epoch <= m.fences[dataset] {
+		return false
+	}
+	m.fences[dataset] = epoch
+	return true
+}
+
+// Fences returns a copy of the per-dataset fence table.
+func (m *Manager) Fences() map[string]uint64 {
+	m.fenceMu.Lock()
+	defer m.fenceMu.Unlock()
+	out := make(map[string]uint64, len(m.fences))
+	for d, e := range m.fences {
+		out[d] = e
+	}
+	return out
+}
+
+// AdoptSnapshot installs a workspace from a snapshot taken elsewhere — the
+// promotion path: a warm standby's state becomes live here, journaled as a
+// snapshot event so it survives this shard's own restarts. An existing
+// workspace with the same ID is replaced (the snapshot is authoritative).
+func (m *Manager) AdoptSnapshot(snap *Snapshot) error {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	eng, ok := m.engines[snap.Dataset]
+	if !ok {
+		return fmt.Errorf("workspace: unknown dataset %q", snap.Dataset)
+	}
+	ws, err := Restore(eng, snap, m.logFor(snap.ID))
+	if err != nil {
+		return err
+	}
+	if m.jw != nil {
+		if _, err := m.jw.Append(evSnapshot, snap.ID, "", snap); err != nil {
+			return fmt.Errorf("workspace: %w: %v", ErrJournal, err)
+		}
+	}
+	m.mu.Lock()
+	m.items[snap.ID] = &entry{ws: ws, lastUsed: m.now()}
+	m.mu.Unlock()
+	return nil
+}
+
+// AdoptMaterialized replays another shard's rule materializations for a
+// dataset into the shared index. Fresh specs are journaled via the
+// materialize hook; already-known ones dedup to nothing.
+func (m *Manager) AdoptMaterialized(dataset string, specs []string) error {
+	eng, ok := m.engines[dataset]
+	if !ok {
+		return fmt.Errorf("workspace: unknown dataset %q", dataset)
+	}
+	for _, spec := range specs {
+		if _, _, err := eng.MaterializeRule(spec); err != nil {
+			return fmt.Errorf("workspace: adopt materialized rule %q: %w", spec, err)
+		}
+	}
+	return nil
+}
+
+// MaterializedSpecs returns the journaled rule materializations recorded for
+// a dataset, in journal order.
+func (m *Manager) MaterializedSpecs(dataset string) []string {
+	m.matMu.Lock()
+	defer m.matMu.Unlock()
+	return append([]string(nil), m.matSpecs[dataset]...)
+}
+
+// IDsByDataset returns the live workspace IDs on the given dataset, sorted.
+func (m *Manager) IDsByDataset(dataset string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for id, en := range m.items {
+		if en.ws.Dataset() == dataset {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvictDataset drops every live workspace on the given dataset (journaling
+// the evictions) and returns the dropped IDs — the demotion path: a fenced
+// ex-primary must stop serving state that now lives on the promoted shard.
+func (m *Manager) EvictDataset(dataset, reason string) []string {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for id, en := range m.items {
+		if en.ws.Dataset() == dataset {
+			m.evictLocked(id, reason)
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func errUnknown(id string) error {
 	return fmt.Errorf("workspace: %q: %w", id, ErrUnknownWorkspace)
 }
@@ -477,132 +703,19 @@ type RecoveryStats struct {
 // It must be called once, before the manager serves traffic. Workspaces
 // whose replay fails (missing dataset, corpus mismatch, or a suggest that
 // no longer recomputes the journaled assignment) are skipped and reported
-// in the stats; the rest recover normally.
+// in the stats; the rest recover normally. The event-by-event apply logic
+// lives in Replayer (replay.go), shared with the replication standby path.
 func (m *Manager) Recover(events []journal.Event) RecoveryStats {
-	m.recovering.Store(true)
-	defer m.recovering.Store(false)
 	start := time.Now()
-	stats := RecoveryStats{Skipped: make(map[string]string)}
-	defer func() {
-		recoveryDuration.Set(time.Since(start).Seconds())
-		recoveryEvents.Set(float64(stats.Events))
-		recoverySkipped.Set(float64(len(stats.Skipped)))
-	}()
-	broken := stats.Skipped
-	fail := func(id, format string, args ...any) {
-		broken[id] = fmt.Sprintf(format, args...)
-		m.mu.Lock()
-		delete(m.items, id)
-		m.mu.Unlock()
-	}
-	decode := func(raw json.RawMessage, v any) bool {
-		return json.Unmarshal(raw, v) == nil
-	}
+	r := m.NewReplayer()
+	defer r.Close()
 	for _, ev := range events {
-		stats.Events++
-		switch ev.Type {
-		case evMaterialize:
-			var d materializeData
-			eng, ok := m.engines[ev.Dataset]
-			if !ok || !decode(ev.Data, &d) {
-				continue
-			}
-			for _, spec := range d.Specs {
-				eng.MaterializeRule(spec)
-			}
-			m.matMu.Lock()
-			m.recordMaterializedLocked(ev.Dataset, d.Specs)
-			m.matMu.Unlock()
-		case evCreate:
-			if _, bad := broken[ev.WS]; bad {
-				continue
-			}
-			var d createData
-			if !decode(ev.Data, &d) {
-				fail(ev.WS, "corrupt create event")
-				continue
-			}
-			eng, ok := m.engines[d.Dataset]
-			if !ok {
-				fail(ev.WS, "dataset %q is not served", d.Dataset)
-				continue
-			}
-			if eng.Corpus().Len() != d.CorpusLen {
-				fail(ev.WS, "corpus has %d sentences, workspace was created over %d", eng.Corpus().Len(), d.CorpusLen)
-				continue
-			}
-			ws, err := New(eng, ev.WS, d.Dataset, d.Options, m.logFor(ev.WS))
-			if err != nil {
-				fail(ev.WS, "replay create: %v", err)
-				continue
-			}
-			m.mu.Lock()
-			m.items[ev.WS] = &entry{ws: ws, lastUsed: m.now()}
-			m.mu.Unlock()
-		case evSnapshot:
-			var snap Snapshot
-			if !decode(ev.Data, &snap) {
-				fail(ev.WS, "corrupt snapshot event")
-				continue
-			}
-			eng, ok := m.engines[snap.Dataset]
-			if !ok {
-				fail(ev.WS, "dataset %q is not served", snap.Dataset)
-				continue
-			}
-			ws, err := Restore(eng, &snap, m.logFor(ev.WS))
-			if err != nil {
-				fail(ev.WS, "restore snapshot: %v", err)
-				continue
-			}
-			delete(broken, ev.WS) // the snapshot is authoritative
-			m.mu.Lock()
-			m.items[ev.WS] = &entry{ws: ws, lastUsed: m.now()}
-			m.mu.Unlock()
-		case evAttach:
-			var d attachData
-			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
-				if err := ws.Attach(d.Annotator); err != nil {
-					fail(ev.WS, "replay attach: %v", err)
-				}
-			}
-		case evDetach:
-			var d detachData
-			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
-				if err := ws.Detach(d.Annotator); err != nil {
-					fail(ev.WS, "replay detach: %v", err)
-				}
-			}
-		case evSuggest:
-			var d suggestData
-			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
-				sug, ok, err := ws.Suggest(d.Annotator)
-				switch {
-				case err != nil:
-					fail(ev.WS, "replay suggest: %v", err)
-				case !ok:
-					fail(ev.WS, "replay suggest for %q produced no assignment (journaled %q)", d.Annotator, d.Key)
-				case sug.Key != d.Key:
-					fail(ev.WS, "replay diverged: suggest recomputed %q, journal says %q (engine rebuilt differently?)", sug.Key, d.Key)
-				}
-			}
-		case evAnswer:
-			var d answerData
-			if ws, ok := m.replayTarget(ev.WS, ev.Data, &d, broken); ok {
-				if _, err := ws.Answer(d.Annotator, d.Key, d.Accept); err != nil {
-					fail(ev.WS, "replay answer: %v", err)
-				}
-			}
-		case evEvict:
-			m.mu.Lock()
-			delete(m.items, ev.WS)
-			m.mu.Unlock()
-			delete(broken, ev.WS)
-		}
+		r.Apply(ev)
 	}
-	m.mu.Lock()
-	stats.Workspaces = len(m.items)
-	m.mu.Unlock()
+	stats := r.Stats()
+	recoveryDuration.Set(time.Since(start).Seconds())
+	recoveryEvents.Set(float64(stats.Events))
+	recoverySkipped.Set(float64(len(stats.Skipped)))
 	return stats
 }
 

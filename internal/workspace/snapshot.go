@@ -3,6 +3,7 @@ package workspace
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -138,7 +139,10 @@ func Restore(eng *core.Engine, snap *Snapshot, log LogFunc) (*Workspace, error) 
 	}
 	var resolveErr error
 	for _, as := range snap.Annotators {
-		an := &annotator{name: as.Name, questions: as.Questions, accepts: as.Accepts}
+		// lastSeen restarts at restore time: idleness is process-local, and
+		// a just-recovered (or just-promoted) attachment must get a full TTL
+		// window before the sweep may reclaim it.
+		an := &annotator{name: as.Name, questions: as.Questions, accepts: as.Accepts, lastSeen: time.Now()}
 		if as.Pending != nil {
 			p := *as.Pending
 			an.pending = &p

@@ -58,6 +58,8 @@ var (
 	wsAnswerDurations = obs.Default().Histogram("darwin_workspace_answer_duration_seconds",
 		"Latency of one shared-workspace answer (includes classifier retrain on accept).",
 		obs.LatencyBuckets)
+	wsAttachmentsExpired = obs.Default().Counter("darwin_workspace_attachments_expired_total",
+		"Annotator attachments detached by the per-attachment idle TTL.")
 )
 
 // Sentinel errors, exposed so the HTTP layer can map them to status codes.
@@ -119,6 +121,11 @@ type annotator struct {
 	pending   *Suggestion
 	// pendingCov is the full coverage set of the pending suggestion.
 	pendingCov []int
+	// lastSeen is the wall-clock time of the annotator's last interaction
+	// (attach/suggest/answer). It drives the per-attachment idle TTL and is
+	// deliberately not journaled or snapshotted: liveness is process-local,
+	// and the *detach* it eventually triggers is the journaled event.
+	lastSeen time.Time
 }
 
 // LogFunc journals one applied event. It is called inside the workspace's
@@ -343,7 +350,7 @@ func (ws *Workspace) Attach(name string) error {
 	if _, dup := ws.annotators[name]; dup {
 		return fmt.Errorf("workspace: annotator %q: %w", name, ErrDuplicateAnnotator)
 	}
-	ws.annotators[name] = &annotator{name: name}
+	ws.annotators[name] = &annotator{name: name, lastSeen: time.Now()}
 	ws.annOrder = append(ws.annOrder, name)
 	ws.applied("attach", attachData{Annotator: name})
 	return ws.journalErrLocked()
@@ -357,10 +364,17 @@ func (ws *Workspace) Detach(name string) error {
 	if err := ws.journalErrLocked(); err != nil {
 		return err
 	}
-	an, ok := ws.annotators[name]
-	if !ok {
+	if _, ok := ws.annotators[name]; !ok {
 		return fmt.Errorf("workspace: %q: %w", name, ErrUnknownAnnotator)
 	}
+	ws.detachLocked(name)
+	return ws.journalErrLocked()
+}
+
+// detachLocked removes a known annotator, releases their pending suggestion
+// back to the pool and journals the detach. Callers hold ws.mu.
+func (ws *Workspace) detachLocked(name string) {
+	an := ws.annotators[name]
 	if an.pending != nil {
 		delete(ws.queried, an.pending.Key)
 	}
@@ -372,7 +386,37 @@ func (ws *Workspace) Detach(name string) error {
 		}
 	}
 	ws.applied("detach", detachData{Annotator: name})
-	return ws.journalErrLocked()
+}
+
+// DetachIdle detaches every annotator whose last interaction predates
+// cutoff, journaling each detach exactly like a client-issued one (replay
+// and replication therefore reproduce the reclaim deterministically, with no
+// clock dependence). It returns the detached names.
+func (ws *Workspace) DetachIdle(cutoff time.Time) []string {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.journalErrLocked() != nil {
+		return nil
+	}
+	var idle []string
+	for _, name := range ws.annOrder {
+		if ws.annotators[name].lastSeen.Before(cutoff) {
+			idle = append(idle, name)
+		}
+	}
+	for _, name := range idle {
+		ws.detachLocked(name)
+		wsAttachmentsExpired.Inc()
+	}
+	return idle
+}
+
+// HasAnnotator reports whether the named annotator is currently attached.
+func (ws *Workspace) HasAnnotator(name string) bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	_, ok := ws.annotators[name]
+	return ok
 }
 
 // applied records one applied state change: it journals the event (while
@@ -425,6 +469,7 @@ func (ws *Workspace) Suggest(name string) (Suggestion, bool, error) {
 	if !ok {
 		return Suggestion{}, false, fmt.Errorf("workspace: %q: %w", name, ErrUnknownAnnotator)
 	}
+	an.lastSeen = time.Now()
 	if an.pending != nil {
 		return *an.pending, true, nil
 	}
@@ -533,6 +578,7 @@ func (ws *Workspace) Answer(name, key string, accept bool) (Record, error) {
 	if !ok {
 		return Record{}, fmt.Errorf("workspace: %q: %w", name, ErrUnknownAnnotator)
 	}
+	an.lastSeen = time.Now()
 	if an.pending == nil {
 		return Record{}, fmt.Errorf("workspace: annotator %q: %w", name, ErrNoPending)
 	}

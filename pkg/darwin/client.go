@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -17,9 +18,10 @@ import (
 // Client speaks the versioned /v2 HTTP surface of a darwind server. It is
 // safe for concurrent use.
 type Client struct {
-	base  string
-	token string
-	hc    *http.Client
+	base    string
+	token   string
+	hc      *http.Client
+	timeout time.Duration
 }
 
 // ClientOption customizes a Client.
@@ -28,6 +30,16 @@ type ClientOption func(*Client)
 // WithHTTPClient replaces the underlying http.Client (timeouts, transport).
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout bounds every JSON round trip with a per-request deadline. A
+// request that exceeds it fails with ErrUnavailable — retryable, so callers
+// with a retry policy (the shard router) fail over instead of hanging on a
+// wedged server. Export streams are exempt: a large export legitimately
+// outlives any per-request deadline, and the http.Client's own Timeout still
+// caps it.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
 }
 
 // NewClient returns a client for the darwind server at baseURL. token may be
@@ -142,6 +154,11 @@ func (c *Client) ListDatasets(ctx context.Context, cursor string, limit int) (Da
 // do runs one JSON round trip; non-2xx responses decode the /v2 error
 // envelope into a typed error.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)

@@ -1,0 +1,71 @@
+package darwin_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/pkg/darwin"
+)
+
+// TestWithTimeoutFailsFastAndRetryable pins the hang-protection contract: a
+// server that accepts the request but never answers must fail within the
+// per-request deadline, and the failure must be the retryable ErrUnavailable
+// so routers fail over instead of surfacing a terminal error.
+func TestWithTimeoutFailsFastAndRetryable(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hung.Close()
+
+	c := darwin.NewClient(hung.URL, "", darwin.WithTimeout(100*time.Millisecond))
+	start := time.Now()
+	_, err := c.ListDatasets(context.Background(), "", 0)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("request against a hung server succeeded")
+	}
+	if !errors.Is(err, darwin.ErrUnavailable) {
+		t.Fatalf("hung-server error = %v, want ErrUnavailable", err)
+	}
+	if !darwin.Retryable(err) {
+		t.Fatalf("timeout error %v is not retryable", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timed out after %v; the 100ms deadline did not bound the request", elapsed)
+	}
+}
+
+// TestWithTimeoutRespectsCallerDeadline: an already-tighter caller context
+// still wins over the configured per-request timeout.
+func TestWithTimeoutRespectsCallerDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hung.Close()
+
+	c := darwin.NewClient(hung.URL, "", darwin.WithTimeout(time.Minute))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.ListDatasets(ctx, "", 0)
+	if err == nil {
+		t.Fatal("request outlived its caller's context")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("caller deadline ignored; returned after %v", elapsed)
+	}
+}
