@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/autolabel"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// autolabelFloorPerSec is the corpus-scale labeling throughput guard: the
+// batch pipeline (rule resolution + vote matrix + aggregation + JSONL write)
+// must sustain at least one million sentences per minute on the full-scale
+// directions corpus, or the run fails (non-zero exit in CI).
+const autolabelFloorPerSec = 1_000_000.0 / 60
+
+// runAutolabel measures the corpus-scale auto-labeling pipeline and merges
+// the numbers into BENCH_perf.json. Two quantities are tracked: raw pipeline
+// throughput (repeated in-process autolabel.Run rounds over the full-scale
+// directions corpus, output to io.Discard) and the end-to-end latency of one
+// job through the async Manager (journal append, queue, worker, partial
+// rename) — the tax of the job machinery over the raw pipeline.
+func runAutolabel(perfPath string) error {
+	header("Autolabel: corpus-scale labeling throughput -> " + perfPath)
+	const (
+		dataset = "directions"
+		scale   = 1.0
+		seed    = 7
+	)
+	c, err := datagen.ByName(dataset, scale, seed)
+	if err != nil {
+		return err
+	}
+	engine, err := core.New(c, perfConfig())
+	if err != nil {
+		return err
+	}
+
+	// The committee is mined by the Snuba baseline from a gold seed — the
+	// same deterministic committee every run, and the honest input shape
+	// (the production path labels with a mined or interactively accepted
+	// rule set, not hand phrases).
+	mined, err := autolabel.RunSnuba(engine, autolabel.SnubaRequest{
+		SeedSize: 500, Seed: 1, MinPrecision: 0.6, MaxRules: 10,
+	})
+	if err != nil {
+		return err
+	}
+	rules := make([]string, 0, len(mined.Rules))
+	for _, r := range mined.Rules {
+		rules = append(rules, r.Rule)
+	}
+	if len(rules) == 0 {
+		return fmt.Errorf("autolabel: snuba mined no rules to benchmark with")
+	}
+	spec := autolabel.Spec{Rules: rules, Aggregator: autolabel.AggregatorGenerative}
+
+	// Warm once (feature/coverage caches), then measure whole-pipeline
+	// rounds until enough wall clock has accumulated to be stable.
+	if _, err := autolabel.Run(context.Background(), engine, spec, io.Discard, nil); err != nil {
+		return err
+	}
+	const minElapsed = 500 * time.Millisecond
+	rounds, labeled := 0, 0
+	measureStart := time.Now()
+	for time.Since(measureStart) < minElapsed {
+		res, err := autolabel.Run(context.Background(), engine, spec, io.Discard, nil)
+		if err != nil {
+			return err
+		}
+		rounds++
+		labeled += res.Sentences
+	}
+	elapsed := time.Since(measureStart)
+	perSec := float64(labeled) / elapsed.Seconds()
+
+	// End-to-end job latency through the async Manager.
+	jobsDir, err := os.MkdirTemp("", "benchrunner-autolabel-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(jobsDir)
+	mgr, err := autolabel.NewManager(autolabel.ManagerConfig{Dir: jobsDir},
+		func(name string) (*core.Engine, bool) {
+			if name == dataset {
+				return engine, true
+			}
+			return nil, false
+		})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	jobStart := time.Now()
+	st, err := mgr.Submit(dataset, spec)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if st, err = mgr.Wait(ctx, st.ID); err != nil {
+		return err
+	}
+	if st.State != autolabel.StateDone {
+		return fmt.Errorf("autolabel: benchmark job ended %s: %s", st.State, st.Error)
+	}
+	e2e := time.Since(jobStart)
+
+	perf := &AutolabelPerf{
+		Dataset:           dataset,
+		Sentences:         c.Len(),
+		Rules:             len(rules),
+		Rounds:            rounds,
+		SentencesPerSec:   perSec,
+		E2EJobMillis:      float64(e2e) / float64(time.Millisecond),
+		FloorPerSec:       autolabelFloorPerSec,
+		OutputBytesPerRun: st.OutputBytes,
+	}
+	if err := mergeAutolabelPerf(perfPath, perf); err != nil {
+		return err
+	}
+	fmt.Printf("sentences=%d rules=%d rounds=%d throughput=%.0f sentences/sec (%.1fM/min, floor %.0f/sec) e2e job=%.0fms output=%dB\n",
+		perf.Sentences, perf.Rules, perf.Rounds, perSec, perSec*60/1e6, autolabelFloorPerSec,
+		perf.E2EJobMillis, perf.OutputBytesPerRun)
+	if perSec < autolabelFloorPerSec {
+		return fmt.Errorf("autolabel: throughput %.0f sentences/sec below the %.0f/sec floor (1M/minute)",
+			perSec, autolabelFloorPerSec)
+	}
+	return nil
+}
+
+// mergeAutolabelPerf folds the autolabel numbers into the existing
+// BENCH_perf.json without disturbing the hot-path snapshot the perf
+// experiment owns. The file is read as loose JSON so this experiment can run
+// standalone (missing or foreign file: a fresh object holding only the
+// autolabel section).
+func mergeAutolabelPerf(path string, perf *AutolabelPerf) error {
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("autolabel: %s exists but is not a JSON object: %v", path, err)
+		}
+	}
+	section, err := json.Marshal(perf)
+	if err != nil {
+		return err
+	}
+	doc["autolabel"] = section
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

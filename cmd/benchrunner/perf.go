@@ -28,6 +28,27 @@ type PerfReport struct {
 
 	Current  PerfNumbers `json:"current"`
 	Baseline PerfNumbers `json:"baseline_pre_pr2"`
+
+	// Autolabel is the corpus-scale auto-labeling snapshot, owned by the
+	// autolabel experiment (runAutolabel) and carried through rewrites here.
+	Autolabel *AutolabelPerf `json:"autolabel,omitempty"`
+}
+
+// AutolabelPerf tracks the batch labeling pipeline: whole-pipeline
+// throughput (resolve + vote matrix + aggregate + JSONL write) on the
+// full-scale directions corpus, and the end-to-end latency of one job
+// through the async Manager.
+type AutolabelPerf struct {
+	Dataset   string `json:"dataset"`
+	Sentences int    `json:"sentences"`
+	Rules     int    `json:"rules"`
+	Rounds    int    `json:"rounds"`
+	// SentencesPerSec is labeled sentences per second across the measured
+	// rounds; FloorPerSec is the CI guard it must clear (1M/minute).
+	SentencesPerSec   float64 `json:"sentences_per_sec"`
+	FloorPerSec       float64 `json:"floor_per_sec"`
+	E2EJobMillis      float64 `json:"e2e_job_ms"`
+	OutputBytesPerRun int64   `json:"output_bytes_per_run"`
 }
 
 // PerfNumbers are the tracked quantities.
@@ -159,6 +180,10 @@ func runPerf(outPath string) error {
 			HierarchyGenerations: sess.HierarchyGenerations(),
 		},
 		Baseline: baselinePrePR2,
+	}
+	// Keep the autolabel experiment's section across rewrites of the file.
+	if prev, err := readPerfReport(outPath); err == nil {
+		rep.Autolabel = prev.Autolabel
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -56,6 +56,7 @@ func main() {
 		shardTO    = flag.Duration("shard-timeout", 0, "per-request deadline on JSON calls to shards; a hung shard fails fast with a retryable error (0 disables)")
 		failover   = flag.Int("failover-threshold", 0, "promote a dataset's replication follower after its primary fails this many consecutive probes (0 disables replication management)")
 		probeMax   = flag.Duration("probe-backoff-max", 30*time.Second, "cap on the exponential probe backoff for down shards")
+		listConc   = flag.Int("list-concurrency", 4, "how many shards the list fan-outs (/v2/labelers, /v2/datasets) query concurrently (1 restores the sequential walk)")
 		accessLog  = flag.Bool("access-log", true, "emit one structured (JSON) log line per request, carrying the request id")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (unauthenticated; bind accordingly)")
 	)
@@ -71,6 +72,7 @@ func main() {
 		ShardTimeout:      *shardTO,
 		FailoverThreshold: *failover,
 		ProbeBackoffMax:   *probeMax,
+		ListConcurrency:   *listConc,
 	})
 	if err != nil {
 		fatalf("%v", err)

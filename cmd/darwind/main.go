@@ -65,6 +65,10 @@ func main() {
 		ttl        = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this")
 		maxSess    = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum number of live sessions")
 		journalP   = flag.String("journal", "", "path to the workspace event journal (enables durable multi-annotator workspaces with crash recovery)")
+		journalSes = flag.Bool("journal-sessions", false, "also journal plain (non-workspace) sessions to \"<-journal path>.sessions\" so they survive restarts (requires -journal)")
+		jobsDir    = flag.String("jobs-dir", "", "directory for async labeling jobs: job journal plus labeled JSONL outputs (empty disables /v2 labeling jobs)")
+		jobWorkers = flag.Int("job-workers", 2, "concurrent labeling-job workers")
+		jobTTL     = flag.Duration("job-ttl", time.Hour, "evict finished labeling jobs (and their outputs) this long after completion")
 		wsTTL      = flag.Duration("workspace-ttl", workspace.DefaultTTL, "evict workspaces idle longer than this")
 		maxWS      = flag.Int("max-workspaces", workspace.DefaultMaxWorkspaces, "maximum number of live workspaces")
 		compactN   = flag.Int("compact-every", workspace.DefaultCompactEvery, "compact the journal after this many appends (negative disables)")
@@ -109,6 +113,10 @@ func main() {
 		MaxSessions:            *maxSess,
 		DefaultBudget:          *budget,
 		JournalPath:            *journalP,
+		JournalSessions:        *journalSes,
+		JobsDir:                *jobsDir,
+		JobWorkers:             *jobWorkers,
+		JobTTL:                 *jobTTL,
 		WorkspaceTTL:           *wsTTL,
 		MaxWorkspaces:          *maxWS,
 		CompactEvery:           *compactN,

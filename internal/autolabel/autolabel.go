@@ -1,0 +1,287 @@
+// Package autolabel is the corpus-scale auto-labeling pipeline: it takes a
+// committee of accepted rules (a labeler's discovery output, plus any ad-hoc
+// tokensregex/treematch predicates), applies them corpus-wide through the
+// dense bitset coverage kernel, assembles the weak-supervision vote matrix,
+// aggregates the votes with the label model (majority vote or the one-coin
+// generative model), and streams the fully labeled corpus out as JSONL.
+//
+// This closes the loop the paper actually cares about: the serving stack
+// helps a human find rules; this package turns those rules into training
+// data at scale. Run is a pure function of (corpus, spec) — no wall clock,
+// no randomness — so the same inputs always produce byte-identical output,
+// which is what makes labeling jobs safely re-runnable after a crash (see
+// Manager) and byte-comparable across direct, HTTP and routed invocations.
+package autolabel
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/labelmodel"
+)
+
+// Aggregator names for Spec.Aggregator.
+const (
+	AggregatorMajority   = "majority"
+	AggregatorGenerative = "generative"
+)
+
+// Pipeline stage names, in execution order. They label progress counters and
+// the per-stage latency histograms.
+const (
+	StageResolve   = "resolve"
+	StageVotes     = "votes"
+	StageAggregate = "aggregate"
+	StageWrite     = "write"
+)
+
+// Typed failures the serving layer maps onto its error taxonomy.
+var (
+	// ErrInvalidSpec reports a spec that cannot run (no rules, unknown
+	// aggregator, unparseable rule).
+	ErrInvalidSpec = errors.New("autolabel: invalid spec")
+	// ErrUnknownDataset reports a job submitted for a dataset the manager
+	// does not serve.
+	ErrUnknownDataset = errors.New("autolabel: unknown dataset")
+	// ErrUnknownJob reports an unknown or expired job id.
+	ErrUnknownJob = errors.New("autolabel: unknown job")
+	// ErrNotDone reports an output request for a job that has not completed.
+	ErrNotDone = errors.New("autolabel: job is not done")
+	// ErrDisabled reports that the manager is not configured (no jobs dir).
+	ErrDisabled = errors.New("autolabel: labeling jobs are disabled")
+)
+
+// Spec describes one labeling job. It is both the wire shape of the /v2 job
+// API and the journaled job record: the serving layer resolves any labeler
+// reference into concrete rule strings before the spec is journaled, so the
+// recorded spec alone determines the output byte-for-byte.
+type Spec struct {
+	// Rules are rule specifications voting positive on their coverage
+	// (tokensregex phrases like "best way to get to", or prefixed forms like
+	// "treematch:caused/by"). A labeler's accepted-rule strings parse here
+	// unchanged.
+	Rules []string `json:"rules,omitempty"`
+	// NegativeRules vote negative on their coverage — predicate rules that
+	// mark a sentence as a known non-match.
+	NegativeRules []string `json:"negative_rules,omitempty"`
+	// Labeler, when set on a create request, pulls the accepted rules of
+	// this live labeler (session or workspace attachment) and appends them
+	// to Rules. The serving layer resolves it at submit time and clears it.
+	Labeler string `json:"labeler,omitempty"`
+	// Aggregator is "majority" (default) or "generative".
+	Aggregator string `json:"aggregator,omitempty"`
+	// DefaultProb is the majority-vote probability assigned to sentences no
+	// rule covers (default 0). The generative model gives uncovered
+	// sentences its class prior instead.
+	DefaultProb float64 `json:"default_prob,omitempty"`
+	// PosThreshold is the hard-label cutoff: label 1 iff prob > threshold
+	// (default 0.5; strictly greater, so an uncovered sentence sitting
+	// exactly on the generative prior stays negative).
+	PosThreshold float64 `json:"pos_threshold,omitempty"`
+	// EMIterations overrides the generative model's EM rounds (default 20).
+	EMIterations int `json:"em_iterations,omitempty"`
+	// IncludeProb adds the aggregated probability to every output record.
+	IncludeProb bool `json:"include_prob,omitempty"`
+	// ChunkSize is the number of sentences written per flush (default 4096).
+	// It bounds the writer's buffered memory and sets the granularity of
+	// progress counters and cancellation checks.
+	ChunkSize int `json:"chunk_size,omitempty"`
+}
+
+// withDefaults resolves the spec's tunables. It never touches Rules.
+func (sp Spec) withDefaults() Spec {
+	if sp.Aggregator == "" {
+		sp.Aggregator = AggregatorMajority
+	}
+	if sp.PosThreshold == 0 {
+		sp.PosThreshold = 0.5
+	}
+	if sp.ChunkSize <= 0 {
+		sp.ChunkSize = 4096
+	}
+	return sp
+}
+
+// Validate checks the spec against an engine without running anything: every
+// rule must parse under the engine's grammars and the aggregator must be
+// known. The returned error wraps ErrInvalidSpec.
+func (sp Spec) Validate(eng *core.Engine) error {
+	if sp.Labeler != "" {
+		return fmt.Errorf("%w: labeler reference %q was not resolved before validation", ErrInvalidSpec, sp.Labeler)
+	}
+	if len(sp.Rules) == 0 {
+		return fmt.Errorf("%w: at least one rule is required", ErrInvalidSpec)
+	}
+	switch sp.withDefaults().Aggregator {
+	case AggregatorMajority, AggregatorGenerative:
+	default:
+		return fmt.Errorf("%w: unknown aggregator %q (want %q or %q)",
+			ErrInvalidSpec, sp.Aggregator, AggregatorMajority, AggregatorGenerative)
+	}
+	for _, rule := range append(append([]string(nil), sp.Rules...), sp.NegativeRules...) {
+		if _, err := eng.ParseRule(rule); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+	}
+	return nil
+}
+
+// Result summarizes one completed run.
+type Result struct {
+	// Sentences is the corpus size (= output lines).
+	Sentences int `json:"sentences"`
+	// Rules is the committee size (positive + negative vote sources).
+	Rules int `json:"rules"`
+	// Covered counts sentences with at least one non-abstain vote.
+	Covered int `json:"covered"`
+	// Positives counts output records labeled 1.
+	Positives int `json:"positives"`
+	// OutputBytes is the size of the streamed JSONL.
+	OutputBytes int64 `json:"output_bytes"`
+}
+
+// Progress observes the pipeline: stage is one of the Stage* constants, done
+// and total count stage-local units (rules for resolve/votes, sentences for
+// aggregate/write). May be nil.
+type Progress func(stage string, done, total int)
+
+// labeledRecord is one output line: the corpus export shape
+// ({"id","text","label"}) extended with the aggregated probability when the
+// spec asks for it.
+type labeledRecord struct {
+	ID    int      `json:"id"`
+	Text  string   `json:"text"`
+	Label int      `json:"label"`
+	Prob  *float64 `json:"prob,omitempty"`
+}
+
+// Run applies the spec to the engine's corpus and streams the labeled JSONL
+// to w. Memory stays bounded by (corpus bitsets + vote matrix + one write
+// chunk); output is produced in ChunkSize flushes, so a slow consumer
+// backpressures the pipeline instead of buffering the whole corpus. The
+// output is a pure function of (corpus, spec): byte-identical across runs,
+// processes and routes. ctx is checked between chunks and rules; a canceled
+// run returns ctx.Err() with the output truncated.
+func Run(ctx context.Context, eng *core.Engine, spec Spec, w io.Writer, progress Progress) (Result, error) {
+	if err := spec.Validate(eng); err != nil {
+		return Result{}, err
+	}
+	sp := spec.withDefaults()
+	if progress == nil {
+		progress = func(string, int, int) {}
+	}
+	corp := eng.Corpus()
+	n := corp.Len()
+	numRules := len(sp.Rules) + len(sp.NegativeRules)
+
+	// Stage 1: resolve every rule to its coverage bitset (index bits are
+	// reused when published; otherwise one corpus scan, no index mutation).
+	type ruleBits struct {
+		spec string
+		bits bitset.Set
+		vote labelmodel.Vote
+	}
+	resolved := make([]ruleBits, 0, numRules)
+	resolve := func(specs []string, vote labelmodel.Vote) error {
+		for _, rule := range specs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			_, bits, err := eng.CoverageBits(rule)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+			}
+			resolved = append(resolved, ruleBits{spec: rule, bits: bits, vote: vote})
+			progress(StageResolve, len(resolved), numRules)
+		}
+		return nil
+	}
+	if err := resolve(sp.Rules, labelmodel.VotePositive); err != nil {
+		return Result{}, err
+	}
+	if err := resolve(sp.NegativeRules, labelmodel.VoteNegative); err != nil {
+		return Result{}, err
+	}
+
+	// Stage 2: assemble the vote matrix and the union coverage — batch
+	// word-wise Or over the per-rule bitsets.
+	m := labelmodel.NewMatrix(n)
+	union := bitset.New(n)
+	for i, rb := range resolved {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		m.AddRuleBits(rb.spec, rb.bits, rb.vote)
+		union = bitset.Union(union, rb.bits)
+		progress(StageVotes, i+1, numRules)
+	}
+	covered := union.Count()
+
+	// Stage 3: aggregate votes into per-sentence probabilities.
+	var probs []float64
+	switch sp.Aggregator {
+	case AggregatorGenerative:
+		gcfg := labelmodel.DefaultGenerativeConfig()
+		if sp.EMIterations > 0 {
+			gcfg.Iterations = sp.EMIterations
+		}
+		probs = labelmodel.FitGenerative(m, gcfg).Probabilities()
+	default:
+		probs = m.MajorityVote(sp.DefaultProb)
+	}
+	progress(StageAggregate, n, n)
+
+	// Stage 4: stream the labeled corpus in bounded chunks.
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	enc := json.NewEncoder(bw)
+	res := Result{Sentences: n, Rules: numRules, Covered: covered}
+	for start := 0; start < n; start += sp.ChunkSize {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		end := start + sp.ChunkSize
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			s := corp.Sentences[i]
+			rec := labeledRecord{ID: s.ID, Text: s.Text}
+			p := probs[i]
+			if p > sp.PosThreshold {
+				rec.Label = 1
+				res.Positives++
+			}
+			if sp.IncludeProb {
+				rec.Prob = &p
+			}
+			if err := enc.Encode(rec); err != nil {
+				return res, fmt.Errorf("autolabel: write sentence %d: %w", s.ID, err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return res, fmt.Errorf("autolabel: flush output: %w", err)
+		}
+		progress(StageWrite, end, n)
+	}
+	res.OutputBytes = cw.n
+	return res, nil
+}
+
+// countingWriter tracks bytes written through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

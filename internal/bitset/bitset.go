@@ -173,6 +173,38 @@ func AndNot(a, b Set) Set {
 	return out
 }
 
+// Or returns a ∪ b as a new set sized to the longer operand.
+func Or(a, b Set) Set {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	out := make(Set, len(a))
+	copy(out, a)
+	for i, w := range b {
+		out[i] |= w
+	}
+	return out
+}
+
+// Union ors src into dst in place, growing dst if src is longer, and returns
+// the (possibly reallocated) destination. It is the accumulator of the batch
+// rule-application path: the union coverage of a rule committee is built by
+// folding each rule's coverage bitset into one running set.
+func Union(dst, src Set) Set {
+	if len(src) > len(dst) {
+		grown := make(Set, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, w := range src {
+		dst[i] |= w
+	}
+	return dst
+}
+
 // AndCount returns |a ∩ b| without materializing the intersection.
 func AndCount(a, b Set) int {
 	n := len(a)

@@ -220,6 +220,34 @@ func (e *Engine) MaterializeRule(spec string) (string, []int, error) {
 	return h.Key(), append([]int(nil), node.Postings...), nil
 }
 
+// CoverageBits resolves a rule specification to its canonical key and full
+// corpus coverage as a dense bitset, without mutating the shared index. When
+// the index already holds the rule with published bits (a seed rule some
+// session materialized, or a sketched candidate), those bits are reused
+// as-is — published bitsets are immutable, so the returned set is safe to
+// read after the lock is released but must not be modified. Otherwise the
+// rule is matched against the corpus with a full scan. This is the batch
+// rule-application primitive of the auto-labeling pipeline: resolving a
+// committee of accepted rules costs at most one corpus scan per rule never
+// seen by the index, and zero index growth either way.
+func (e *Engine) CoverageBits(spec string) (string, bitset.Set, error) {
+	h, err := e.reg.Parse(spec)
+	if err != nil {
+		return "", nil, fmt.Errorf("core: rule %q: %w", spec, err)
+	}
+	e.ixMu.RLock()
+	node := e.ix.Node(h.Key())
+	var published bitset.Set
+	if node != nil {
+		published = node.Bits()
+	}
+	e.ixMu.RUnlock()
+	if published != nil {
+		return h.Key(), published, nil
+	}
+	return h.Key(), bitset.FromSorted(grammar.Coverage(h, e.corp)), nil
+}
+
 // RunOptions configures one discovery run.
 type RunOptions struct {
 	// SeedRules are textual rule specifications (e.g. "best way to get to" or

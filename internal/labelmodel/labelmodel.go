@@ -12,6 +12,8 @@ package labelmodel
 
 import (
 	"math"
+
+	"repro/internal/bitset"
 )
 
 // Vote is a single labeling-function output for one sentence.
@@ -59,6 +61,22 @@ func (m *Matrix) AddRule(name string, coverage []int, vote Vote) {
 			row[id] = vote
 		}
 	}
+	m.rows = append(m.rows, row)
+	m.names = append(m.names, name)
+}
+
+// AddRuleBits registers a labeling function that votes `vote` on every id in
+// the coverage bitset and abstains elsewhere. It is the corpus-scale batch
+// path: the row is filled straight from the set bits (no intermediate id
+// slice), equivalent to AddRule(name, bits.AppendTo(nil), vote).
+func (m *Matrix) AddRuleBits(name string, bits bitset.Set, vote Vote) {
+	row := make([]Vote, m.numSentences)
+	bits.Range(func(id int) bool {
+		if id < m.numSentences {
+			row[id] = vote
+		}
+		return true
+	})
 	m.rows = append(m.rows, row)
 	m.names = append(m.names, name)
 }

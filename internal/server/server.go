@@ -58,6 +58,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/autolabel"
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -104,6 +105,21 @@ type Config struct {
 	// replicates like a client-issued one.
 	AttachmentTTL time.Duration
 
+	// JobsDir, when non-empty, enables the /v2 labeling-job subsystem: job
+	// records are journaled under it (crash-survivable status) and finished
+	// outputs live there until their TTL. Empty leaves the job endpoints
+	// registered but answering 503.
+	JobsDir string
+	// JobWorkers bounds concurrent labeling-job execution (default 2).
+	JobWorkers int
+	// JobTTL retains terminal labeling jobs and their outputs (default 1h).
+	JobTTL time.Duration
+
+	// JournalSessions additionally journals plain (non-workspace) session
+	// lifecycle and answers into "<JournalPath>.sessions", so solo sessions
+	// recover across a restart like workspaces do. Requires JournalPath.
+	JournalSessions bool
+
 	// ReplicationSync blocks acknowledged workspace writes until the
 	// dataset's replication follower acks them (bounded by
 	// ReplicationSyncTimeout, default 2s). Only meaningful with a journal;
@@ -144,6 +160,12 @@ type Server struct {
 	// repl is the journal-replication node (nil without a journal; the
 	// replication endpoints then answer 503).
 	repl *replicate.Node
+	// jobs is the labeling-job manager (nil without Config.JobsDir; the job
+	// endpoints then answer 503).
+	jobs *autolabel.Manager
+	// sessJournal journals solo-session events when Config.JournalSessions
+	// is set (nil otherwise).
+	sessJournal *sessionJournal
 }
 
 // New creates a server over the given datasets. When Config.JournalPath is
@@ -213,6 +235,31 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 			DropLabelers:  s.dropLabelers,
 		})
 	}
+	if cfg.JournalSessions {
+		if cfg.JournalPath == "" {
+			return nil, errors.New("server: JournalSessions requires JournalPath")
+		}
+		sj, err := openSessionJournal(cfg.JournalPath+".sessions", s)
+		if err != nil {
+			return nil, err
+		}
+		s.sessJournal = sj
+	}
+	if cfg.JobsDir != "" {
+		jobs, err := autolabel.NewManager(autolabel.ManagerConfig{
+			Dir:     cfg.JobsDir,
+			Workers: cfg.JobWorkers,
+			TTL:     cfg.JobTTL,
+			Logf:    log.Printf,
+		}, func(dataset string) (*core.Engine, bool) {
+			eng, ok := engines[dataset]
+			return eng, ok
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = jobs
+	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", obs.Default().Handler().ServeHTTP)
 	s.handle("POST /v1/sessions", s.handleCreate)
@@ -280,6 +327,18 @@ func (s *Server) Recovery() workspace.RecoveryStats { return s.recovery }
 // Close stops replication (keeping standbys warm on disk), then flushes and
 // closes the workspace journal. Call after the HTTP server has drained.
 func (s *Server) Close() error {
+	if s.jobs != nil {
+		// Stop job workers first: an interrupted job keeps no terminal
+		// record, so the next process re-runs it to the identical bytes.
+		if err := s.jobs.Close(); err != nil {
+			log.Printf("server: close job manager: %v", err)
+		}
+	}
+	if s.sessJournal != nil {
+		if err := s.sessJournal.Close(); err != nil {
+			log.Printf("server: close session journal: %v", err)
+		}
+	}
 	if s.repl != nil {
 		s.repl.Close()
 	}
@@ -327,6 +386,16 @@ func (s *Server) newSessionLabeler(dataset string, seedRules []string, seedIDs [
 	en, err := s.store.Create(d.Name, lab)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", darwin.ErrUnavailable, err)
+	}
+	if s.sessJournal != nil {
+		// Journal the resolved options (server defaults applied), so replay
+		// does not depend on the config of the recovering process.
+		s.sessJournal.recordCreate(en.id, d.Name, sessCreateData{
+			SeedRules:       seedRules,
+			SeedPositiveIDs: seedIDs,
+			Budget:          budget,
+			Seed:            seed,
+		})
 	}
 	return lab, en, nil
 }
@@ -585,6 +654,9 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, err)
 		return
 	}
+	if s.sessJournal != nil {
+		s.sessJournal.recordAnswers(en.id, recs)
+	}
 	// Derive done/budget from the answered record itself (rec.Question is
 	// the question number this answer was committed as) and the immutable
 	// budget, not from a second unsynchronized status read.
@@ -662,5 +734,9 @@ func (s *Server) deleteSession(ctx context.Context, id string) bool {
 		return false
 	}
 	_ = en.lab.Close(ctx)
-	return s.store.Delete(id)
+	deleted := s.store.Delete(id)
+	if deleted && s.sessJournal != nil {
+		s.sessJournal.recordDelete(id)
+	}
+	return deleted
 }

@@ -97,6 +97,17 @@ func (st *Store) Create(dataset string, lab *darwin.SessionLabeler) (*sessionEnt
 	return en, nil
 }
 
+// Restore re-registers a session under its pre-crash id (session-journal
+// recovery). The entry gets fresh created/idle timers: recovery has no
+// record of the original idle clock, and resurrecting a session just to
+// expire it instantly would break clients resuming after a restart.
+func (st *Store) Restore(id, dataset string, lab *darwin.SessionLabeler) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	st.items[id] = &sessionEntry{id: id, dataset: dataset, lab: lab, created: now, lastUsed: now}
+}
+
 // Get returns the live session with the given ID and refreshes its idle
 // timer. Expired sessions are treated as absent.
 func (st *Store) Get(id string) (*sessionEntry, bool) {

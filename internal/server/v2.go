@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autolabel"
 	"repro/internal/workspace"
 	"repro/pkg/darwin"
 )
@@ -51,6 +53,21 @@ type Backend interface {
 	// DeleteLabeler closes and removes a labeler (detaching the annotator
 	// for workspace attachments).
 	DeleteLabeler(ctx context.Context, id string) error
+
+	// CreateLabelingJob resolves the spec (expanding any labeler reference
+	// into rule strings) and submits an async corpus-labeling job for the
+	// dataset, returning its queued status with the job ID set.
+	CreateLabelingJob(ctx context.Context, dataset string, spec autolabel.Spec) (autolabel.JobStatus, error)
+	// LabelingJob reports a labeling job's status with progress counters.
+	LabelingJob(ctx context.Context, dataset, id string) (autolabel.JobStatus, error)
+	// LabelingJobOutput streams a done job's labeled JSONL to w, starting at
+	// byte offset (resumable download). It fails with a typed error before
+	// writing anything when the job is unknown or not done.
+	LabelingJobOutput(ctx context.Context, dataset, id string, offset int64, w io.Writer) error
+	// SnubaBaseline mines a Snuba heuristic committee from a gold-labeled
+	// seed and scores it (and optionally an interactive committee)
+	// corpus-wide — the paper's automatic baseline as one synchronous call.
+	SnubaBaseline(ctx context.Context, dataset string, req autolabel.SnubaRequest) (autolabel.SnubaResult, error)
 }
 
 // RegisterV2 registers the /v2 handler set over b. register is called once
@@ -65,6 +82,10 @@ func RegisterV2(b Backend, register func(pattern string, h http.HandlerFunc)) {
 	register("GET /v2/labelers/{id}/report", handleV2Report(b))
 	register("GET /v2/labelers/{id}/export", handleV2Export(b))
 	register("DELETE /v2/labelers/{id}", handleV2Delete(b))
+	register("POST /v2/datasets/{dataset}/labeling-jobs", handleV2JobCreate(b))
+	register("GET /v2/datasets/{dataset}/labeling-jobs/{id}", handleV2JobStatus(b))
+	register("GET /v2/datasets/{dataset}/labeling-jobs/{id}/output", handleV2JobOutput(b))
+	register("POST /v2/datasets/{dataset}/baselines/snuba", handleV2Snuba(b))
 }
 
 // V2Handler returns a handler serving just the /v2 surface over b — what
@@ -462,11 +483,15 @@ func parseLimit(r *http.Request) (int, error) {
 
 // timedSessionLabeler folds session suggest latency into the healthz
 // aggregate on the /v2 path, mirroring what the /v1 handlers do through
-// suggestStep. Embedding keeps every other Labeler/BatchAnswerer/Statuser
-// method on the adapter itself.
+// suggestStep, and journals applied answers when session journaling is on.
+// Embedding keeps every other Labeler/BatchAnswerer/Statuser method on the
+// adapter itself.
 type timedSessionLabeler struct {
 	*darwin.SessionLabeler
 	store *Store
+	// id and sj journal applied answers (sj nil when journaling is off).
+	id string
+	sj *sessionJournal
 }
 
 func (l *timedSessionLabeler) Suggest(ctx context.Context) (darwin.Suggestion, error) {
@@ -474,6 +499,24 @@ func (l *timedSessionLabeler) Suggest(ctx context.Context) (darwin.Suggestion, e
 	sug, err := l.SessionLabeler.Suggest(ctx)
 	l.store.RecordStep(time.Since(start))
 	return sug, err
+}
+
+func (l *timedSessionLabeler) AnswerBatch(ctx context.Context, answers []darwin.Answer) ([]darwin.RuleRecord, error) {
+	recs, err := l.SessionLabeler.AnswerBatch(ctx, answers)
+	if l.sj != nil {
+		// Journal the applied prefix even on a mid-batch error: those answers
+		// changed durable state.
+		l.sj.recordAnswers(l.id, recs)
+	}
+	return recs, err
+}
+
+func (l *timedSessionLabeler) AnswerBatchStatus(ctx context.Context, answers []darwin.Answer) ([]darwin.RuleRecord, darwin.Status, error) {
+	recs, st, err := l.SessionLabeler.AnswerBatchStatus(ctx, answers)
+	if l.sj != nil {
+		l.sj.recordAnswers(l.id, recs)
+	}
+	return recs, st, err
 }
 
 // CreateLabeler implements Backend.
@@ -584,7 +627,7 @@ func (s *Server) createWorkspaceLabeler(ctx context.Context, req darwin.CreateOp
 // Labeler implements Backend: it maps a labeler id to its darwin.Labeler.
 func (s *Server) Labeler(id string) (darwin.Labeler, error) {
 	if en, ok := s.store.Get(id); ok {
-		return &timedSessionLabeler{SessionLabeler: en.lab, store: s.store}, nil
+		return &timedSessionLabeler{SessionLabeler: en.lab, store: s.store, id: id, sj: s.sessJournal}, nil
 	}
 	if en, ok := s.labelers.get(id); ok {
 		// A TTL-evicted workspace leaves its attachment entries behind, and

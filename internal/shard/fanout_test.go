@@ -1,0 +1,312 @@
+package shard_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+	"repro/pkg/darwin"
+)
+
+// concurrencyGauge tracks how many fake-shard list requests are in flight at
+// once, so the tests can pin the router's ListConcurrency bound.
+type concurrencyGauge struct {
+	mu       sync.Mutex
+	inflight int
+	max      int
+}
+
+func (g *concurrencyGauge) enter() {
+	g.mu.Lock()
+	g.inflight++
+	if g.inflight > g.max {
+		g.max = g.inflight
+	}
+	g.mu.Unlock()
+}
+
+func (g *concurrencyGauge) exit() {
+	g.mu.Lock()
+	g.inflight--
+	g.mu.Unlock()
+}
+
+func (g *concurrencyGauge) reset() {
+	g.mu.Lock()
+	g.inflight, g.max = 0, 0
+	g.mu.Unlock()
+}
+
+func (g *concurrencyGauge) peak() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// pageStrings mirrors the shard-side cursor semantics: sorted ids, cursor is
+// the last id of the previous page, next cursor set while more remain.
+func pageStrings(ids []string, cursor string, limit int) (page []string, next string) {
+	start := 0
+	if cursor != "" {
+		start = sort.SearchStrings(ids, cursor)
+		if start < len(ids) && ids[start] == cursor {
+			start++
+		}
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	end := start + limit
+	if end > len(ids) {
+		end = len(ids)
+	}
+	page = ids[start:end]
+	if end < len(ids) && len(page) > 0 {
+		next = page[len(page)-1]
+	}
+	return page, next
+}
+
+// newFakeListShard serves just the two list endpoints from fixed data,
+// holding each request open for delay so overlap is observable.
+func newFakeListShard(t *testing.T, gauge *concurrencyGauge, labelers, datasets []string, delay time.Duration) *httptest.Server {
+	t.Helper()
+	sortedLabs := append([]string(nil), labelers...)
+	sort.Strings(sortedLabs)
+	sortedSets := append([]string(nil), datasets...)
+	sort.Strings(sortedSets)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		cursor := r.URL.Query().Get("cursor")
+		switch r.URL.Path {
+		case "/v2/labelers":
+			gauge.enter()
+			time.Sleep(delay)
+			defer gauge.exit()
+			ids, next := pageStrings(sortedLabs, cursor, limit)
+			page := darwin.LabelerPage{Labelers: []darwin.Status{}, NextCursor: next}
+			for _, id := range ids {
+				page.Labelers = append(page.Labelers, darwin.Status{ID: id, Dataset: "directions"})
+			}
+			json.NewEncoder(w).Encode(page)
+		case "/v2/datasets":
+			gauge.enter()
+			time.Sleep(delay)
+			defer gauge.exit()
+			names, next := pageStrings(sortedSets, cursor, limit)
+			json.NewEncoder(w).Encode(darwin.DatasetPage{Datasets: names, NextCursor: next})
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestListFanoutConcurrencyBound pins the parallel fan-out satellite: list
+// endpoints query shards concurrently, but never more than
+// Config.ListConcurrency at once.
+func TestListFanoutConcurrencyBound(t *testing.T) {
+	gauge := &concurrencyGauge{}
+	const fleet = 6
+	specs := make([]shard.Spec, fleet)
+	for i := 0; i < fleet; i++ {
+		ts := newFakeListShard(t, gauge, []string{"a", "b"}, []string{fmt.Sprintf("set-%d", i)}, 30*time.Millisecond)
+		specs[i] = shard.Spec{Name: fmt.Sprintf("s%d", i), URL: ts.URL}
+	}
+	rt, err := shard.New(specs, shard.Config{ListConcurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	page, err := rt.ListLabelers(ctx, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Labelers) != 2*fleet || page.NextCursor != "" {
+		t.Fatalf("fan-out returned %d labelers (cursor %q), want %d", len(page.Labelers), page.NextCursor, 2*fleet)
+	}
+	if peak := gauge.peak(); peak > 2 {
+		t.Errorf("labeler fan-out reached %d concurrent shard requests, bound is 2", peak)
+	} else if peak < 2 {
+		t.Errorf("labeler fan-out peaked at %d concurrent shard requests; expected the bound (2) to be used", peak)
+	}
+
+	gauge.reset()
+	dp, err := rt.ListDatasets(ctx, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Datasets) != fleet {
+		t.Fatalf("dataset union has %d names, want %d", len(dp.Datasets), fleet)
+	}
+	if peak := gauge.peak(); peak > 2 || peak < 2 {
+		t.Errorf("dataset fan-out peaked at %d concurrent shard requests, want exactly the bound 2", peak)
+	}
+}
+
+// TestListFanoutMatchesSequentialWalk holds the parallel fan-out to the
+// sequential contract: a cursor walk over ListConcurrency 8 yields the same
+// pages (ids and cursors) as ListConcurrency 1 over the same fleet.
+func TestListFanoutMatchesSequentialWalk(t *testing.T) {
+	gauge := &concurrencyGauge{}
+	shardLabs := [][]string{
+		nil,
+		{"l1", "l2", "l3"},
+		{"m1", "m2", "m3", "m4", "m5"},
+		{"n1"},
+	}
+	shardSets := [][]string{
+		{"alpha-only"},
+		{"shared", "beta-only"},
+		{"shared", "gamma-extra"},
+		{"delta-only", "shared"},
+	}
+	names := []string{"pa", "pb", "pc", "pd"}
+	specs := make([]shard.Spec, len(names))
+	for i, name := range names {
+		ts := newFakeListShard(t, gauge, shardLabs[i], shardSets[i], time.Millisecond)
+		specs[i] = shard.Spec{Name: name, URL: ts.URL}
+	}
+
+	walk := func(conc int) (pages []string) {
+		rt, err := shard.New(specs, shard.Config{ListConcurrency: conc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursor := ""
+		for {
+			page, err := rt.ListLabelers(context.Background(), cursor, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ids []string
+			for _, st := range page.Labelers {
+				ids = append(ids, st.ID)
+			}
+			pages = append(pages, strings.Join(ids, ",")+" next="+page.NextCursor)
+			if page.NextCursor == "" {
+				return pages
+			}
+			cursor = page.NextCursor
+		}
+	}
+	sequential, parallel := walk(1), walk(8)
+	if len(sequential) != 3 {
+		t.Fatalf("9 labelers at limit 3 paged as %v", sequential)
+	}
+	for i := range sequential {
+		if i >= len(parallel) || sequential[i] != parallel[i] {
+			t.Fatalf("page %d diverged:\n  sequential %v\n  parallel   %v", i, sequential, parallel)
+		}
+	}
+
+	walkSets := func(conc int) (pages []string) {
+		rt, err := shard.New(specs, shard.Config{ListConcurrency: conc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursor := ""
+		for {
+			page, err := rt.ListDatasets(context.Background(), cursor, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, strings.Join(page.Datasets, ",")+" next="+page.NextCursor)
+			if page.NextCursor == "" {
+				return pages
+			}
+			cursor = page.NextCursor
+		}
+	}
+	seqSets, parSets := walkSets(1), walkSets(8)
+	if len(seqSets) != 3 { // 5 distinct names at limit 2
+		t.Fatalf("dataset union paged as %v", seqSets)
+	}
+	for i := range seqSets {
+		if i >= len(parSets) || seqSets[i] != parSets[i] {
+			t.Fatalf("dataset page %d diverged:\n  sequential %v\n  parallel   %v", i, seqSets, parSets)
+		}
+	}
+}
+
+// TestListFanoutDegradationAndErrors pins the failure split under the
+// parallel fan-out: an unavailable shard degrades the listing (its labelers
+// vanish, the call succeeds, /healthz names the gap), while a client-class
+// shard failure surfaces as an error rather than silently shrinking the page.
+func TestListFanoutDegradationAndErrors(t *testing.T) {
+	gauge := &concurrencyGauge{}
+	live1 := newFakeListShard(t, gauge, []string{"a1"}, []string{"directions"}, 0)
+	live2 := newFakeListShard(t, gauge, []string{"c1"}, []string{"directions"}, 0)
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	rt, err := shard.New([]shard.Spec{
+		{Name: "alpha", URL: live1.URL},
+		{Name: "beta", URL: down.URL},
+		{Name: "gamma", URL: live2.URL},
+	}, shard.Config{ListConcurrency: 4, Retries: 1, RetryBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	page, err := rt.ListLabelers(ctx, "", 0)
+	if err != nil {
+		t.Fatalf("listing with a down shard must degrade, got error: %v", err)
+	}
+	var ids []string
+	for _, st := range page.Labelers {
+		ids = append(ids, st.ID)
+	}
+	want := []string{"alpha" + shard.Sep + "a1", "gamma" + shard.Sep + "c1"}
+	if strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Fatalf("degraded listing = %v, want %v", ids, want)
+	}
+	for _, h := range rt.Health() {
+		if h.Name == "beta" && h.Healthy {
+			t.Errorf("down shard still marked healthy after a degraded fan-out")
+		}
+	}
+	dp, err := rt.ListDatasets(ctx, "", 0)
+	if err != nil || len(dp.Datasets) != 1 || dp.Datasets[0] != "directions" {
+		t.Fatalf("degraded dataset union = %v (%v)", dp.Datasets, err)
+	}
+
+	// A shard answering with a client-class error (bad token, rate limit)
+	// while reachable must fail the listing loudly.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":{"code":"invalid","message":"bad list request"}}`)
+	}))
+	defer bad.Close()
+	rt2, err := shard.New([]shard.Spec{
+		{Name: "alpha", URL: live1.URL},
+		{Name: "beta", URL: bad.URL},
+	}, shard.Config{ListConcurrency: 4, Retries: 1, RetryBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.ListLabelers(ctx, "", 0); !errors.Is(err, darwin.ErrInvalid) {
+		t.Errorf("client-class shard failure: %v, want ErrInvalid surfaced", err)
+	}
+	if _, err := rt2.ListDatasets(ctx, "", 0); !errors.Is(err, darwin.ErrInvalid) {
+		t.Errorf("client-class dataset failure: %v, want ErrInvalid surfaced", err)
+	}
+}

@@ -121,6 +121,10 @@ type Config struct {
 	// as before; each further failure doubles the pause, so a long-dead
 	// shard is not hammered every tick.
 	ProbeBackoffMax time.Duration
+	// ListConcurrency bounds how many shards the list fan-outs
+	// (/v2/labelers, /v2/datasets) query concurrently (default 4; 1 restores
+	// the fully sequential walk).
+	ListConcurrency int
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeBackoffMax <= 0 {
 		c.ProbeBackoffMax = 30 * time.Second
+	}
+	if c.ListConcurrency <= 0 {
+		c.ListConcurrency = 4
 	}
 	return c
 }
@@ -381,12 +388,15 @@ func (r *Router) LabelerStatus(ctx context.Context, id string) (darwin.Status, e
 	return lab.(*routedLabeler).Status(ctx)
 }
 
-// ListLabelers implements the server Backend: a fan-out merge. Shards are
-// walked in name order (the namespaced ids of one shard are contiguous in
-// the listing), and the cursor "<shard>~<backend cursor>" resumes mid-shard,
-// so one logical page costs one request to at most a few shards regardless
-// of fleet size. Shards marked down are skipped — the listing degrades to
-// the live fleet rather than failing, and healthz names the gap.
+// ListLabelers implements the server Backend: a fan-out merge. Every shard
+// at or after the cursor is prefetched concurrently (bounded by
+// Config.ListConcurrency), each contributing up to one page's worth of
+// statuses, then the prefetches are merged sequentially in shard name order
+// — so the listing is byte-identical to the old sequential walk (namespaced
+// ids of one shard stay contiguous, the cursor "<shard>~<backend cursor>"
+// resumes mid-shard) while the wall-clock is the slowest shard instead of
+// the sum of all shards. Shards marked down are skipped — the listing
+// degrades to the live fleet rather than failing, and healthz names the gap.
 func (r *Router) ListLabelers(ctx context.Context, cursor string, limit int) (darwin.LabelerPage, error) {
 	limit = server.ClampPageLimit(limit)
 	startIdx, backendCursor := 0, ""
@@ -402,56 +412,94 @@ func (r *Router) ListLabelers(ctx context.Context, cursor string, limit int) (da
 	}
 	fanoutStart := time.Now()
 	defer fanoutDurations.With("list_labelers").ObserveSince(fanoutStart)
-	out := darwin.LabelerPage{Labelers: []darwin.Status{}}
-	for idx := startIdx; idx < len(r.shards); idx++ {
-		sh := r.shards[idx]
+
+	// prefetch is one shard's contribution: up to limit namespaced statuses,
+	// the backend cursor where the prefetch stopped ("" when the shard is
+	// exhausted), and any non-degradable error.
+	type prefetch struct {
+		statuses []darwin.Status
+		next     string
+		err      error
+	}
+	n := len(r.shards) - startIdx
+	results := make([]prefetch, n)
+	sem := make(chan struct{}, r.cfg.ListConcurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sh := r.shards[startIdx+i]
 		if !sh.up.Load() {
 			continue
 		}
 		bc := ""
-		if idx == startIdx {
+		if i == 0 {
 			bc = backendCursor
 		}
-		for {
-			var sub darwin.LabelerPage
-			err := r.retry(ctx, sh, "list_labelers", func() error {
-				var e error
-				sub, e = sh.client.ListLabelers(ctx, bc, limit-len(out.Labelers))
-				return e
-			})
-			if err != nil {
-				if ctx.Err() == nil && errors.Is(err, darwin.ErrUnavailable) {
-					// A down shard degrades the listing: mark it so /healthz
-					// names the gap (the prober restores it within one
-					// interval once it answers again).
-					sh.setHealth(err)
-					break
+		wg.Add(1)
+		go func(res *prefetch, sh *shard, bc string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for {
+				var sub darwin.LabelerPage
+				err := r.retry(ctx, sh, "list_labelers", func() error {
+					var e error
+					sub, e = sh.client.ListLabelers(ctx, bc, limit-len(res.statuses))
+					return e
+				})
+				if err != nil {
+					if ctx.Err() == nil && errors.Is(err, darwin.ErrUnavailable) {
+						// A down shard degrades the listing: mark it so
+						// /healthz names the gap (the prober restores it
+						// within one interval once it answers again).
+						sh.setHealth(err)
+						res.statuses, res.next = nil, ""
+						return
+					}
+					// Everything else must surface, never silently shrink the
+					// listing: client-class failures (bad -shard-token, rate
+					// limit) while the shard probes healthy, and our caller's
+					// own expired context (which says nothing about the shard
+					// — but a truncated page with a nil error would read as
+					// the complete fleet).
+					res.err = err
+					return
 				}
-				// Everything else must surface, never silently shrink the
-				// listing: client-class failures (bad -shard-token, rate
-				// limit) while the shard probes healthy, and our caller's
-				// own expired context (which says nothing about the shard —
-				// but a truncated page with a nil error would read as the
-				// complete fleet).
-				return darwin.LabelerPage{}, err
+				for _, st := range sub.Labelers {
+					res.statuses = append(res.statuses, sh.namespaceStatus(st))
+				}
+				if len(res.statuses) >= limit {
+					res.next = sub.NextCursor
+					return
+				}
+				// A page can be empty yet carry a cursor (every id on it was
+				// evicted between the shard's listing and status resolution),
+				// so the cursor — which strictly advances — is the only
+				// end-of-shard signal.
+				if sub.NextCursor == "" || sub.NextCursor == bc {
+					return
+				}
+				bc = sub.NextCursor
 			}
-			for _, st := range sub.Labelers {
-				out.Labelers = append(out.Labelers, sh.namespaceStatus(st))
-			}
+		}(&results[i], sh, bc)
+	}
+	wg.Wait()
+
+	out := darwin.LabelerPage{Labelers: []darwin.Status{}}
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return darwin.LabelerPage{}, res.err
+		}
+		for j, st := range res.statuses {
+			out.Labelers = append(out.Labelers, st)
 			if len(out.Labelers) >= limit {
-				if sub.NextCursor != "" || idx+1 < len(r.shards) {
-					out.NextCursor = out.Labelers[len(out.Labelers)-1].ID
+				// More labelers exist later in this prefetch, beyond it on
+				// the same shard, or on a later shard.
+				if j+1 < len(res.statuses) || res.next != "" || startIdx+i+1 < len(r.shards) {
+					out.NextCursor = st.ID
 				}
 				return out, nil
 			}
-			// A page can be empty yet carry a cursor (every id on it was
-			// evicted between the shard's listing and status resolution), so
-			// the cursor — which strictly advances — is the only
-			// end-of-shard signal.
-			if sub.NextCursor == "" || sub.NextCursor == bc {
-				break
-			}
-			bc = sub.NextCursor
 		}
 	}
 	return out, nil
@@ -459,39 +507,65 @@ func (r *Router) ListLabelers(ctx context.Context, cursor string, limit int) (da
 
 // ListDatasets implements the server Backend: the union of every live
 // shard's datasets, paginated with the same cursor semantics as a single
-// darwind. Each page request rebuilds the full union — fine while fleets
-// serve tens of datasets (one request per shard per page); cache it here if
-// dataset counts ever grow past that.
+// darwind. Shards are queried concurrently (bounded by
+// Config.ListConcurrency) — the union is order-free, so the merge just
+// folds the per-shard name sets together and sorts. Each page request
+// rebuilds the full union — fine while fleets serve tens of datasets (one
+// request per shard per page); cache it here if dataset counts ever grow
+// past that.
 func (r *Router) ListDatasets(ctx context.Context, cursor string, limit int) (darwin.DatasetPage, error) {
 	fanoutStart := time.Now()
 	defer fanoutDurations.With("list_datasets").ObserveSince(fanoutStart)
-	seen := make(map[string]bool)
-	for _, sh := range r.shards {
+	type prefetch struct {
+		names []string
+		err   error
+	}
+	results := make([]prefetch, len(r.shards))
+	sem := make(chan struct{}, r.cfg.ListConcurrency)
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
 		if !sh.up.Load() {
 			continue
 		}
-		bc := ""
-		for {
-			var sub darwin.DatasetPage
-			err := r.retry(ctx, sh, "list_datasets", func() error {
-				var e error
-				sub, e = sh.client.ListDatasets(ctx, bc, 0)
-				return e
-			})
-			if err != nil {
-				if ctx.Err() == nil && errors.Is(err, darwin.ErrUnavailable) {
-					sh.setHealth(err)
-					break
+		wg.Add(1)
+		go func(res *prefetch, sh *shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bc := ""
+			for {
+				var sub darwin.DatasetPage
+				err := r.retry(ctx, sh, "list_datasets", func() error {
+					var e error
+					sub, e = sh.client.ListDatasets(ctx, bc, 0)
+					return e
+				})
+				if err != nil {
+					if ctx.Err() == nil && errors.Is(err, darwin.ErrUnavailable) {
+						sh.setHealth(err)
+						res.names = nil
+						return
+					}
+					res.err = err
+					return
 				}
-				return darwin.DatasetPage{}, err
+				res.names = append(res.names, sub.Datasets...)
+				if sub.NextCursor == "" {
+					return
+				}
+				bc = sub.NextCursor
 			}
-			for _, name := range sub.Datasets {
-				seen[name] = true
-			}
-			if sub.NextCursor == "" {
-				break
-			}
-			bc = sub.NextCursor
+		}(&results[i], sh)
+	}
+	wg.Wait()
+	seen := make(map[string]bool)
+	for i := range results {
+		if err := results[i].err; err != nil {
+			// Surface the lowest shard's error for determinism across runs.
+			return darwin.DatasetPage{}, err
+		}
+		for _, name := range results[i].names {
+			seen[name] = true
 		}
 	}
 	names := make([]string, 0, len(seen))

@@ -1,0 +1,95 @@
+package darwin
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/autolabel"
+)
+
+// This file is the SDK client for the /v2 labeling-job subsystem: submit a
+// corpus-scale auto-labeling job (a committee of rules applied corpus-wide,
+// aggregated by the label model), poll its progress, and stream the labeled
+// JSONL — plus the synchronous Snuba baseline call. The wire shapes are the
+// autolabel package's own (Spec, JobStatus, SnubaRequest, SnubaResult), so
+// client and server cannot drift.
+
+func jobPath(dataset, suffix string) string {
+	return "/v2/datasets/" + url.PathEscape(dataset) + "/labeling-jobs" + suffix
+}
+
+// CreateLabelingJob submits an async labeling job for the dataset and
+// returns its queued status (ID set). Set spec.Labeler to a live labeler id
+// to label with that labeler's accepted rules; the server resolves the
+// reference at submit time, so the job is unaffected by later answers.
+func (c *Client) CreateLabelingJob(ctx context.Context, dataset string, spec autolabel.Spec) (autolabel.JobStatus, error) {
+	var st autolabel.JobStatus
+	err := c.do(ctx, http.MethodPost, jobPath(dataset, ""), spec, &st)
+	return st, err
+}
+
+// LabelingJob reports a labeling job's status with progress counters.
+func (c *Client) LabelingJob(ctx context.Context, dataset, id string) (autolabel.JobStatus, error) {
+	var st autolabel.JobStatus
+	err := c.do(ctx, http.MethodGet, jobPath(dataset, "/"+url.PathEscape(id)), nil, &st)
+	return st, err
+}
+
+// LabelingJobOutput streams a done job's labeled JSONL into w, starting at
+// byte offset (pass 0 for the whole output; a positive offset resumes an
+// interrupted download). A job that is not done fails with ErrConflict
+// before any bytes are written.
+func (c *Client) LabelingJobOutput(ctx context.Context, dataset, id string, offset int64, w io.Writer) error {
+	path := jobPath(dataset, "/"+url.PathEscape(id)+"/output")
+	if offset > 0 {
+		path += "?offset=" + strconv.FormatInt(offset, 10)
+	}
+	resp, err := c.roundTrip(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return fmt.Errorf("%w: stream labeling-job output: %v", ErrUnavailable, err)
+	}
+	return nil
+}
+
+// WaitLabelingJob polls the job until it reaches a terminal state (done or
+// failed) or ctx expires, and returns the final status. A failed job is
+// returned with a nil error — inspect Status.State / Status.Error.
+func (c *Client) WaitLabelingJob(ctx context.Context, dataset, id string, poll time.Duration) (autolabel.JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.LabelingJob(ctx, dataset, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == autolabel.StateDone || st.State == autolabel.StateFailed {
+			return st, nil
+		}
+		t := time.NewTimer(poll)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// SnubaBaseline mines a Snuba heuristic committee from a gold-labeled seed
+// on the server and scores it corpus-wide — optionally alongside an
+// interactive rule committee for the Snuba-vs-interactive comparison.
+func (c *Client) SnubaBaseline(ctx context.Context, dataset string, req autolabel.SnubaRequest) (autolabel.SnubaResult, error) {
+	var res autolabel.SnubaResult
+	err := c.do(ctx, http.MethodPost, "/v2/datasets/"+url.PathEscape(dataset)+"/baselines/snuba", req, &res)
+	return res, err
+}
