@@ -81,9 +81,10 @@ type Spec struct {
 	// sentences its class prior instead.
 	DefaultProb float64 `json:"default_prob,omitempty"`
 	// PosThreshold is the hard-label cutoff: label 1 iff prob > threshold
-	// (default 0.5; strictly greater, so an uncovered sentence sitting
-	// exactly on the generative prior stays negative).
-	PosThreshold float64 `json:"pos_threshold,omitempty"`
+	// (strictly greater, so an uncovered sentence sitting exactly on the
+	// generative prior stays negative). nil means the default 0.5; an
+	// explicit 0 labels every sentence with any positive probability.
+	PosThreshold *float64 `json:"pos_threshold,omitempty"`
 	// EMIterations overrides the generative model's EM rounds (default 20).
 	EMIterations int `json:"em_iterations,omitempty"`
 	// IncludeProb adds the aggregated probability to every output record.
@@ -99,8 +100,9 @@ func (sp Spec) withDefaults() Spec {
 	if sp.Aggregator == "" {
 		sp.Aggregator = AggregatorMajority
 	}
-	if sp.PosThreshold == 0 {
-		sp.PosThreshold = 0.5
+	if sp.PosThreshold == nil {
+		thr := 0.5
+		sp.PosThreshold = &thr
 	}
 	if sp.ChunkSize <= 0 {
 		sp.ChunkSize = 4096
@@ -241,6 +243,7 @@ func Run(ctx context.Context, eng *core.Engine, spec Spec, w io.Writer, progress
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
 	enc := json.NewEncoder(bw)
+	threshold := *sp.PosThreshold
 	res := Result{Sentences: n, Rules: numRules, Covered: covered}
 	for start := 0; start < n; start += sp.ChunkSize {
 		if err := ctx.Err(); err != nil {
@@ -254,7 +257,7 @@ func Run(ctx context.Context, eng *core.Engine, spec Spec, w io.Writer, progress
 			s := corp.Sentences[i]
 			rec := labeledRecord{ID: s.ID, Text: s.Text}
 			p := probs[i]
-			if p > sp.PosThreshold {
+			if p > threshold {
 				rec.Label = 1
 				res.Positives++
 			}

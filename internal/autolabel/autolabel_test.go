@@ -300,6 +300,196 @@ func TestManagerReopenRestoresAndRebuilds(t *testing.T) {
 	}
 }
 
+func TestPosThresholdExplicitZero(t *testing.T) {
+	eng := testEngine(t)
+	if sp := (Spec{}).withDefaults(); *sp.PosThreshold != 0.5 {
+		t.Errorf("unset threshold resolved to %v, want 0.5", *sp.PosThreshold)
+	}
+	zero := 0.0
+	if sp := (Spec{PosThreshold: &zero}).withDefaults(); *sp.PosThreshold != 0 {
+		t.Errorf("explicit zero threshold resolved to %v, want 0", *sp.PosThreshold)
+	}
+	// Generative aggregation gives every uncovered sentence the class prior
+	// (> 0 with a positive committee), so threshold 0 labels the whole corpus
+	// while the default 0.5 leaves the prior-sitting sentences negative.
+	specDefault := testSpec()
+	_, resDefault := runOnce(t, eng, specDefault)
+	specZero := testSpec()
+	specZero.PosThreshold = &zero
+	_, resZero := runOnce(t, eng, specZero)
+	if resZero.Positives != resZero.Sentences {
+		t.Errorf("threshold 0 labeled %d of %d sentences positive", resZero.Positives, resZero.Sentences)
+	}
+	if resDefault.Positives >= resDefault.Sentences {
+		t.Errorf("default threshold labeled the whole corpus positive (%d)", resDefault.Positives)
+	}
+}
+
+// TestManagerReplayDuplicateTerminalRecords pins that replay tolerates a
+// journal holding several terminal records for one id (the shape a rebuilt
+// output leaves behind) instead of panicking on a double close of j.done.
+func TestManagerReplayDuplicateTerminalRecords(t *testing.T) {
+	eng := testEngine(t)
+	dir := t.TempDir()
+	spec := testSpec()
+	res := Result{Sentences: 5, Rules: 2, Covered: 3, Positives: 2, OutputBytes: 11}
+	var journal []byte
+	for _, rec := range []jobRecord{
+		{Type: "create", ID: "jdup0000000000000", Dataset: "directions", Spec: &spec, Unix: 1},
+		{Type: "done", ID: "jdup0000000000000", Result: &res, Unix: time.Now().Unix()},
+		{Type: "done", ID: "jdup0000000000000", Result: &res, Unix: time.Now().Unix()},
+		{Type: "failed", ID: "jdup0000000000000", Error: "boom", Unix: time.Now().Unix()},
+	} {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		journal = append(append(journal, line...), '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs.log"), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jdup0000000000000.jsonl"), []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, dir, eng)
+	defer m.Close()
+	st, err := m.Status("jdup0000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Error != "" || st.Covered != res.Covered {
+		t.Errorf("replayed status %+v, want done matching the first terminal record", st)
+	}
+}
+
+// TestManagerJournalCompaction drives the rebuild lifecycle through real
+// manager opens: losing a done job's output makes the reopen re-enqueue it,
+// compact the stale "done" record away, and journal a fresh one when the
+// rebuild finishes — so the journal stays at one create + at most one
+// terminal record per job across any number of reopens.
+func TestManagerJournalCompaction(t *testing.T) {
+	eng := testEngine(t)
+	dir := t.TempDir()
+	journalLines := func() int {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, "jobs.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Count(data, []byte("\n"))
+	}
+	m := newTestManager(t, dir, eng)
+	st, err := m.Submit("directions", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, st.ID)
+	want := readOutput(t, m, st.ID, 0)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(m.OutputPath(st.ID)); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, dir, eng)
+	waitDone(t, m2, st.ID)
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := journalLines(); got != 2 {
+		t.Fatalf("journal after rebuild has %d records, want 2 (create + fresh done)", got)
+	}
+
+	m3 := newTestManager(t, dir, eng)
+	defer m3.Close()
+	st3, err := m3.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.State != StateDone {
+		t.Fatalf("job is %s after compacting reopen: %s", st3.State, st3.Error)
+	}
+	if got := readOutput(t, m3, st.ID, 0); !bytes.Equal(got, want) {
+		t.Error("output changed across compacting reopen")
+	}
+	if got := journalLines(); got != 2 {
+		t.Errorf("compacted journal has %d records, want 2 (create + done)", got)
+	}
+}
+
+// TestManagerExpiredJobsStayDeadAcrossReopen pins that a TTL sweep is
+// journaled: reopening after an expiry must not resurrect (and re-run) the
+// expired job from its create + done records.
+func TestManagerExpiredJobsStayDeadAcrossReopen(t *testing.T) {
+	eng := testEngine(t)
+	dir := t.TempDir()
+	m := newTestManager(t, dir, eng)
+	st, err := m.Submit("directions", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, st.ID)
+	m.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	if _, err := m.Status(st.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("expired job status: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, dir, eng)
+	defer m2.Close()
+	if _, err := m2.Status(st.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("expired job resurrected across reopen: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "jobs.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.TrimSpace(data)) != 0 {
+		t.Errorf("journal not compacted after expiry:\n%s", data)
+	}
+}
+
+// TestWaitUnblocksOnClose pins that Close leaves no Wait caller hanging:
+// neither the job interrupted mid-run nor the one still sitting in the queue.
+func TestWaitUnblocksOnClose(t *testing.T) {
+	eng := testEngine(t)
+	m := newTestManager(t, t.TempDir(), eng)
+	slowSpec := testSpec()
+	slowSpec.EMIterations = 300000 // keeps the job mid-aggregate until Close
+	running, err := m.Submit("directions", slowSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit("directions", slowSpec) // Workers: 1, so this one waits
+	if err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan struct{})
+	go func() {
+		defer close(unblocked)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, id := range []string{running.ID, queued.ID} {
+			if _, err := m.Wait(ctx, id); err != nil {
+				t.Errorf("Wait(%s) after Close: %v", id, err)
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait callers still blocked after Close")
+	}
+}
+
 func TestManagerTTLSweep(t *testing.T) {
 	eng := testEngine(t)
 	m := newTestManager(t, t.TempDir(), eng)

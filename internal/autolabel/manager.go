@@ -82,12 +82,13 @@ type ManagerConfig struct {
 }
 
 // jobRecord is one line of the jobs journal. "create" records the resolved
-// spec; "done"/"failed" mark terminal states. A create without a terminal
-// record is an interrupted job: reopening the manager re-enqueues it, and
-// because Run is deterministic the re-run reproduces the exact output the
-// crashed run would have produced.
+// spec; "done"/"failed" mark terminal states; "expire" records a TTL sweep
+// that deleted the job and its output, so replay does not resurrect it. A
+// create without a terminal record is an interrupted job: reopening the
+// manager re-enqueues it, and because Run is deterministic the re-run
+// reproduces the exact output the crashed run would have produced.
 type jobRecord struct {
-	Type    string  `json:"type"` // create | done | failed
+	Type    string  `json:"type"` // create | done | failed | expire
 	ID      string  `json:"id"`
 	Dataset string  `json:"dataset,omitempty"`
 	Spec    *Spec   `json:"spec,omitempty"`
@@ -104,15 +105,16 @@ type job struct {
 	dataset string
 	spec    Spec
 
-	mu       sync.Mutex
-	state    string
-	stage    string
-	rules    int
-	n        int // corpus size, known once running
-	labeled  int // write-stage progress
-	result   Result
-	err      error
-	doneUnix int64
+	mu         sync.Mutex
+	state      string
+	stage      string
+	rules      int
+	n          int // corpus size, known once running
+	labeled    int // write-stage progress
+	result     Result
+	err        error
+	createUnix int64
+	doneUnix   int64
 
 	done chan struct{}
 }
@@ -197,8 +199,12 @@ func NewManager(cfg ManagerConfig, engines func(dataset string) (*core.Engine, b
 		cancel:  cancel,
 		now:     time.Now,
 	}
-	pending, err := m.replay()
+	pending, order, err := m.replay()
 	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if err := m.compactJournal(order); err != nil {
 		cancel()
 		return nil, err
 	}
@@ -231,21 +237,24 @@ func (m *Manager) OutputPath(id string) string {
 }
 
 // replay reads the journal and rebuilds the job table. It returns the jobs
-// that must re-run: creates without a terminal record, plus done jobs whose
-// output file has gone missing. Torn trailing lines (crash mid-append) are
-// tolerated and dropped.
-func (m *Manager) replay() ([]*job, error) {
+// that must re-run — creates without a terminal record, plus unexpired done
+// jobs whose output file has gone missing — and the journal order of the
+// surviving jobs (for deterministic re-enqueueing and compaction). Torn
+// trailing lines (crash mid-append) are tolerated and dropped, as are
+// duplicate terminal records for an id already in a terminal state (a
+// rebuilt output appends a second "done" for the same job).
+func (m *Manager) replay() (pending []*job, order []string, err error) {
 	f, err := os.Open(m.journalPath())
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("autolabel: open job journal: %w", err)
+		return nil, nil, fmt.Errorf("autolabel: open job journal: %w", err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	var order []string
+	terminal := func(j *job) bool { return j.state == StateDone || j.state == StateFailed }
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -263,16 +272,17 @@ func (m *Manager) replay() ([]*job, error) {
 				continue
 			}
 			j := &job{
-				id:      rec.ID,
-				dataset: rec.Dataset,
-				spec:    *rec.Spec,
-				state:   StateQueued,
-				done:    make(chan struct{}),
+				id:         rec.ID,
+				dataset:    rec.Dataset,
+				spec:       *rec.Spec,
+				state:      StateQueued,
+				createUnix: rec.Unix,
+				done:       make(chan struct{}),
 			}
 			m.jobs[rec.ID] = j
 			order = append(order, rec.ID)
 		case "done":
-			if j, ok := m.jobs[rec.ID]; ok && rec.Result != nil {
+			if j, ok := m.jobs[rec.ID]; ok && rec.Result != nil && !terminal(j) {
 				j.state = StateDone
 				j.result = *rec.Result
 				j.n = rec.Result.Sentences
@@ -281,20 +291,27 @@ func (m *Manager) replay() ([]*job, error) {
 				close(j.done)
 			}
 		case "failed":
-			if j, ok := m.jobs[rec.ID]; ok {
+			if j, ok := m.jobs[rec.ID]; ok && !terminal(j) {
 				j.state = StateFailed
 				j.err = errors.New(rec.Error)
 				j.doneUnix = rec.Unix
 				close(j.done)
 			}
+		case "expire":
+			// TTL sweep deleted the job and its output; do not resurrect.
+			delete(m.jobs, rec.ID)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("autolabel: read job journal: %w", err)
+		return nil, nil, fmt.Errorf("autolabel: read job journal: %w", err)
 	}
-	var pending []*job
+	cutoff := m.now().Add(-m.cfg.TTL).Unix()
+	kept := order[:0]
 	for _, id := range order {
-		j := m.jobs[id]
+		j, ok := m.jobs[id]
+		if !ok {
+			continue // expired
+		}
 		if _, ok := m.engines(j.dataset); !ok {
 			m.cfg.Logf("autolabel: dropping job %s for unknown dataset %s", id, j.dataset)
 			delete(m.jobs, id)
@@ -305,6 +322,14 @@ func (m *Manager) replay() ([]*job, error) {
 			pending = append(pending, j)
 		case StateDone:
 			if _, err := os.Stat(m.OutputPath(id)); err != nil {
+				if j.doneUnix > 0 && j.doneUnix < cutoff {
+					// Past the TTL anyway (e.g. a sweep whose expire record
+					// was lost): drop instead of re-running work only a
+					// sweep would immediately delete.
+					m.cfg.Logf("autolabel: dropping expired job %s with missing output", id)
+					delete(m.jobs, id)
+					continue
+				}
 				// Output lost (crash between rename and journal sync, or
 				// manual deletion): determinism lets us rebuild it.
 				m.cfg.Logf("autolabel: output of done job %s missing, re-running", id)
@@ -313,8 +338,69 @@ func (m *Manager) replay() ([]*job, error) {
 				pending = append(pending, j)
 			}
 		}
+		kept = append(kept, id)
 	}
-	return pending, nil
+	return pending, kept, nil
+}
+
+// compactJournal rewrites jobs.log down to the minimal record set for the
+// jobs that survived replay — one create per job plus at most one terminal
+// record — dropping expire records, duplicate terminal records, and records
+// of expired or unknown-dataset jobs. Called on every open (before the
+// append handle exists), it bounds journal growth across restarts.
+func (m *Manager) compactJournal(order []string) error {
+	if _, err := os.Stat(m.journalPath()); errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	tmp := m.journalPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("autolabel: compact job journal: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("autolabel: compact job journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, id := range order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		recs := []jobRecord{{Type: "create", ID: j.id, Dataset: j.dataset, Spec: &j.spec, Unix: j.createUnix}}
+		switch j.state {
+		case StateDone:
+			res := j.result
+			recs = append(recs, jobRecord{Type: "done", ID: j.id, Result: &res, Unix: j.doneUnix})
+		case StateFailed:
+			recs = append(recs, jobRecord{Type: "failed", ID: j.id, Error: j.err.Error(), Unix: j.doneUnix})
+		}
+		for _, rec := range recs {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return fail(err)
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("autolabel: compact job journal: %w", err)
+	}
+	if err := os.Rename(tmp, m.journalPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("autolabel: compact job journal: %w", err)
+	}
+	return nil
 }
 
 func (m *Manager) appendRecord(rec jobRecord) error {
@@ -372,13 +458,14 @@ func (m *Manager) Submit(dataset string, spec Spec) (JobStatus, error) {
 	}
 	m.sweep()
 	j := &job{
-		id:      newJobID(),
-		dataset: dataset,
-		spec:    spec,
-		state:   StateQueued,
-		done:    make(chan struct{}),
+		id:         newJobID(),
+		dataset:    dataset,
+		spec:       spec,
+		state:      StateQueued,
+		createUnix: m.now().Unix(),
+		done:       make(chan struct{}),
 	}
-	if err := m.appendRecord(jobRecord{Type: "create", ID: j.id, Dataset: dataset, Spec: &spec, Unix: m.now().Unix()}); err != nil {
+	if err := m.appendRecord(jobRecord{Type: "create", ID: j.id, Dataset: dataset, Spec: &spec, Unix: j.createUnix}); err != nil {
 		return JobStatus{}, err
 	}
 	m.mu.Lock()
@@ -419,7 +506,9 @@ func (m *Manager) Status(id string) (JobStatus, error) {
 }
 
 // Wait blocks until the job reaches a terminal state or ctx is done, then
-// returns its status.
+// returns its status. A manager shutdown also unblocks Wait, returning the
+// job's current (possibly non-terminal) status instead of hanging on a job
+// that will never finish in this process.
 func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -429,6 +518,8 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 	}
 	select {
 	case <-j.done:
+		return j.status(), nil
+	case <-m.ctx.Done():
 		return j.status(), nil
 	case <-ctx.Done():
 		return JobStatus{}, ctx.Err()
@@ -491,7 +582,8 @@ func (m *Manager) Jobs() []JobStatus {
 	return out
 }
 
-// sweep drops terminal jobs older than the TTL and deletes their outputs.
+// sweep drops terminal jobs older than the TTL, deletes their outputs, and
+// journals an "expire" record per job so replay does not resurrect them.
 func (m *Manager) sweep() {
 	cutoff := m.now().Add(-m.cfg.TTL).Unix()
 	var expired []string
@@ -509,6 +601,9 @@ func (m *Manager) sweep() {
 	m.mu.Unlock()
 	for _, id := range expired {
 		os.Remove(m.OutputPath(id))
+		if err := m.appendRecord(jobRecord{Type: "expire", ID: id, Unix: m.now().Unix()}); err != nil {
+			m.cfg.Logf("autolabel: journal expiry of %s: %v", id, err)
+		}
 		m.cfg.Logf("autolabel: expired job %s", id)
 	}
 	if len(expired) > 0 {
@@ -581,9 +676,15 @@ func (m *Manager) run(j *job) {
 	if err != nil {
 		os.Remove(partial)
 		if m.ctx.Err() != nil {
-			// Manager shutdown: leave the job queued in the journal (no
-			// terminal record) so the next open re-runs it.
+			// Manager shutdown: leave the journal without a terminal record
+			// so the next open re-runs the job, but close j.done (back in
+			// the queued state) so in-process waiters unblock.
 			m.cfg.Logf("autolabel: job %s interrupted by shutdown", j.id)
+			j.mu.Lock()
+			j.state = StateQueued
+			j.stage = ""
+			j.mu.Unlock()
+			close(j.done)
 			return
 		}
 		m.finishFailed(j, err)
