@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		preset     = flag.String("preset", "default", "options preset: quick | default | paper")
-		experiment = flag.String("experiment", "all", "which experiment to run: all | perf | overhead | autolabel | table1 | figure7 | figure8 | figure9 | figure10 | figure11 | table2 | efficiency | human | figure12 | figure13 | figure14")
+		experiment = flag.String("experiment", "all", "which experiment to run: all | perf | overhead | autolabel | scale | table1 | figure7 | figure8 | figure9 | figure10 | figure11 | table2 | efficiency | human | figure12 | figure13 | figure14")
 		scale      = flag.Float64("scale", 0, "override dataset scale")
 		budget     = flag.Int("budget", 0, "override oracle budget")
 		seed       = flag.Int64("seed", 0, "override random seed")
@@ -51,6 +51,7 @@ func main() {
 		"perf":       func(experiments.Options) error { return runPerf(*perfOut) },
 		"overhead":   func(experiments.Options) error { return runOverhead(*perfOut) },
 		"autolabel":  func(experiments.Options) error { return runAutolabel(*perfOut) },
+		"scale":      func(experiments.Options) error { return runScale(*perfOut) },
 		"table1":     runTable1,
 		"figure7":    runFigure7,
 		"figure8":    runFigure8,

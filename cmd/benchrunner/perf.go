@@ -23,7 +23,7 @@ import (
 // re-measured on every run.
 type PerfReport struct {
 	Dataset   string  `json:"dataset"`
-	Scale     float64 `json:"scale"`
+	Scale     float64 `json:"corpus_scale"`
 	Sentences int     `json:"sentences"`
 
 	Current  PerfNumbers `json:"current"`
@@ -32,6 +32,9 @@ type PerfReport struct {
 	// Autolabel is the corpus-scale auto-labeling snapshot, owned by the
 	// autolabel experiment (runAutolabel) and carried through rewrites here.
 	Autolabel *AutolabelPerf `json:"autolabel,omitempty"`
+	// ScaleSection is the million-sentence kernel snapshot, owned by the
+	// scale experiment (runScale) and likewise carried through rewrites.
+	ScaleSection *ScalePerf `json:"scale,omitempty"`
 }
 
 // AutolabelPerf tracks the batch labeling pipeline: whole-pipeline
@@ -181,9 +184,10 @@ func runPerf(outPath string) error {
 		},
 		Baseline: baselinePrePR2,
 	}
-	// Keep the autolabel experiment's section across rewrites of the file.
+	// Keep the other experiments' sections across rewrites of the file.
 	if prev, err := readPerfReport(outPath); err == nil {
 		rep.Autolabel = prev.Autolabel
+		rep.ScaleSection = prev.ScaleSection
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/labelmodel"
 )
 
@@ -93,6 +95,14 @@ type Spec struct {
 	// It bounds the writer's buffered memory and sets the granularity of
 	// progress counters and cancellation checks.
 	ChunkSize int `json:"chunk_size,omitempty"`
+	// Corpus, when non-empty, is an uploaded corpus in ingest JSONL form
+	// (one {"text","label"} per line): the job labels these sentences
+	// instead of the dataset's resident corpus, streamed through a
+	// lightweight engine that never builds the interactive index. The
+	// dataset still scopes the job (grammars, kernel, labeler resolution);
+	// the journaled spec carries the corpus, so recovery re-runs are
+	// byte-identical.
+	Corpus string `json:"corpus,omitempty"`
 }
 
 // withDefaults resolves the spec's tunables. It never touches Rules.
@@ -131,7 +141,29 @@ func (sp Spec) Validate(eng *core.Engine) error {
 			return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 		}
 	}
+	if sp.Corpus != "" {
+		if _, err := sp.DecodeCorpus(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// DecodeCorpus decodes the spec's uploaded corpus through the ingest
+// decoder. Empty when the spec targets the dataset's resident corpus. The
+// returned error wraps ErrInvalidSpec.
+func (sp Spec) DecodeCorpus() ([]ingest.Sentence, error) {
+	if sp.Corpus == "" {
+		return nil, nil
+	}
+	batch, err := ingest.DecodeJSONL(strings.NewReader(sp.Corpus), ingest.Limits{})
+	if err != nil {
+		return nil, fmt.Errorf("%w: uploaded corpus: %v", ErrInvalidSpec, err)
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("%w: uploaded corpus is empty", ErrInvalidSpec)
+	}
+	return batch, nil
 }
 
 // Result summarizes one completed run.
@@ -178,7 +210,10 @@ func Run(ctx context.Context, eng *core.Engine, spec Spec, w io.Writer, progress
 	if progress == nil {
 		progress = func(string, int, int) {}
 	}
-	corp := eng.Corpus()
+	// An immutable snapshot view: a concurrent ingest must not grow the
+	// corpus under a running job, which would desynchronize n, the vote
+	// matrix and the output stream.
+	corp := eng.CorpusView()
 	n := corp.Len()
 	numRules := len(sp.Rules) + len(sp.NegativeRules)
 
@@ -186,7 +221,7 @@ func Run(ctx context.Context, eng *core.Engine, spec Spec, w io.Writer, progress
 	// reused when published; otherwise one corpus scan, no index mutation).
 	type ruleBits struct {
 		spec string
-		bits bitset.Set
+		bits bitset.Cover
 		vote labelmodel.Vote
 	}
 	resolved := make([]ruleBits, 0, numRules)
@@ -220,10 +255,19 @@ func Run(ctx context.Context, eng *core.Engine, spec Spec, w io.Writer, progress
 			return Result{}, err
 		}
 		m.AddRuleBits(rb.spec, rb.bits, rb.vote)
-		union = bitset.Union(union, rb.bits)
+		union = rb.bits.OrInto(union)
 		progress(StageVotes, i+1, numRules)
 	}
-	covered := union.Count()
+	// Rule bitsets resolved against the live index may cover sentences
+	// ingested after the snapshot view was taken; count only ids inside it.
+	covered := 0
+	union.Range(func(id int) bool {
+		if id >= n {
+			return false
+		}
+		covered++
+		return true
+	})
 
 	// Stage 3: aggregate votes into per-sentence probabilities.
 	var probs []float64

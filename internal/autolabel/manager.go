@@ -635,10 +635,27 @@ func (m *Manager) run(j *job) {
 		m.finishFailed(j, fmt.Errorf("%w: %q", ErrUnknownDataset, j.dataset))
 		return
 	}
+	if j.spec.Corpus != "" {
+		// Uploaded corpus: label the spec's own sentences through a
+		// streaming engine (same grammars/kernel/seed as the dataset, no
+		// interactive index). Built fresh per run — it is a pure function
+		// of the journaled spec, so recovery re-runs reproduce the bytes.
+		batch, err := j.spec.DecodeCorpus()
+		if err != nil {
+			m.finishFailed(j, err)
+			return
+		}
+		seng, err := core.NewStreamingFromBatch(j.dataset+"/upload", batch, eng.Config())
+		if err != nil {
+			m.finishFailed(j, fmt.Errorf("%w: %v", ErrInvalidSpec, err))
+			return
+		}
+		eng = seng
+	}
 	j.mu.Lock()
 	j.state = StateRunning
 	j.stage = StageResolve
-	j.n = eng.Corpus().Len()
+	j.n = eng.CorpusLen()
 	j.mu.Unlock()
 	m.updateStateGauges()
 

@@ -99,7 +99,9 @@ func committeeStats(c *corpus.Corpus, covered bitset.Set, rules int) CommitteeSt
 // (and, optionally, an interactive committee) against the gold labels. The
 // computation is synchronous and deterministic in (corpus, request).
 func RunSnuba(eng *core.Engine, req SnubaRequest) (SnubaResult, error) {
-	c := eng.Corpus()
+	// Snapshot view: the mining passes below iterate the corpus outside the
+	// engine locks, so a concurrent ingest must not grow it mid-run.
+	c := eng.CorpusView()
 	seedIDs := req.SeedIDs
 	if len(seedIDs) == 0 {
 		size := req.SeedSize
@@ -164,7 +166,7 @@ func RunSnuba(eng *core.Engine, req SnubaRequest) (SnubaResult, error) {
 			}
 			seen[key] = true
 			rules++
-			union = bitset.Union(union, bits)
+			union = bits.OrInto(union)
 		}
 		cs := committeeStats(c, union, rules)
 		res.Compare = &cs

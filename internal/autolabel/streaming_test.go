@@ -1,0 +1,135 @@
+package autolabel
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+)
+
+// uploadJSONL is a small corpus in the ingest wire shape: two sentences the
+// committee covers, two it does not.
+const uploadJSONL = `{"text":"best way to get to the harbor","label":1}
+{"text":"how do i get downtown from here","label":1}
+{"text":"the weather is lovely today","label":0}
+{"text":"try the tasting menu at the bistro","label":0}
+`
+
+func uploadSpec() Spec {
+	sp := testSpec()
+	sp.Corpus = uploadJSONL
+	return sp
+}
+
+// The streaming engine (no interactive index) must label an uploaded corpus
+// byte-identically to a full engine built over the same sentences — the
+// CoverageBits corpus-scan fallback and the published-index path are
+// equivalent by construction, and this pins it.
+func TestStreamingEngineMatchesFullEngine(t *testing.T) {
+	full := testEngine(t)
+	batch, err := ingest.DecodeJSONL(strings.NewReader(uploadJSONL), ingest.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seng, err := core.NewStreamingFromBatch("upload", batch, full.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := testSpec() // no Corpus field: run directly against the engine
+	streamed, streamedRes := runOnce(t, seng, spec)
+
+	fullEng, err := core.New(seng.Corpus(), full.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, directRes := runOnce(t, fullEng, spec)
+	if !bytes.Equal(streamed, direct) {
+		t.Fatalf("streaming output differs:\n%s\nvs\n%s", streamed, direct)
+	}
+	if streamedRes != directRes {
+		t.Fatalf("results differ: %+v vs %+v", streamedRes, directRes)
+	}
+	if streamedRes.Sentences != len(batch) {
+		t.Fatalf("labeled %d of %d uploaded sentences", streamedRes.Sentences, len(batch))
+	}
+	if streamedRes.Covered != 2 || streamedRes.Positives != 2 {
+		t.Errorf("committee should cover exactly the two direction sentences: %+v", streamedRes)
+	}
+}
+
+func TestManagerUploadedCorpusJob(t *testing.T) {
+	eng := testEngine(t)
+	m := newTestManager(t, t.TempDir(), eng)
+	defer m.Close()
+
+	st, err := m.Submit("directions", uploadSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Sentences != 4 || st.SentencesLabeled != 4 {
+		t.Fatalf("job labeled the resident corpus, not the upload: %+v", st)
+	}
+	out := readOutput(t, m, st.ID, 0)
+	lines := bytes.Split(bytes.TrimSuffix(out, []byte("\n")), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("output has %d lines, want 4", len(lines))
+	}
+	wantTexts := []string{
+		"best way to get to the harbor",
+		"how do i get downtown from here",
+		"the weather is lovely today",
+		"try the tasting menu at the bistro",
+	}
+	for i, line := range lines {
+		var rec struct {
+			ID    int    `json:"id"`
+			Text  string `json:"text"`
+			Label int    `json:"label"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.ID != i || rec.Text != wantTexts[i] {
+			t.Errorf("line %d: got id=%d text=%q, want id=%d text=%q", i, rec.ID, rec.Text, i, wantTexts[i])
+		}
+		if want := boolToLabel(i < 2); rec.Label != want {
+			t.Errorf("line %d: label %d, want %d", i, rec.Label, want)
+		}
+	}
+}
+
+func boolToLabel(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestUploadedCorpusValidation(t *testing.T) {
+	eng := testEngine(t)
+	bad := testSpec()
+	bad.Corpus = `{"text":"x","label":7}` + "\n"
+	if err := bad.Validate(eng); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("out-of-range label accepted: %v", err)
+	}
+	empty := testSpec()
+	empty.Corpus = "\n\n"
+	if err := empty.Validate(eng); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("blank corpus accepted: %v", err)
+	}
+	// A run against a spec with an undecodable corpus must fail cleanly too.
+	if _, err := Run(context.Background(), eng, bad, io.Discard, nil); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("Run accepted invalid uploaded corpus: %v", err)
+	}
+}

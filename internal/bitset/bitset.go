@@ -107,6 +107,18 @@ func (s Set) Clone() Set {
 	return out
 }
 
+// Grow returns a set that can hold ids in [0, n): s itself when it is already
+// large enough, otherwise a fresh copy with a zeroed tail. Live-corpus
+// consumers use it to extend their positive sets when the corpus grows.
+func (s Set) Grow(n int) Set {
+	if words := (n + 63) / 64; words > len(s) {
+		out := make(Set, words)
+		copy(out, s)
+		return out
+	}
+	return s
+}
+
 // Clear zeroes every bit, keeping the capacity.
 func (s Set) Clear() {
 	for i := range s {

@@ -105,14 +105,24 @@ func NewFeatureCacheCapped(n, maxEntries int) *FeatureCache {
 // Len returns the number of published entries.
 func (fc *FeatureCache) Len() int { return int(fc.count.Load()) }
 
-// get returns the cached entry for a sentence, or nil.
-func (fc *FeatureCache) get(id int) *sparseFeatures { return fc.slots[id].Load() }
+// get returns the cached entry for a sentence, or nil. Sentences beyond the
+// cache's slot range (ingested after the cache was sized at boot) are never
+// cached and always featurize on the fly.
+func (fc *FeatureCache) get(id int) *sparseFeatures {
+	if id < 0 || id >= len(fc.slots) {
+		return nil
+	}
+	return fc.slots[id].Load()
+}
 
 // put publishes an entry for a sentence unless the entry cap is reached.
 // The count is claimed before the slot CAS (and released on a lost race or
 // a full cache), so the published-entry count never exceeds the cap even
 // under concurrent fills.
 func (fc *FeatureCache) put(id int, sf *sparseFeatures) {
+	if id < 0 || id >= len(fc.slots) {
+		return
+	}
 	if fc.cap > 0 {
 		if fc.count.Add(1) > fc.cap {
 			fc.count.Add(-1)
@@ -169,7 +179,7 @@ func (sc *SentenceClassifier) newModel() Model {
 // shared one (created by NewFeatureCache for the same corpus). Call before
 // the first training round.
 func (sc *SentenceClassifier) ShareFeatureCache(fc *FeatureCache) {
-	if fc != nil && len(fc.slots) == sc.corp.Len() {
+	if fc != nil && len(fc.slots) <= sc.corp.Len() {
 		sc.cache = fc
 	}
 }
@@ -285,11 +295,13 @@ func (sc *SentenceClassifier) ScoreAll() []float64 {
 }
 
 func (sc *SentenceClassifier) ensureScores() {
-	if sc.scored && sc.scores != nil {
+	if sc.scored && len(sc.scores) >= sc.corp.Len() {
 		return
 	}
-	if sc.scores == nil {
-		sc.scores = make([]float64, sc.corp.Len())
+	if len(sc.scores) < sc.corp.Len() {
+		grown := make([]float64, sc.corp.Len())
+		copy(grown, sc.scores)
+		sc.scores = grown
 	}
 	for id := 0; id < sc.corp.Len(); id++ {
 		if sc.model == nil {

@@ -69,6 +69,13 @@ type Config struct {
 	// score.
 	FeatureCacheCap int
 
+	// Kernel selects the index's per-node coverage representation:
+	// index.KernelAdaptive (the default, roaring-style compressed
+	// containers) or index.KernelDense (the original dense mirror, kept as
+	// the pinned reference for equivalence tests and benchmark A/B runs).
+	// Both kernels are bit-identical in every score.
+	Kernel string
+
 	// Seed drives all randomness in the engine.
 	Seed int64
 }

@@ -123,6 +123,11 @@ type Engine struct {
 	scores       []float64
 	retrainCount int
 	indexBuild   time.Duration
+
+	// bootLen is the corpus length at engine construction. The journal
+	// compaction path uses it to re-emit the ingested tail [bootLen, Len) as
+	// one consolidated batch.
+	bootLen int
 }
 
 // New prepares a Darwin engine: it preprocesses the corpus, trains word
@@ -147,6 +152,7 @@ func New(c *corpus.Corpus, cfg Config) (*Engine, error) {
 	start := time.Now()
 	builder := sketch.NewBuilder(reg, cfg.SketchDepth)
 	ix := index.Build(c, builder)
+	ix.SetKernel(cfg.Kernel)
 	ix.Prune(cfg.MinRuleCoverage)
 	indexBuild := time.Since(start)
 
@@ -168,6 +174,7 @@ func New(c *corpus.Corpus, cfg Config) (*Engine, error) {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		featCache:  featCache,
 		indexBuild: indexBuild,
+		bootLen:    c.Len(),
 	}
 	e.scores = make([]float64, c.Len())
 	for i := range e.scores {
@@ -221,30 +228,30 @@ func (e *Engine) MaterializeRule(spec string) (string, []int, error) {
 }
 
 // CoverageBits resolves a rule specification to its canonical key and full
-// corpus coverage as a dense bitset, without mutating the shared index. When
-// the index already holds the rule with published bits (a seed rule some
-// session materialized, or a sketched candidate), those bits are reused
-// as-is — published bitsets are immutable, so the returned set is safe to
+// corpus coverage set, without mutating the shared index. When the index
+// already holds the rule with published bits (a seed rule some session
+// materialized, or a sketched candidate), those bits are reused as-is —
+// published coverage sets are immutable, so the returned set is safe to
 // read after the lock is released but must not be modified. Otherwise the
 // rule is matched against the corpus with a full scan. This is the batch
 // rule-application primitive of the auto-labeling pipeline: resolving a
 // committee of accepted rules costs at most one corpus scan per rule never
 // seen by the index, and zero index growth either way.
-func (e *Engine) CoverageBits(spec string) (string, bitset.Set, error) {
+func (e *Engine) CoverageBits(spec string) (string, bitset.Cover, error) {
 	h, err := e.reg.Parse(spec)
 	if err != nil {
 		return "", nil, fmt.Errorf("core: rule %q: %w", spec, err)
 	}
 	e.ixMu.RLock()
+	defer e.ixMu.RUnlock()
 	node := e.ix.Node(h.Key())
-	var published bitset.Set
 	if node != nil {
-		published = node.Bits()
+		if published := node.Bits(); published != nil {
+			return h.Key(), published, nil
+		}
 	}
-	e.ixMu.RUnlock()
-	if published != nil {
-		return h.Key(), published, nil
-	}
+	// The fallback corpus scan stays under the read lock so a concurrent
+	// ingest cannot grow the corpus out from under it.
 	return h.Key(), bitset.FromSorted(grammar.Coverage(h, e.corp)), nil
 }
 
@@ -342,6 +349,9 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 	posBits := bitset.FromMap(positives)
 	e.ixMu.RLock()
 	h := hierarchy.GenerateBits(e.ix, posBits, e.cfg.hierarchyConfig())
+	// Capture the score slice inside the lock: ingest grows it under the
+	// write lock, and the published prefix is immutable.
+	scores := e.scores
 	e.ixMu.RUnlock()
 	var out []Suggestion
 	for _, key := range h.NonRootKeys() {
@@ -352,9 +362,9 @@ func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k
 		var benefit float64
 		var newCov int
 		if n.Bits != nil {
-			benefit, newCov = bitset.AndNotSum(n.Bits, posBits, e.scores)
+			benefit, newCov = n.Bits.AndNotSum(posBits, scores)
 		} else {
-			benefit = traversal.Benefit(n.Coverage, positives, e.scores)
+			benefit = traversal.Benefit(n.Coverage, positives, scores)
 			for _, id := range n.Coverage {
 				if !positives[id] {
 					newCov++

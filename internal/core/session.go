@@ -139,18 +139,15 @@ func (e *Engine) NewSession(opts SessionOptions) (*Session, error) {
 	}
 	count := 0
 	clf := classifier.NewSentenceClassifier(e.corp, e.emb, clfCfg, e.cfg.ClassifierKind)
-	clf.ShareFeatureCache(e.featCache)
 	s := &Session{
 		e:            e,
 		rng:          rand.New(rand.NewSource(seed)),
 		clf:          clf,
-		scores:       make([]float64, e.corp.Len()),
 		retrainCount: &count,
 		travOverride: opts.Traversal,
 	}
-	for i := range s.scores {
-		s.scores[i] = 0.5
-	}
+	// scores and posBits are sized by init under the index lock, so the
+	// length read cannot race a concurrent ingest growing the corpus.
 	return s, s.init(opts)
 }
 
@@ -181,7 +178,6 @@ func (s *Session) init(opts SessionOptions) error {
 	}
 	s.report = &Report{Positives: make(map[int]bool)}
 	s.positives = s.report.Positives
-	s.posBits = bitset.New(e.corp.Len())
 	s.queried = make(map[string]bool)
 
 	// Parse the seed rules before touching shared state so a bad spec leaves
@@ -195,31 +191,50 @@ func (s *Session) init(opts SessionOptions) error {
 		heuristics = append(heuristics, h)
 	}
 
-	// Materializing ad-hoc seed rules mutates the shared index; take the
-	// write lock and leave the index's parent/child edges rebuilt so that
-	// subsequent read-locked steps never trigger a lazy rebuild.
-	if len(heuristics) > 0 {
-		e.ixMu.Lock()
-		for _, h := range heuristics {
-			node := e.ix.EnsureHeuristic(h, e.corp)
-			added := s.addPositives(node.Postings)
-			s.seedKeys = append(s.seedKeys, h.Key())
-			s.report.Accepted = append(s.report.Accepted, RuleRecord{
-				Question:       0,
-				Key:            h.Key(),
-				Rule:           h.String(),
-				Coverage:       node.Count(),
-				Accepted:       true,
-				CoverageIDs:    append([]int(nil), node.Postings...),
-				AddedIDs:       added,
-				PositivesAfter: len(s.positives),
-			})
+	// Size the session's score and positive-set mirrors, materialize ad-hoc
+	// seed rules (a shared-index mutation) and resolve seed positives in one
+	// write-locked section: the corpus length, the seed coverage and the
+	// mirror sizes are read under the same lock, so a concurrent ingest
+	// cannot grow the corpus between the sizing and the seeding. The index's
+	// parent/child edges are left rebuilt so subsequent read-locked steps
+	// never trigger a lazy rebuild.
+	e.ixMu.Lock()
+	// Attach the shared feature cache here rather than at construction: its
+	// eligibility check reads the corpus length, which a concurrent ingest
+	// grows under this lock.
+	s.clf.ShareFeatureCache(e.featCache)
+	if s.scores == nil {
+		s.scores = make([]float64, e.corp.Len())
+		for i := range s.scores {
+			s.scores[i] = 0.5
 		}
+	}
+	// The legacy path aliases the engine-owned slice, which Ingest keeps
+	// sized to the corpus; for session-owned slices this is a no-op.
+	for len(s.scores) < e.corp.Len() {
+		s.scores = append(s.scores, 0.5)
+	}
+	s.posBits = bitset.New(e.corp.Len())
+	for _, h := range heuristics {
+		node := e.ix.EnsureHeuristic(h, e.corp)
+		added := s.addPositives(node.Postings)
+		s.seedKeys = append(s.seedKeys, h.Key())
+		s.report.Accepted = append(s.report.Accepted, RuleRecord{
+			Question:       0,
+			Key:            h.Key(),
+			Rule:           h.String(),
+			Coverage:       node.Count(),
+			Accepted:       true,
+			CoverageIDs:    append([]int(nil), node.Postings...),
+			AddedIDs:       added,
+			PositivesAfter: len(s.positives),
+		})
+	}
+	if len(heuristics) > 0 {
 		e.ix.BuildEdges()
 		if e.matHook != nil {
 			e.matHook(opts.SeedRules)
 		}
-		e.ixMu.Unlock()
 	}
 	for _, id := range opts.SeedPositiveIDs {
 		if sent := e.corp.Sentence(id); sent != nil {
@@ -227,6 +242,7 @@ func (s *Session) init(opts SessionOptions) error {
 			s.posBits.Add(id)
 		}
 	}
+	e.ixMu.Unlock()
 	if len(s.positives) == 0 {
 		return fmt.Errorf("core: seeds produced no positive instances (need a seed rule with non-empty coverage or seed positive IDs)")
 	}
@@ -273,6 +289,18 @@ func (s *Session) Next() (Suggestion, bool) {
 	e := s.e
 	e.ixMu.RLock()
 	defer e.ixMu.RUnlock()
+
+	// Self-heal after live-corpus growth: extend the session's score vector
+	// and positive-set mirror to the current corpus length (new sentences
+	// start at the untrained prior 0.5 until the next retrain). The index
+	// version bump that accompanied the growth forces the hierarchy
+	// regeneration below.
+	if n := e.corp.Len(); n > len(s.scores) {
+		for len(s.scores) < n {
+			s.scores = append(s.scores, 0.5)
+		}
+		s.posBits = s.posBits.Grow(n)
+	}
 
 	// Line 6: (re)generate the candidate hierarchy, unless the cached one is
 	// still valid.
@@ -444,8 +472,13 @@ func (s *Session) Report() *Report {
 }
 
 // retrain refits the classifier on the current positive set and refreshes the
-// p_s scores, honouring the lazy re-scoring optimization when enabled.
+// p_s scores, honouring the lazy re-scoring optimization when enabled. It
+// runs under the engine's read lock: training and scoring read the shared
+// corpus and feature cache, which a concurrent ingest grows under the write
+// lock.
 func (s *Session) retrain() {
+	s.e.ixMu.RLock()
+	defer s.e.ixMu.RUnlock()
 	if err := s.clf.TrainFromPositives(s.positives); err != nil {
 		// Not enough signal to train (should not happen once P is non-empty);
 		// keep previous scores.
@@ -460,7 +493,7 @@ func (s *Session) retrain() {
 		return
 	}
 	thr := s.e.cfg.LazyScoreThreshold
-	for id := 0; id < s.e.corp.Len(); id++ {
+	for id := 0; id < len(s.scores) && id < s.e.corp.Len(); id++ {
 		if s.scores[id] > thr || s.positives[id] {
 			s.scores[id] = s.clf.ScoreOne(id)
 		}

@@ -86,12 +86,21 @@ type PreprocessOptions struct {
 // Preprocess tokenizes, POS-tags and (optionally) parses every sentence that
 // has not been preprocessed yet. It is idempotent.
 func (c *Corpus) Preprocess(opts PreprocessOptions) {
+	c.PreprocessFrom(0, opts)
+}
+
+// PreprocessFrom preprocesses only the sentences with ID >= from — the newly
+// ingested tail of a live corpus. Same semantics as Preprocess otherwise.
+func (c *Corpus) PreprocessFrom(from int, opts PreprocessOptions) {
 	var tok textproc.Tokenizer
 	tagger := opts.Tagger
 	if tagger == nil {
 		tagger = postag.New()
 	}
-	for _, s := range c.Sentences {
+	if from < 0 {
+		from = 0
+	}
+	for _, s := range c.Sentences[min(from, len(c.Sentences)):] {
 		if s.Tokens == nil {
 			s.Tokens = tok.TokenizeWords(s.Text)
 		}
@@ -102,6 +111,18 @@ func (c *Corpus) Preprocess(opts PreprocessOptions) {
 			s.Tree = depparse.ParseTagged(s.Tokens, s.Tags)
 		}
 	}
+}
+
+// View returns an immutable snapshot view of the corpus: a corpus value over
+// exactly the sentences present now, with the slice capacity clipped so later
+// appends to the live corpus never alias into it. Published sentences are
+// never mutated after preprocessing, so a view is safe for lock-free reads
+// (exports, labeling jobs, baselines) while the live corpus keeps growing.
+// Callers that grow the corpus concurrently must take the view under the
+// same lock that guards Add.
+func (c *Corpus) View() *Corpus {
+	n := len(c.Sentences)
+	return &Corpus{Name: c.Name, Task: c.Task, Sentences: c.Sentences[:n:n]}
 }
 
 // Positives returns the IDs of all sentences with a positive gold label.

@@ -44,10 +44,10 @@ type Node struct {
 	Heuristic grammar.Heuristic
 	// Coverage is the sorted sentence-ID list covered by the rule.
 	Coverage []int
-	// Bits is the dense bitset mirror of Coverage (shared with the index
-	// node when the hierarchy was generated from an index; nil for nodes
-	// added by hand). Read-only.
-	Bits bitset.Set
+	// Bits is the coverage-kernel mirror of Coverage — dense or adaptive,
+	// shared with the index node when the hierarchy was generated from an
+	// index; nil for nodes added by hand. Read-only.
+	Bits bitset.Cover
 	// Parents and Children are hierarchy edges (superset / subset).
 	Parents  []string
 	Children []string

@@ -42,11 +42,19 @@ type Node struct {
 	// heuristic.
 	Postings []int
 
-	// bits is the dense bitset mirror of Postings, materialized at publish
-	// points (BuildEdges / EnsureHeuristic); bitsN is len(Postings) at the
-	// time bits was built, used to detect staleness cheaply.
-	bits  bitset.Set
+	// bits is the coverage-kernel mirror of Postings — a dense bitset.Set or
+	// a compressed *bitset.Adaptive depending on the index kernel —
+	// materialized at publish points (BuildEdges / EnsureHeuristic); bitsN is
+	// len(Postings) at the time bits was built, used to detect staleness
+	// cheaply.
+	bits  bitset.Cover
 	bitsN int
+
+	// adhoc marks nodes materialized by EnsureHeuristic's corpus scan rather
+	// than derived from sentence sketches. Their heuristics are not reachable
+	// through sketches, so live-corpus growth must probe them directly (see
+	// AddSentence).
+	adhoc bool
 
 	parents  []string
 	children []string
@@ -64,28 +72,48 @@ func (n *Node) Parents() []string { return n.parents }
 // Children returns the keys of the node's child nodes (specializations).
 func (n *Node) Children() []string { return n.children }
 
-// Bits returns the node's coverage as a dense bitset, or nil if the node has
-// not been published (BuildEdges) since its postings last changed. The
-// returned set must not be modified.
-func (n *Node) Bits() bitset.Set {
-	if n.bitsN != len(n.Postings) {
+// Bits returns the node's coverage set, or nil if the node has not been
+// published (BuildEdges) since its postings last changed. The returned set
+// must not be modified.
+func (n *Node) Bits() bitset.Cover {
+	if n.bits == nil || n.bitsN != len(n.Postings) {
 		return nil
 	}
 	return n.bits
 }
 
-// refreshBits (re)materializes the node's coverage bitset if stale.
-func (n *Node) refreshBits() {
+// refreshBits (re)materializes the node's coverage set if it is stale or in
+// the wrong representation for the index kernel.
+func (n *Node) refreshBits(kernel string) {
 	if n.bits != nil && n.bitsN == len(n.Postings) {
-		return
+		if _, adaptive := n.bits.(*bitset.Adaptive); adaptive == (kernel == KernelAdaptive) {
+			return
+		}
 	}
-	n.bits = bitset.FromSorted(n.Postings)
+	if kernel == KernelAdaptive {
+		n.bits = bitset.AdaptiveFromSorted(n.Postings)
+	} else {
+		n.bits = bitset.FromSorted(n.Postings)
+	}
 	n.bitsN = len(n.Postings)
 }
+
+// Coverage kernels: which representation BuildEdges materializes per-node
+// coverage in. Adaptive (the default) uses roaring-style compressed bitsets
+// whose memory scales with coverage cardinality instead of corpus size;
+// dense is the original []uint64 mirror and remains the pinned reference the
+// equivalence tests compare against.
+const (
+	KernelAdaptive = "adaptive"
+	KernelDense    = "dense"
+)
 
 // Index is the merged sketch trie over a corpus.
 type Index struct {
 	nodes map[string]*Node
+	// kernel selects the per-node coverage representation ("" means
+	// KernelAdaptive).
+	kernel string
 	// edgesBuilt records whether parent/child edges (and coverage bitsets)
 	// are up to date.
 	edgesBuilt bool
@@ -94,6 +122,9 @@ type Index struct {
 	// version counts mutations; sessions use it to detect that a cached
 	// hierarchy may be stale because the shared index grew.
 	version uint64
+	// adhoc lists the nodes EnsureHeuristic materialized by corpus scan, the
+	// ones AddSentence must probe against every ingested sentence.
+	adhoc []*Node
 }
 
 // New returns an empty index containing only the root node (with no
@@ -103,6 +134,33 @@ func New() *Index {
 	ix := &Index{nodes: make(map[string]*Node), edgesBuilt: true}
 	ix.nodes[grammar.RootKey] = &Node{Heuristic: grammar.Root()}
 	return ix
+}
+
+// Kernel returns the index's coverage-kernel name (KernelAdaptive unless
+// explicitly set to KernelDense).
+func (ix *Index) Kernel() string {
+	if ix.kernel == KernelDense {
+		return KernelDense
+	}
+	return KernelAdaptive
+}
+
+// SetKernel switches the per-node coverage representation and republishes
+// the index. A no-op when the kernel is unchanged. Callers holding the
+// engine's index write lock may call it at any time; it never changes
+// postings, so versioned caches built on the old kernel stay semantically
+// valid but are invalidated anyway (the representation under their bits
+// pointer swapped).
+func (ix *Index) SetKernel(kernel string) {
+	if kernel != KernelDense {
+		kernel = KernelAdaptive
+	}
+	if ix.Kernel() == kernel {
+		return
+	}
+	ix.kernel = kernel
+	ix.invalidate()
+	ix.BuildEdges()
 }
 
 // Build constructs the index of a corpus using the given sketch builder,
@@ -150,6 +208,25 @@ func Build(c *corpus.Corpus, b *sketch.Builder) *Index {
 	}
 	ix.BuildEdges()
 	return ix
+}
+
+// AddSentence merges one newly ingested sentence into the index: its
+// derivation sketch via AddSketch, plus a direct match probe of every ad-hoc
+// node (rules materialized by EnsureHeuristic are not derivable from
+// sketches, so their coverage growth must be computed explicitly). With this
+// probe, ingest and seed-rule materialization commute: an ensured node's
+// coverage always converges to its full-corpus scan regardless of order,
+// which is what keeps journal replay deterministic.
+func (ix *Index) AddSentence(sk sketch.Sketch, s *corpus.Sentence) {
+	ix.AddSketch(sk)
+	if s == nil {
+		return
+	}
+	for _, n := range ix.adhoc {
+		if n.Heuristic.Matches(s) {
+			n.Postings = insertSorted(n.Postings, s.ID)
+		}
+	}
 }
 
 // AddSketch merges one sentence's derivation sketch into the index,
@@ -239,10 +316,11 @@ func mergeSorted(a, b []int) []int {
 // the publish point: after it returns, all read accessors are safe for
 // concurrent use until the next mutation.
 func (ix *Index) BuildEdges() {
+	kernel := ix.Kernel()
 	for _, n := range ix.nodes {
 		n.parents = n.parents[:0]
 		n.children = n.children[:0]
-		n.refreshBits()
+		n.refreshBits(kernel)
 	}
 	keys := make([]string, 0, len(ix.nodes))
 	for k := range ix.nodes {
@@ -296,6 +374,15 @@ func (ix *Index) Prune(minCount int) {
 			delete(ix.nodes, key)
 		}
 	}
+	if len(ix.adhoc) > 0 {
+		kept := ix.adhoc[:0]
+		for _, n := range ix.adhoc {
+			if ix.nodes[n.Key()] == n {
+				kept = append(kept, n)
+			}
+		}
+		ix.adhoc = kept
+	}
 	ix.invalidate()
 	ix.BuildEdges()
 }
@@ -340,14 +427,45 @@ func (ix *Index) Coverage(key string) []int {
 	return nil
 }
 
-// Bits returns the coverage bitset of the heuristic with the given key, or
+// Bits returns the coverage set of the heuristic with the given key, or
 // nil if the key is not materialized or not yet published. The returned set
 // must not be modified.
-func (ix *Index) Bits(key string) bitset.Set {
+func (ix *Index) Bits(key string) bitset.Cover {
 	if n, ok := ix.nodes[key]; ok {
 		return n.Bits()
 	}
 	return nil
+}
+
+// ContainerStats reports the coverage-representation census across all
+// published nodes: adaptive array and bitmap container counts, plus how many
+// nodes hold a dense mirror. It feeds the darwin_bitset_containers gauge.
+func (ix *Index) ContainerStats() (arrays, bitmaps, dense int) {
+	for _, n := range ix.nodes {
+		switch b := n.bits.(type) {
+		case *bitset.Adaptive:
+			a, bm := b.Containers()
+			arrays += a
+			bitmaps += bm
+		case bitset.Set:
+			if b != nil {
+				dense++
+			}
+		}
+	}
+	return arrays, bitmaps, dense
+}
+
+// CoverageBytes sums the payload bytes of every published node coverage set
+// — the series the scale benchmark compares across kernels.
+func (ix *Index) CoverageBytes() int {
+	total := 0
+	for _, n := range ix.nodes {
+		if n.bits != nil {
+			total += n.bits.Bytes()
+		}
+	}
+	return total
 }
 
 // Count returns the coverage size of the heuristic with the given key (0 for
@@ -422,7 +540,7 @@ func (ix *Index) OverlapBits(key string, p bitset.Set) int {
 		return 0
 	}
 	if b := n.Bits(); b != nil {
-		return bitset.AndCount(b, p)
+		return b.AndCount(p)
 	}
 	c := 0
 	for _, id := range n.Postings {
@@ -441,7 +559,7 @@ func (ix *Index) NewCoverageBits(key string, p bitset.Set) int {
 		return 0
 	}
 	if b := n.Bits(); b != nil {
-		return bitset.AndNotCount(b, p)
+		return b.AndNotCount(p)
 	}
 	c := 0
 	for _, id := range n.Postings {
@@ -460,9 +578,10 @@ func (ix *Index) EnsureHeuristic(h grammar.Heuristic, c *corpus.Corpus) *Node {
 	if n, ok := ix.nodes[h.Key()]; ok {
 		return n
 	}
-	n := &Node{Heuristic: h, Postings: grammar.Coverage(h, c)}
-	n.refreshBits()
+	n := &Node{Heuristic: h, Postings: grammar.Coverage(h, c), adhoc: true}
+	n.refreshBits(ix.Kernel())
 	ix.nodes[h.Key()] = n
+	ix.adhoc = append(ix.adhoc, n)
 	ix.invalidate()
 	return n
 }

@@ -1,0 +1,128 @@
+// Package ingest decodes live corpus-extension batches: JSONL streams of
+// {"text","label"} records, the same wire shape corpus export uses. It is a
+// pure decoding layer — validation and limits only, no engine or journal
+// dependencies — shared by the /v2 ingest endpoint, the labeling-job
+// streaming-corpus path, and journal replay.
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sentence is one ingested sentence in wire form. Label uses the corpus
+// export convention: 0 negative, 1 positive (the gold label drives the
+// simulated oracle and evaluation; the engine itself never reads it).
+type Sentence struct {
+	Text  string `json:"text"`
+	Label int    `json:"label"`
+}
+
+// Default decoding limits.
+const (
+	DefaultMaxBatch   = 100_000
+	DefaultMaxTextLen = 1 << 16
+	// maxLineBytes bounds one JSONL line (text plus JSON framing).
+	maxLineBytes = 1 << 20
+)
+
+// Limits bounds one decoded batch. Zero values select the defaults.
+type Limits struct {
+	// MaxBatch caps the number of sentences in one batch.
+	MaxBatch int
+	// MaxTextLen caps the byte length of one sentence's text.
+	MaxTextLen int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = DefaultMaxBatch
+	}
+	if l.MaxTextLen <= 0 {
+		l.MaxTextLen = DefaultMaxTextLen
+	}
+	return l
+}
+
+// ErrInvalid marks a malformed or out-of-bounds batch. The serving layer
+// maps it to 400.
+var ErrInvalid = errors.New("invalid ingest batch")
+
+// DecodeJSONL reads one sentence batch: one {"text","label"} object per
+// line, blank lines skipped. Every record is validated (non-empty text,
+// binary label, length caps) before any is returned, so a rejected batch is
+// rejected whole — nothing is partially applied downstream.
+func DecodeJSONL(r io.Reader, limits Limits) ([]Sentence, error) {
+	limits = limits.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var out []Sentence
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var rec Sentence
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrInvalid, line, err)
+		}
+		if err := rec.Validate(limits); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrInvalid, line, err)
+		}
+		if len(out) >= limits.MaxBatch {
+			return nil, fmt.Errorf("%w: batch exceeds %d sentences", ErrInvalid, limits.MaxBatch)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("%w: line %d exceeds %d bytes", ErrInvalid, line+1, maxLineBytes)
+		}
+		return nil, fmt.Errorf("read ingest batch: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalid)
+	}
+	return out, nil
+}
+
+// Validate checks one record against the limits.
+func (s Sentence) Validate(limits Limits) error {
+	limits = limits.withDefaults()
+	if strings.TrimSpace(s.Text) == "" {
+		return fmt.Errorf("empty text")
+	}
+	if len(s.Text) > limits.MaxTextLen {
+		return fmt.Errorf("text exceeds %d bytes", limits.MaxTextLen)
+	}
+	if s.Label != 0 && s.Label != 1 {
+		return fmt.Errorf("label must be 0 or 1, got %d", s.Label)
+	}
+	return nil
+}
+
+// ValidateBatch checks a pre-decoded batch (e.g. one carried inline in a
+// labeling-job spec) against the limits.
+func ValidateBatch(batch []Sentence, limits Limits) error {
+	limits = limits.withDefaults()
+	if len(batch) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrInvalid)
+	}
+	if len(batch) > limits.MaxBatch {
+		return fmt.Errorf("%w: batch exceeds %d sentences", ErrInvalid, limits.MaxBatch)
+	}
+	for i, rec := range batch {
+		if err := rec.Validate(limits); err != nil {
+			return fmt.Errorf("%w: sentence %d: %v", ErrInvalid, i, err)
+		}
+	}
+	return nil
+}

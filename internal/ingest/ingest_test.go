@@ -1,0 +1,65 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeJSONL(t *testing.T) {
+	in := `{"text":"best way to get to the airport","label":1}
+
+{"text":"the composer wrote a symphony","label":0}
+`
+	got, err := DecodeJSONL(strings.NewReader(in), Limits{})
+	if err != nil {
+		t.Fatalf("DecodeJSONL: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d sentences, want 2", len(got))
+	}
+	if got[0].Text != "best way to get to the airport" || got[0].Label != 1 {
+		t.Fatalf("first record = %+v", got[0])
+	}
+	if got[1].Label != 0 {
+		t.Fatalf("second record = %+v", got[1])
+	}
+}
+
+func TestDecodeJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{"text": }`,
+		"empty text":    `{"text":"  ","label":0}`,
+		"bad label":     `{"text":"x","label":2}`,
+		"unknown field": `{"text":"x","label":0,"extra":1}`,
+		"empty batch":   ``,
+	}
+	for name, in := range cases {
+		if _, err := DecodeJSONL(strings.NewReader(in), Limits{}); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", name, err)
+		}
+	}
+}
+
+func TestDecodeJSONLBatchLimit(t *testing.T) {
+	in := strings.Repeat(`{"text":"a b c","label":0}`+"\n", 5)
+	if _, err := DecodeJSONL(strings.NewReader(in), Limits{MaxBatch: 4}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("over-limit batch: err = %v, want ErrInvalid", err)
+	}
+	got, err := DecodeJSONL(strings.NewReader(in), Limits{MaxBatch: 5})
+	if err != nil || len(got) != 5 {
+		t.Fatalf("at-limit batch: %d sentences, err = %v", len(got), err)
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	if err := ValidateBatch(nil, Limits{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("nil batch: %v", err)
+	}
+	if err := ValidateBatch([]Sentence{{Text: "ok", Label: 1}}, Limits{}); err != nil {
+		t.Fatalf("valid batch: %v", err)
+	}
+	if err := ValidateBatch([]Sentence{{Text: "ok", Label: 3}}, Limits{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad label: %v", err)
+	}
+}

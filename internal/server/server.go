@@ -292,6 +292,9 @@ func New(cfg Config, datasets ...*Dataset) (*Server, error) {
 	obs.Default().GaugeFunc("darwin_workspaces_live",
 		"Live workspaces in the manager.",
 		func() float64 { return float64(s.mgr.Len()) })
+	// Seed the per-dataset corpus and coverage-container gauges; ingest
+	// refreshes them on every acknowledged batch.
+	s.updateEngineGauges()
 	// Instrumentation wraps the auth/rate-limit middleware so 401s and 429s
 	// are counted and logged too.
 	s.handler = obs.Instrument(obs.Default(), cfg.Daemon, cfg.AccessLog, s.middleware(s.mux))
@@ -344,6 +347,10 @@ func (s *Server) Close() error {
 	}
 	return s.mgr.Close()
 }
+
+// Dataset returns the served dataset by name, or nil when unknown. The
+// datasets map is fixed at construction, so this needs no locking.
+func (s *Server) Dataset(name string) *Dataset { return s.datasets[name] }
 
 // DatasetNames returns the served dataset names, sorted.
 func (s *Server) DatasetNames() []string {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/autolabel"
+	"repro/internal/ingest"
 	"repro/internal/workspace"
 	"repro/pkg/darwin"
 )
@@ -68,6 +69,12 @@ type Backend interface {
 	// seed and scores it (and optionally an interactive committee)
 	// corpus-wide — the paper's automatic baseline as one synchronous call.
 	SnubaBaseline(ctx context.Context, dataset string, req autolabel.SnubaRequest) (autolabel.SnubaResult, error)
+
+	// IngestSentences appends a validated batch of sentences to the
+	// dataset's live corpus, durably (journaled before returning), and
+	// extends its index incrementally. Not idempotent: the router attempts
+	// it exactly once.
+	IngestSentences(ctx context.Context, dataset string, batch []ingest.Sentence) (darwin.IngestResult, error)
 }
 
 // RegisterV2 registers the /v2 handler set over b. register is called once
@@ -86,6 +93,7 @@ func RegisterV2(b Backend, register func(pattern string, h http.HandlerFunc)) {
 	register("GET /v2/datasets/{dataset}/labeling-jobs/{id}", handleV2JobStatus(b))
 	register("GET /v2/datasets/{dataset}/labeling-jobs/{id}/output", handleV2JobOutput(b))
 	register("POST /v2/datasets/{dataset}/baselines/snuba", handleV2Snuba(b))
+	register("POST /v2/datasets/{dataset}/sentences", handleV2Ingest(b))
 }
 
 // V2Handler returns a handler serving just the /v2 surface over b — what

@@ -321,7 +321,7 @@ func (s *Server) handleWSExport(w http.ResponseWriter, r *http.Request) {
 	}
 	d := s.datasets[ws.Dataset()]
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if err := d.Engine.Corpus().WriteLabeledJSONL(w, ws.PositivesMap()); err != nil {
+	if err := d.Engine.CorpusView().WriteLabeledJSONL(w, ws.PositivesMap()); err != nil {
 		// Headers are already sent; the truncated body is all we can signal.
 		return
 	}

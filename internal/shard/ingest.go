@@ -1,0 +1,26 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ingest"
+	"repro/pkg/darwin"
+)
+
+// IngestSentences implements the server Backend: the batch goes to the
+// dataset's current primary — the shard whose journal owns the dataset's
+// durable history, so the follower replicating that journal sees the growth
+// too. Ingests are attempted exactly once: they are not idempotent (a retry
+// after a lost response would append the batch twice), so a transport
+// failure surfaces to the client, which can compare corpus_len before
+// resubmitting.
+func (r *Router) IngestSentences(ctx context.Context, dataset string, batch []ingest.Sentence) (darwin.IngestResult, error) {
+	if dataset == "" {
+		return darwin.IngestResult{}, fmt.Errorf("%w: dataset is required", darwin.ErrInvalid)
+	}
+	sh := r.primaryFor(dataset)
+	res, err := sh.client.IngestSentences(ctx, dataset, batch)
+	observeOnce(sh, "ingest", err)
+	return res, err
+}

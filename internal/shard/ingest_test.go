@@ -1,0 +1,98 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/pkg/darwin"
+)
+
+// TestRouterIngestEndToEnd drives sentence ingestion client → router →
+// primary shard: the batch lands on exactly the dataset's primary (the
+// shard whose journal owns the dataset), the acknowledgement reports the
+// primary's corpus range, and the router daemon's /metrics — the same mux
+// cmd/darwin-router serves — exposes a valid exposition including the
+// ingest families.
+func TestRouterIngestEndToEnd(t *testing.T) {
+	srvA := newShardServer(t, "", "directions", "musicians")
+	defer srvA.Close()
+	srvB := newShardServer(t, "", "directions", "musicians")
+	defer srvB.Close()
+	shardA := httptest.NewServer(srvA)
+	defer shardA.Close()
+	shardB := httptest.NewServer(srvB)
+	defer shardB.Close()
+	rt, err := shard.New([]shard.Spec{
+		{Name: "alpha", URL: shardA.URL}, {Name: "beta", URL: shardB.URL},
+	}, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The router daemon's mux: /metrics + the /v2 handler set over the
+	// Router, exactly what cmd/darwin-router mounts.
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	server.RegisterV2(rt, func(pattern string, h http.HandlerFunc) { mux.HandleFunc(pattern, h) })
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	client := darwin.NewClient(ts.URL, "")
+	ctx := context.Background()
+
+	servers := map[string]*server.Server{"alpha": srvA, "beta": srvB}
+	primary := servers[rt.Place("directions")]
+	other := servers[map[string]string{"alpha": "beta", "beta": "alpha"}[rt.Place("directions")]]
+	boot := primary.Dataset("directions").Engine.CorpusLen()
+
+	batch := []ingest.Sentence{
+		{Text: "best way to get to the ferry pier", Label: 1},
+		{Text: "the museum closes at five", Label: 0},
+	}
+	res, err := client.IngestSentences(ctx, "directions", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "directions" || res.From != boot || res.Ingested != 2 || res.CorpusLen != boot+2 {
+		t.Fatalf("routed ingest acknowledged %+v, want from=%d ingested=2", res, boot)
+	}
+	if got := primary.Dataset("directions").Engine.CorpusLen(); got != boot+2 {
+		t.Errorf("primary corpus is %d sentences, want %d", got, boot+2)
+	}
+	if got := other.Dataset("directions").Engine.CorpusLen(); got != boot {
+		t.Errorf("non-primary corpus grew to %d; ingest must land only on the primary", got)
+	}
+
+	if _, err := client.IngestSentences(ctx, "ghosts", batch); !errors.Is(err, darwin.ErrNotFound) {
+		t.Errorf("unknown dataset through the router: %v", err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := obs.CheckExposition(string(body)); err != nil {
+		t.Fatalf("router /metrics exposition invalid: %v", err)
+	}
+	// The shared registry carries the ingest families (the router process
+	// registers them by linking the server package), and the router's own
+	// per-shard request counters record the forwarded call.
+	for _, series := range []string{
+		"darwin_ingest_batches_total",
+		"darwin_ingest_sentences_total",
+		"darwin_bitset_containers",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("router /metrics is missing %s", series)
+		}
+	}
+}

@@ -55,9 +55,9 @@ func (st *State) coverageOf(key string) []int {
 	return st.Index.Coverage(key)
 }
 
-// bitsOf returns the coverage bitset of a rule key (hierarchy first, then
+// bitsOf returns the coverage set of a rule key (hierarchy first, then
 // index), or nil when not materialized.
-func (st *State) bitsOf(key string) bitset.Set {
+func (st *State) bitsOf(key string) bitset.Cover {
 	if n := st.Hierarchy.Node(key); n != nil {
 		if n.Bits != nil {
 			return n.Bits
@@ -126,7 +126,7 @@ func BenefitBits(cov, positives bitset.Set, scores []float64) float64 {
 // available and the reference scan otherwise.
 func (st *State) benefitNew(key string, cov []int) (float64, int) {
 	if covBits := st.bitsOf(key); covBits != nil {
-		return bitset.AndNotSum(covBits, st.posBits(), st.Scores)
+		return covBits.AndNotSum(st.posBits(), st.Scores)
 	}
 	var b float64
 	newCov := 0

@@ -1,5 +1,7 @@
 package workspace
 
+import "repro/internal/ingest"
+
 // Journal event types emitted by the manager and the workspace apply
 // methods. Replay applies them in file order through the same code paths
 // that served live traffic (see Manager.Recover).
@@ -13,6 +15,7 @@ const (
 	evMaterialize = "materialize"
 	evSnapshot    = "snapshot"
 	evFence       = "fence"
+	evIngest      = "ingest"
 )
 
 // createData records a workspace creation with the budget and seed already
@@ -57,6 +60,17 @@ type evictData struct {
 // follower (and a demoted ex-primary) makes zombie-rejection durable.
 type fenceData struct {
 	Epoch uint64 `json:"epoch"`
+}
+
+// ingestData records a live corpus-growth batch for a dataset. From is the
+// corpus length the batch was applied at; replay validates it so a duplicate
+// delivery (recovery after a crash between apply and acknowledge, or a
+// replication retry) is skipped instead of double-appended. Compaction
+// re-emits the whole ingested tail as one consolidated batch, ordered before
+// the snapshots that were taken over the grown corpus.
+type ingestData struct {
+	From      int               `json:"from"`
+	Sentences []ingest.Sentence `json:"sentences"`
 }
 
 // materializeData records seed-rule materializations into a dataset's

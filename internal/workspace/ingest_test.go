@@ -1,0 +1,231 @@
+package workspace
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/journal"
+)
+
+func ingestTestBatch(n int, tag string) []ingest.Sentence {
+	batch := make([]ingest.Sentence, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, ingest.Sentence{
+			Text:  "best way to get to the " + tag + " terminal",
+			Label: 1,
+		})
+	}
+	return batch
+}
+
+// TestIngestJournaledAndReplayed is the durability contract of evIngest: an
+// acknowledged batch interleaved with annotation traffic must replay into a
+// fresh manager to byte-identical workspace state and the same corpus
+// length, and the recovered engine keeps serving suggestions.
+func TestIngestJournaledAndReplayed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	live := newTestManager(t, path, ManagerConfig{})
+	eng, _ := live.Engine("directions")
+	boot := eng.Corpus().Len()
+
+	ws, err := live.Create("directions", Options{SeedRules: []string{seedRule}, Budget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Attach(ws.ID(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		sug, ok, err := live.Suggest(ws.ID(), "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return
+		}
+		if _, err := live.Answer(ws.ID(), "alice", sug.Key, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	step()
+	from, to, err := live.Ingest("directions", ingestTestBatch(30, "north"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != boot || to != boot+30 {
+		t.Fatalf("first batch landed at [%d,%d), want [%d,%d)", from, to, boot, boot+30)
+	}
+	step()
+	if _, to, err = live.Ingest("directions", ingestTestBatch(20, "south")); err != nil {
+		t.Fatal(err)
+	}
+	if to != boot+50 {
+		t.Fatalf("second batch ends at %d, want %d", to, boot+50)
+	}
+	step()
+
+	lws, _ := live.Get(ws.ID())
+	liveSnap, _ := json.Marshal(lws.Snapshot())
+	liveReport := lws.Report()
+	if err := live.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := journal.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := newTestManager(t, "", ManagerConfig{})
+	stats := restored.Recover(events)
+	if len(stats.Skipped) != 0 {
+		t.Fatalf("replay skipped workspaces: %v", stats.Skipped)
+	}
+	reng, _ := restored.Engine("directions")
+	if got := reng.Corpus().Len(); got != boot+50 {
+		t.Fatalf("recovered corpus has %d sentences, want %d", got, boot+50)
+	}
+	rws, ok := restored.Get(ws.ID())
+	if !ok {
+		t.Fatal("workspace not recovered")
+	}
+	restoredSnap, _ := json.Marshal(rws.Snapshot())
+	if !bytes.Equal(liveSnap, restoredSnap) {
+		t.Fatalf("replayed state differs:\nlive:     %s\nreplayed: %s", liveSnap, restoredSnap)
+	}
+	if liveReport.Questions != rws.Report().Questions || len(liveReport.Accepted) != len(rws.Report().Accepted) {
+		t.Fatal("replayed report differs from live report")
+	}
+	// The recovered engine keeps serving over the grown corpus.
+	if _, _, err := restored.Suggest(ws.ID(), "alice"); err != nil {
+		t.Fatalf("post-recovery suggest: %v", err)
+	}
+}
+
+// TestIngestCompactionConsolidatesTail: compaction re-emits the ingested
+// tail as one consolidated batch ordered before every snapshot, so recovery
+// from a compacted journal rebuilds the same corpus.
+func TestIngestCompactionConsolidatesTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	live := newTestManager(t, path, ManagerConfig{CompactEvery: -1})
+	eng, _ := live.Engine("directions")
+	boot := eng.Corpus().Len()
+
+	ws, err := live.Create("directions", Options{SeedRules: []string{seedRule}, Budget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Attach(ws.ID(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := live.Ingest("directions", ingestTestBatch(10, "pier")); err != nil {
+			t.Fatal(err)
+		}
+		sug, ok, err := live.Suggest(ws.ID(), "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			if _, err := live.Answer(ws.ID(), "alice", sug.Key, i == 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := live.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction traffic lands after the snapshot.
+	if _, _, err := live.Ingest("directions", ingestTestBatch(5, "station")); err != nil {
+		t.Fatal(err)
+	}
+	lws, _ := live.Get(ws.ID())
+	liveSnap, _ := json.Marshal(lws.Snapshot())
+	if err := live.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := journal.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consolidated ingest tail must precede the first snapshot, so the
+	// snapshot's corpus-length check sees the grown corpus.
+	firstIngest, firstSnapshot := -1, -1
+	ingests := 0
+	for i, ev := range events {
+		switch ev.Type {
+		case evIngest:
+			if firstIngest < 0 {
+				firstIngest = i
+			}
+			ingests++
+		case evSnapshot:
+			if firstSnapshot < 0 {
+				firstSnapshot = i
+			}
+		}
+	}
+	if firstIngest != 0 {
+		t.Fatalf("compacted journal starts with %q, want consolidated ingest first", events[0].Type)
+	}
+	if firstSnapshot >= 0 && firstIngest > firstSnapshot {
+		t.Fatal("consolidated ingest is ordered after a snapshot")
+	}
+	if ingests != 2 { // consolidated tail + the post-compaction batch
+		t.Fatalf("compacted journal has %d ingest events, want 2", ingests)
+	}
+
+	restored := newTestManager(t, "", ManagerConfig{})
+	if stats := restored.Recover(events); len(stats.Skipped) != 0 {
+		t.Fatalf("replay skipped workspaces: %v", stats.Skipped)
+	}
+	reng, _ := restored.Engine("directions")
+	if got := reng.Corpus().Len(); got != boot+35 {
+		t.Fatalf("recovered corpus has %d sentences, want %d", got, boot+35)
+	}
+	rws, ok := restored.Get(ws.ID())
+	if !ok {
+		t.Fatal("workspace not recovered from compacted journal")
+	}
+	restoredSnap, _ := json.Marshal(rws.Snapshot())
+	if !bytes.Equal(liveSnap, restoredSnap) {
+		t.Fatalf("state after compaction differs:\nlive:     %s\nrestored: %s", liveSnap, restoredSnap)
+	}
+}
+
+// TestIngestReplayIsIdempotent: replaying a journal whose tail duplicates an
+// ingest record (e.g. a retry that was journaled twice before the crash)
+// applies the batch once — the From/corpus-length match is the dedup key.
+func TestIngestReplayIsIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	live := newTestManager(t, path, ManagerConfig{})
+	eng, _ := live.Engine("directions")
+	boot := eng.Corpus().Len()
+	if _, _, err := live.Ingest("directions", ingestTestBatch(10, "dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := journal.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dup []journal.Event
+	for _, ev := range events {
+		dup = append(dup, ev)
+		if ev.Type == evIngest {
+			dup = append(dup, ev) // duplicate the ingest record
+		}
+	}
+	restored := newTestManager(t, "", ManagerConfig{})
+	restored.Recover(dup)
+	reng, _ := restored.Engine("directions")
+	if got := reng.Corpus().Len(); got != boot+10 {
+		t.Fatalf("duplicated ingest replayed to %d sentences, want %d", got, boot+10)
+	}
+}

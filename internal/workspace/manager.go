@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/journal"
 	"repro/internal/obs"
 )
@@ -250,6 +251,47 @@ func (m *Manager) create(dataset string, opts Options) (*Workspace, error) {
 	return ws, nil
 }
 
+// Ingest appends a batch of sentences to the named dataset's live corpus,
+// incrementally extending its index, and journals the growth durably (the
+// event is fsynced before Ingest returns — an acknowledged batch survives a
+// crash). It returns the sentence-ID range [from, to) the batch occupies.
+//
+// Unlike every other manager operation, Ingest holds the appender gate
+// exclusively: create events pin the corpus length they were journaled at,
+// so corpus growth must not interleave with other journaling operations —
+// the journal order has to equal the apply order. Engine-level materialize
+// appends stay safe without the gate because ingest and materialization
+// commute (the index re-probes ad-hoc rules against ingested sentences).
+func (m *Manager) Ingest(dataset string, batch []ingest.Sentence) (from, to int, err error) {
+	from, to, err = m.ingest(dataset, batch)
+	if err == nil {
+		m.awaitReplication(dataset)
+	}
+	return from, to, err
+}
+
+func (m *Manager) ingest(dataset string, batch []ingest.Sentence) (int, int, error) {
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	eng, ok := m.engines[dataset]
+	if !ok {
+		return 0, 0, fmt.Errorf("workspace: unknown dataset %q", dataset)
+	}
+	from, to, err := eng.Ingest(batch)
+	if err != nil {
+		return from, from, err
+	}
+	if m.jw != nil && !m.recovering.Load() {
+		if _, err := m.jw.Append(evIngest, "", dataset, ingestData{From: from, Sentences: batch}); err != nil {
+			return from, to, fmt.Errorf("workspace: %w: %v", ErrJournal, err)
+		}
+		if err := m.jw.Sync(); err != nil {
+			return from, to, fmt.Errorf("workspace: %w: %v", ErrJournal, err)
+		}
+	}
+	return from, to, nil
+}
+
 // awaitReplication runs the installed replication barrier, if any. Callers
 // must not hold the appender gate: a synchronous-replication wait here must
 // not stall compaction or other appenders.
@@ -486,6 +528,26 @@ func (m *Manager) Compact() error {
 	defer m.matMu.Unlock()
 
 	var events []journal.Event
+	// Ingested corpus growth is re-emitted first, as one consolidated batch
+	// per dataset: everything after it — materializations whose coverage
+	// includes ingested sentences, snapshots taken over the grown corpus —
+	// replays against the corpus length the tail reconstructs.
+	ingested := make([]string, 0, len(m.engines))
+	for d := range m.engines {
+		ingested = append(ingested, d)
+	}
+	sort.Strings(ingested)
+	for _, d := range ingested {
+		from, tail := m.engines[d].IngestedTail()
+		if len(tail) == 0 {
+			continue
+		}
+		data, err := json.Marshal(ingestData{From: from, Sentences: tail})
+		if err != nil {
+			return fmt.Errorf("workspace: compact ingest: %w", err)
+		}
+		events = append(events, journal.Event{Type: evIngest, Dataset: d, Data: data})
+	}
 	datasets := make([]string, 0, len(m.matSpecs))
 	for d := range m.matSpecs {
 		datasets = append(datasets, d)

@@ -79,6 +79,20 @@ func (r *Replayer) Apply(ev journal.Event) {
 		m.matMu.Lock()
 		m.recordMaterializedLocked(ev.Dataset, d.Specs)
 		m.matMu.Unlock()
+	case evIngest:
+		var d ingestData
+		eng, ok := m.engines[ev.Dataset]
+		if !ok || !decodeEvent(ev.Data, &d) {
+			return
+		}
+		// From pins where the batch was applied: a mismatch means the batch
+		// already replayed (duplicate delivery after a crash or replication
+		// retry) or the dataset was rebuilt differently; either way skipping
+		// is the safe idempotent choice.
+		if eng.Corpus().Len() != d.From {
+			return
+		}
+		eng.Ingest(d.Sentences)
 	case evFence:
 		var d fenceData
 		if decodeEvent(ev.Data, &d) {

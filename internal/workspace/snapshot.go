@@ -94,7 +94,11 @@ func (ws *Workspace) Snapshot() *Snapshot {
 // their coverage from the index, which is immutable for materialized keys.
 func Restore(eng *core.Engine, snap *Snapshot, log LogFunc) (*Workspace, error) {
 	corp := eng.Corpus()
-	if corp.Len() != snap.CorpusLen {
+	// The corpus may be longer than the snapshot saw (sentences ingested
+	// after the snapshot, or a compacted journal replaying ingest events
+	// before the snapshot record); the first Suggest/retrain heals the gap
+	// via growLocked. Shorter means the dataset was rebuilt differently.
+	if corp.Len() < snap.CorpusLen {
 		return nil, fmt.Errorf("workspace: snapshot %s was taken over a corpus of %d sentences, engine has %d (dataset rebuilt differently?)", snap.ID, snap.CorpusLen, corp.Len())
 	}
 	if len(snap.Scores) != snap.CorpusLen {

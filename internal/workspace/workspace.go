@@ -310,31 +310,52 @@ func (ws *Workspace) addPositives(cov []int) []int {
 	return added
 }
 
+// growLocked extends the workspace's score vector and positive-set mirror
+// after live-corpus growth: new sentences start at the untrained prior 0.5
+// and outside P. Callers hold ws.mu (or are in New/Restore) and the engine
+// read lock, under which the corpus length is stable.
+func (ws *Workspace) growLocked() {
+	n := ws.eng.Corpus().Len()
+	if n <= ws.corpusLen {
+		return
+	}
+	for len(ws.scores) < n {
+		ws.scores = append(ws.scores, 0.5)
+	}
+	ws.posBits = ws.posBits.Grow(n)
+	ws.corpusLen = n
+}
+
 // retrain refits the shared classifier on P and refreshes the scores,
 // honouring the engine's lazy re-scoring settings. The negative-sampling RNG
 // is reseeded from the current event sequence number, making the retrain a
-// pure function of (P, seed, eventSeq).
+// pure function of (P, seed, eventSeq, corpus length). It runs under the
+// engine's read lock: training and scoring read the shared corpus and
+// feature cache, which a concurrent ingest grows under the write lock.
 func (ws *Workspace) retrain() {
-	ws.clf.Reseed(mix(ws.seed, ws.eventSeq))
-	if err := ws.clf.TrainFromPositives(ws.positives); err != nil {
-		// Training failure is tolerated live (previous model and scores keep
-		// serving); lastRetrainSeq deliberately still points at the last
-		// successful fit, so a snapshot Restore refits a seq that is known
-		// to succeed.
-		return
-	}
-	ws.lastRetrainSeq = ws.eventSeq
-	ws.retrains++
-	lazy, thr := ws.eng.LazyScoring()
-	if !lazy || ws.retrains%3 == 1 || ws.retrains <= 1 {
-		copy(ws.scores, ws.clf.ScoreAll())
-		return
-	}
-	for id := 0; id < ws.corpusLen; id++ {
-		if ws.scores[id] > thr || ws.positives[id] {
-			ws.scores[id] = ws.clf.ScoreOne(id)
+	ws.eng.WithIndexRead(func(*index.Index) {
+		ws.growLocked()
+		ws.clf.Reseed(mix(ws.seed, ws.eventSeq))
+		if err := ws.clf.TrainFromPositives(ws.positives); err != nil {
+			// Training failure is tolerated live (previous model and scores
+			// keep serving); lastRetrainSeq deliberately still points at the
+			// last successful fit, so a snapshot Restore refits a seq that is
+			// known to succeed.
+			return
 		}
-	}
+		ws.lastRetrainSeq = ws.eventSeq
+		ws.retrains++
+		lazy, thr := ws.eng.LazyScoring()
+		if !lazy || ws.retrains%3 == 1 || ws.retrains <= 1 {
+			copy(ws.scores, ws.clf.ScoreAll())
+			return
+		}
+		for id := 0; id < ws.corpusLen && id < len(ws.scores); id++ {
+			if ws.scores[id] > thr || ws.positives[id] {
+				ws.scores[id] = ws.clf.ScoreOne(id)
+			}
+		}
+	})
 }
 
 // Attach registers a new annotator on the workspace.
@@ -483,6 +504,7 @@ func (ws *Workspace) Suggest(name string) (Suggestion, bool, error) {
 	var cov []int
 	found := false
 	ws.eng.WithIndexRead(func(ix *index.Index) {
+		ws.growLocked()
 		if ver := ix.Version(); ws.hier == nil || ws.hierPos != len(ws.positives) || ws.hierIxVer != ver {
 			ws.hier = hierarchy.GenerateBits(ix, ws.posBits, ws.eng.HierarchyConfig())
 			ws.hierPos = len(ws.positives)
@@ -543,7 +565,7 @@ func (ws *Workspace) pickLocked() (string, float64, int) {
 		var benefit float64
 		var newCov int
 		if n.Bits != nil {
-			benefit, newCov = bitset.AndNotSum(n.Bits, ws.posBits, ws.scores)
+			benefit, newCov = n.Bits.AndNotSum(ws.posBits, ws.scores)
 		} else {
 			benefit = traversal.Benefit(n.Coverage, ws.positives, ws.scores)
 			for _, id := range n.Coverage {

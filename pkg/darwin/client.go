@@ -185,12 +185,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // roundTrip issues the request and normalizes transport and protocol errors
 // into the typed taxonomy. The caller owns the returned body.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	return c.roundTripCT(ctx, method, path, body, "application/json")
+}
+
+// roundTripCT is roundTrip with an explicit request content type (the ingest
+// endpoint ships JSONL, not a JSON document).
+func (c *Client) roundTripCT(ctx context.Context, method, path string, body io.Reader, contentType string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)

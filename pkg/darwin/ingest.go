@@ -1,0 +1,68 @@
+package darwin
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/ingest"
+)
+
+// This file is the SDK client for live corpus ingestion: POST a JSONL batch
+// of sentences into a served dataset's corpus. The server appends the batch
+// durably (journaled before the response) and extends the dataset's index
+// incrementally, so every live labeler starts seeing the new sentences on
+// its next suggestion without a rebuild or restart. The wire shape per line
+// is ingest.Sentence — identical to the export format, so an exported corpus
+// round-trips straight back in.
+
+// IngestResult reports one acknowledged ingestion batch.
+type IngestResult struct {
+	// Dataset is the dataset the batch was appended to.
+	Dataset string `json:"dataset"`
+	// From is the sentence ID assigned to the first sentence of the batch;
+	// the batch occupies [From, From+Ingested).
+	From int `json:"from"`
+	// Ingested is the number of sentences appended.
+	Ingested int `json:"ingested"`
+	// CorpusLen is the dataset's corpus length after the batch.
+	CorpusLen int `json:"corpus_len"`
+}
+
+// IngestSentences appends a batch of sentences to a served dataset's live
+// corpus. The call returns once the batch is durable on the dataset's
+// primary (journaled and fsynced); the assigned sentence-ID range is in the
+// result. Batches are applied atomically in request order and are not
+// idempotent — a retry after a lost response would append the sentences
+// twice.
+func (c *Client) IngestSentences(ctx context.Context, dataset string, batch []ingest.Sentence) (IngestResult, error) {
+	var res IngestResult
+	if len(batch) == 0 {
+		return res, fmt.Errorf("%w: empty ingest batch", ErrInvalid)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i, s := range batch {
+		if err := enc.Encode(s); err != nil {
+			return res, fmt.Errorf("%w: encode sentence %d: %v", ErrInvalid, i, err)
+		}
+	}
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	path := "/v2/datasets/" + url.PathEscape(dataset) + "/sentences"
+	resp, err := c.roundTripCT(ctx, http.MethodPost, path, &buf, "application/x-ndjson")
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("%w: decode ingest response: %v", ErrInternal, err)
+	}
+	return res, nil
+}
