@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the darwinlint binary into a temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "darwinlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build darwinlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module with the given files.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.24.0\n"
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestExitsNonzeroOnSeededBadFile proves the full standalone pipeline
+// (darwinlint -> go vet -vettool=self -> unitchecker protocol) fails a
+// build containing a replay-purity violation.
+func TestExitsNonzeroOnSeededBadFile(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"bad.go": `package scratch
+
+import "time"
+
+//darwin:replaypure
+func Bad() time.Time { return time.Now() }
+`,
+	})
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("darwinlint exited 0 on a seeded replaypure violation\n%s", out)
+	}
+	if !strings.Contains(string(out), "replaypure") || !strings.Contains(string(out), "time.Now") {
+		t.Fatalf("diagnostic missing analyzer name or detail:\n%s", out)
+	}
+}
+
+// TestExitsZeroOnCleanModule is the positive control: same pipeline, no
+// violations, exit 0.
+func TestExitsZeroOnCleanModule(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"good.go": `package scratch
+
+import "time"
+
+//darwin:replaypure
+func Good(t0 time.Time) bool { return t0.IsZero() }
+
+func Unscoped() time.Time { return time.Now() }
+`,
+	})
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("darwinlint failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolProtocol drives the go vet integration directly, the way CI
+// and `go vet -vettool=` users invoke it.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"bad.go": `package scratch
+
+import "os"
+
+//darwin:replaypure
+func Bad() string { return os.Getenv("HOME") }
+`,
+	})
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 on a seeded violation\n%s", out)
+	}
+	if !strings.Contains(string(out), "os.Getenv") {
+		t.Fatalf("diagnostic detail missing:\n%s", out)
+	}
+}

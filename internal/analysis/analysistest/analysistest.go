@@ -1,0 +1,211 @@
+// Package analysistest runs darwinlint analyzers over GOPATH-style fixture
+// trees, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/*.go. Imports resolve only
+// within the fixture tree, so fixtures stub the handful of standard-library
+// packages they mention (time, sync, net/http, ...): the analyzers key on
+// package paths, and the stub paths match the real ones. Expected
+// diagnostics are trailing comments of the form:
+//
+//	code() // want "regexp" "another regexp"
+//
+// Dependency fixture packages are analyzed first so package facts flow to
+// importers exactly as they do under go vet.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type pkgUnit struct {
+	files []*ast.File
+	pkg   *types.Package
+	diags []analysis.Diagnostic
+}
+
+type loader struct {
+	t        *testing.T
+	srcdir   string
+	fset     *token.FileSet
+	analyzer *analysis.Analyzer
+	pkgs     map[string]*pkgUnit
+	loading  map[string]bool
+	facts    map[string][]byte // pkgpath -> fact blob for l.analyzer
+}
+
+// Run analyzes each fixture package and matches diagnostics against the
+// `// want` expectations in that package's files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		t:        t,
+		srcdir:   filepath.Join(testdata, "src"),
+		fset:     token.NewFileSet(),
+		analyzer: a,
+		pkgs:     map[string]*pkgUnit{},
+		loading:  map[string]bool{},
+		facts:    map[string][]byte{},
+	}
+	for _, path := range pkgPaths {
+		u, err := l.load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		l.checkWants(path, u)
+	}
+}
+
+func (l *loader) load(path string) (*pkgUnit, error) {
+	if u, ok := l.pkgs[path]; ok {
+		return u, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %w", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no go files", path)
+	}
+
+	conf := &types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			u, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return u.pkg, nil
+		}),
+	}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+
+	unit := &analysis.Unit{
+		Fset:  l.fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		ReadFact: func(_, pkgPath string) []byte {
+			return l.facts[pkgPath]
+		},
+	}
+	diags, facts, err := unit.Run([]*analysis.Analyzer{l.analyzer})
+	if err != nil {
+		return nil, fmt.Errorf("run %s on %s: %w", l.analyzer.Name, path, err)
+	}
+	if data, ok := facts[l.analyzer.Name]; ok {
+		l.facts[path] = data
+	}
+	u := &pkgUnit{files: files, pkg: pkg, diags: diags}
+	l.pkgs[path] = u
+	return u, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+var wantArgRe = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type want struct {
+	rx      *regexp.Regexp
+	line    int
+	file    string
+	matched bool
+}
+
+// checkWants matches diagnostics against // want comments.
+func (l *loader) checkWants(path string, u *pkgUnit) {
+	l.t.Helper()
+	wants := map[string][]*want{} // "file:line" -> wants
+	for _, f := range u.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := l.fset.Position(c.Slash)
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					var pat string
+					if arg[0] == '`' {
+						pat = arg[1 : len(arg)-1]
+					} else if unq, err := strconv.Unquote(arg); err == nil {
+						pat = unq
+					} else {
+						l.t.Errorf("%s: bad want pattern %s", pos, arg)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						l.t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &want{rx: rx, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+	for _, d := range u.diags {
+		pos := l.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			l.t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				l.t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package errenvelope defines an analyzer enforcing that error responses in
+// /v2 handler and router code flow through the typed darwin error-taxonomy
+// envelope instead of ad-hoc JSON or plain-text bodies.
+//
+// Files opt in by carrying //darwin:errenvelope on the package clause doc
+// comment. In scoped files the analyzer flags:
+//
+//   - any call to net/http.Error — plain-text error bodies never carry the
+//     machine-readable code/taxonomy the SDK client decodes;
+//   - any write*-helper call with a constant status >= 400 whose payload is
+//     not produced by darwin.Envelope (the taxonomy envelope constructor).
+//
+// Wire-protocol endpoints consumed by non-SDK peers (e.g. the replication
+// stream) carry //darwin:errenvelope-exempt <reason>.
+package errenvelope
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errenvelope pass.
+const name = "errenvelope"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "require /v2 error responses to flow through the darwin envelope/taxonomy helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.CheckExemptReasons(name)
+	for _, file := range pass.Files {
+		if _, scoped := analysis.HasDirective(file.Doc, "errenvelope"); !scoped {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+		if !pass.ExemptAt(call.Pos(), name) {
+			pass.Reportf(call.Pos(), "http.Error writes a plain-text body; use the darwin envelope helpers (writeV2Error)")
+		}
+		return
+	}
+	callee := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	}
+	if !strings.HasPrefix(strings.ToLower(callee), "write") {
+		return
+	}
+	errorStatus := false
+	for _, arg := range call.Args {
+		if n, ok := analysis.ConstInt(pass.TypesInfo, arg); ok && n >= 400 && n < 600 {
+			errorStatus = true
+			break
+		}
+	}
+	if !errorStatus {
+		return
+	}
+	for _, arg := range call.Args {
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if fn := analysis.CalleeFunc(pass.TypesInfo, inner); fn != nil && fn.Name() == "Envelope" &&
+				fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "darwin") {
+				return // payload is the taxonomy envelope
+			}
+		}
+	}
+	if pass.ExemptAt(call.Pos(), name) {
+		return
+	}
+	pass.Reportf(call.Pos(), "ad-hoc error payload with status >= 400; route errors through darwin.Envelope (writeV2Error)")
+}

@@ -1,0 +1,14 @@
+package errenvelope_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errenvelope"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), errenvelope.Analyzer,
+		"errenvelope", "errenvelope_exempt", "errenvelope_unscoped")
+}

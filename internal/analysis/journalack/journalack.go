@@ -1,0 +1,217 @@
+// Package journalack defines an analyzer enforcing the durability contract:
+// a mutating HTTP handler must durably journal (append + sync) before it
+// acknowledges success.
+//
+// Handlers opt in via //darwin:mutating-handler on the handler's doc
+// comment. Functions (and interface methods) that durably journal before
+// returning are annotated //darwin:journals; the property propagates to
+// their callers within a package by fixpoint and across packages via
+// exported facts. Inside a mutating handler, any success acknowledgement —
+// w.WriteHeader with a constant 2xx status, or a write-helper call
+// (writeJSON-style) carrying a constant 2xx status — must appear after a
+// call to a journaling function in source order.
+//
+// Deliberate non-durable acks carry //darwin:journalack-exempt <reason>.
+package journalack
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the journalack pass.
+const name = "journalack"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "require durable journal append+sync before 2xx acknowledgements in mutating handlers",
+	Run:  run,
+}
+
+type pkgFact struct {
+	Journals []string `json:"journals,omitempty"` // FuncKeys of journaling funcs
+}
+
+type jAnalysis struct {
+	pass      *analysis.Pass
+	journals  map[*types.Func]bool
+	decls     map[*types.Func]*ast.FuncDecl
+	handlers  []*ast.FuncDecl
+	factCache map[string]map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	pass.CheckExemptReasons(name)
+	ja := &jAnalysis{
+		pass:      pass,
+		journals:  map[*types.Func]bool{},
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		factCache: map[string]map[string]bool{},
+	}
+	ja.collect()
+	ja.propagate()
+	for _, fd := range ja.handlers {
+		ja.checkHandler(fd)
+	}
+	return ja.exportFacts()
+}
+
+// collect gathers annotated functions, interface methods, and handlers.
+func (ja *jAnalysis) collect() {
+	for _, file := range ja.pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fn, ok := ja.pass.TypesInfo.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if d.Body != nil {
+					ja.decls[fn] = d
+				}
+				if _, ok := analysis.HasDirective(d.Doc, "journals"); ok {
+					ja.journals[fn] = true
+				}
+				if _, ok := analysis.HasDirective(d.Doc, "mutating-handler"); ok && d.Body != nil {
+					ja.handlers = append(ja.handlers, d)
+				}
+			case *ast.GenDecl:
+				// Interface methods annotated //darwin:journals express a
+				// contract every implementation must honor.
+				ast.Inspect(d, func(n ast.Node) bool {
+					it, ok := n.(*ast.InterfaceType)
+					if !ok {
+						return true
+					}
+					for _, m := range it.Methods.List {
+						if _, ok := analysis.HasDirective(m.Doc, "journals"); !ok {
+							continue
+						}
+						for _, name := range m.Names {
+							if fn, ok := ja.pass.TypesInfo.Defs[name].(*types.Func); ok {
+								ja.journals[fn] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// isJournaling reports whether fn is known to durably journal.
+func (ja *jAnalysis) isJournaling(fn *types.Func) bool {
+	if fn.Pkg() == ja.pass.Pkg || fn.Pkg() == nil {
+		return ja.journals[fn]
+	}
+	path := fn.Pkg().Path()
+	set, ok := ja.factCache[path]
+	if !ok {
+		var fact pkgFact
+		if ja.pass.ImportFactJSON(path, &fact) {
+			set = map[string]bool{}
+			for _, k := range fact.Journals {
+				set[k] = true
+			}
+		}
+		ja.factCache[path] = set
+	}
+	if set == nil {
+		return false
+	}
+	return set[analysis.FuncKey(fn)]
+}
+
+// propagate closes the journaling set over local callers: a function that
+// calls a journaling function journals.
+func (ja *jAnalysis) propagate() {
+	for changed, rounds := true, 0; changed && rounds < 20; rounds++ {
+		changed = false
+		for fn, fd := range ja.decls {
+			if ja.journals[fn] {
+				continue
+			}
+			calls := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if calls {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := analysis.CalleeFunc(ja.pass.TypesInfo, call); callee != nil && ja.isJournaling(callee) {
+					calls = true
+				}
+				return !calls
+			})
+			if calls {
+				ja.journals[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// checkHandler walks the handler body in source order and flags success
+// acks not preceded by a journaling call.
+func (ja *jAnalysis) checkHandler(fd *ast.FuncDecl) {
+	journaled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := analysis.CalleeFunc(ja.pass.TypesInfo, call); callee != nil && ja.isJournaling(callee) {
+			journaled = true
+			return true
+		}
+		if journaled || !isSuccessAck(ja.pass.TypesInfo, call) {
+			return true
+		}
+		if ja.pass.ExemptAt(call.Pos(), name) {
+			return true
+		}
+		ja.pass.Reportf(call.Pos(), "2xx acknowledged before any durable journal append+sync in mutating handler %s", fd.Name.Name)
+		return true
+	})
+}
+
+// isSuccessAck reports whether call acknowledges success: WriteHeader or a
+// write*-named helper invoked with a constant status in [200, 300).
+func isSuccessAck(info *types.Info, call *ast.CallExpr) bool {
+	name := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	if name != "WriteHeader" && !strings.HasPrefix(strings.ToLower(name), "write") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if n, ok := analysis.ConstInt(info, arg); ok && n >= 200 && n < 300 {
+			return true
+		}
+	}
+	return false
+}
+
+func (ja *jAnalysis) exportFacts() error {
+	var fact pkgFact
+	for fn, ok := range ja.journals {
+		if ok {
+			fact.Journals = append(fact.Journals, analysis.FuncKey(fn))
+		}
+	}
+	sort.Strings(fact.Journals)
+	return ja.pass.ExportFactJSON(fact)
+}

@@ -1,0 +1,14 @@
+package journalack_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/journalack"
+)
+
+func TestJournalAck(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), journalack.Analyzer,
+		"jdep", "journalack", "journalack_exempt")
+}

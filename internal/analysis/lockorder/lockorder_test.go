@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), lockorder.Analyzer,
+		"lockdep", "lockorder", "lockorder_exempt")
+}

@@ -1,0 +1,14 @@
+package obsnames_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsnames"
+)
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), obsnames.Analyzer,
+		"obsnames", "obsnames_exempt")
+}

@@ -1,0 +1,185 @@
+// Package replaypure defines an analyzer enforcing that replay-reachable
+// code stays a pure function of (engine, options, event sequence).
+//
+// Scope: functions whose doc comment carries //darwin:replaypure, plus every
+// function in a file whose package clause doc carries it. Within scope the
+// analyzer forbids:
+//
+//   - time.Now / time.Since — wall-clock reads diverge between live runs
+//     and journal replay;
+//   - package-level math/rand calls (rand.Intn, rand.Float64, ...) — only
+//     explicitly seeded sources (rand.New(rand.NewSource(...))) are
+//     deterministic;
+//   - environment and filesystem reads (os.Getenv, os.ReadFile, ...);
+//   - goroutine spawns — scheduling order is not replayable;
+//   - ranging over a map when the loop body feeds ordered output (append,
+//     Write/Encode-style calls) with no sort call after the loop.
+//
+// Legitimate uses — metrics ObserveSince(time.Now()), TTL lastSeen
+// bookkeeping that never enters replayed state, commutative map-range
+// accumulation — carry //darwin:replaypure-exempt <reason> so every
+// exemption is visible in review.
+package replaypure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the replaypure pass.
+const name = "replaypure"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "forbid wall-clock, global rand, env/fs reads, goroutines, and unsorted map iteration in replay-reachable code",
+	Run:  run,
+}
+
+// forbiddenOS lists os functions that read ambient process state.
+var forbiddenOS = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Open": true, "OpenFile": true, "ReadFile": true, "ReadDir": true,
+	"Stat": true, "Lstat": true, "Getwd": true, "Hostname": true,
+	"UserHomeDir": true, "TempDir": true,
+}
+
+// allowedRand lists math/rand constructors for explicitly seeded sources.
+var allowedRand = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// orderedSinks are method names whose invocation inside a map-range loop
+// counts as feeding ordered output.
+var orderedSinks = map[string]bool{
+	"Append": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.CheckExemptReasons(name)
+	for _, file := range pass.Files {
+		_, fileScoped := analysis.HasDirective(file.Doc, "replaypure")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, marked := analysis.HasDirective(fd.Doc, "replaypure")
+			if fileScoped || marked {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !pass.ExemptAt(n.Pos(), name) {
+				pass.Reportf(n.Pos(), "goroutine spawned in replay-reachable code: scheduling order is not replayable")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	pkg, fname := fn.Pkg().Path(), fn.Name()
+	exempt := func() bool { return pass.ExemptAt(call.Pos(), name) }
+	switch {
+	case pkg == "time" && (fname == "Now" || fname == "Since"):
+		if !exempt() {
+			pass.Reportf(call.Pos(), "time.%s in replay-reachable code: wall clock diverges under journal replay", fname)
+		}
+	case pkg == "math/rand" && !allowedRand[fname]:
+		if !exempt() {
+			pass.Reportf(call.Pos(), "global math/rand.%s in replay-reachable code: use a source seeded from the event sequence (rand.New(rand.NewSource(mix(seed, seq))))", fname)
+		}
+	case pkg == "os" && forbiddenOS[fname]:
+		if !exempt() {
+			pass.Reportf(call.Pos(), "os.%s in replay-reachable code: ambient process state is not part of the journal", fname)
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map when the loop body feeds
+// ordered output and no sort call follows the loop in the same function.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	tv := pass.TypesInfo.TypeOf(rs.X)
+	if tv == nil {
+		return
+	}
+	if _, isMap := tv.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if !feedsOrderedOutput(rs.Body) {
+		return
+	}
+	if sortedAfter(pass.TypesInfo, fd, rs.End()) {
+		return
+	}
+	if pass.ExemptAt(rs.Pos(), name) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration feeds ordered output in replay-reachable code: sort after the loop or annotate //darwin:replaypure-exempt <reason>")
+}
+
+// feedsOrderedOutput reports whether the loop body appends to a slice or
+// calls a Write/Encode-style sink.
+func feedsOrderedOutput(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "append" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if orderedSinks[fun.Sel.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether any call into package sort occurs after pos
+// within the function body.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if fn := analysis.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,14 @@
+package replaypure_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/replaypure"
+)
+
+func TestReplayPure(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), replaypure.Analyzer,
+		"replaypure", "replaypure_exempt", "replaypure_file")
+}

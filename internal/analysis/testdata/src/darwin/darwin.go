@@ -1,0 +1,8 @@
+// Package darwin is a hermetic fixture stub for the SDK error-taxonomy
+// helpers; errenvelope matches package paths with suffix "darwin".
+package darwin
+
+type envelope struct{ Code, Message string }
+
+func Envelope(err error) any   { return envelope{} }
+func HTTPStatus(err error) int { return 500 }

@@ -1,0 +1,28 @@
+// Package errenvelope exercises the errenvelope analyzer; the directive on
+// the package clause scopes this file.
+//
+//darwin:errenvelope
+package errenvelope
+
+import (
+	"darwin"
+	"net/http"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) { w.WriteHeader(status) }
+
+func badPlainText(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusBadRequest) // want `http\.Error writes a plain-text body`
+}
+
+func badAdHoc(w http.ResponseWriter) {
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": "nope"}) // want `ad-hoc error payload`
+}
+
+func goodEnvelope(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusNotFound, darwin.Envelope(err))
+}
+
+func goodSuccess(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, "ok")
+}

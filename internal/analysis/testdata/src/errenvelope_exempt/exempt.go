@@ -1,0 +1,16 @@
+// Package errenvelope_exempt mirrors the replication wire protocol, which
+// speaks its own error format to non-SDK peers.
+//
+//darwin:errenvelope
+package errenvelope_exempt
+
+import "net/http"
+
+type wireError struct{ Msg string }
+
+func writeJSON(w http.ResponseWriter, status int, v any) { w.WriteHeader(status) }
+
+func handleReplicate(w http.ResponseWriter) {
+	//darwin:errenvelope-exempt replication wire protocol, consumed by the replicate client not SDK users
+	writeJSON(w, http.StatusBadRequest, wireError{Msg: "bad epoch"})
+}

@@ -1,0 +1,9 @@
+// Package errenvelope_unscoped has no errenvelope directive: legacy /v1
+// handlers keep their historical error shapes.
+package errenvelope_unscoped
+
+import "net/http"
+
+func legacy(w http.ResponseWriter) {
+	http.Error(w, "legacy", http.StatusBadRequest)
+}

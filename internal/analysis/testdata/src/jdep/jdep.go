@@ -1,0 +1,19 @@
+// Package jdep provides journaling primitives consumed across package
+// boundaries by the journalack fixtures, mirroring internal/workspace and
+// pkg/darwin.
+package jdep
+
+type Manager struct{ n int }
+
+// Ingest durably journals (append + sync) before returning.
+//
+//darwin:journals
+func (m *Manager) Ingest() error { m.n++; return nil }
+
+// Labeler mirrors the SDK surface; the annotated method's contract is that
+// every implementation journals durably before returning success.
+type Labeler interface {
+	//darwin:journals
+	Answer() error
+	Peek() error
+}

@@ -1,0 +1,48 @@
+// Package journalack exercises the journalack analyzer.
+package journalack
+
+import (
+	"jdep"
+	"net/http"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+}
+
+//darwin:mutating-handler
+func handleBad(w http.ResponseWriter, m *jdep.Manager) {
+	w.WriteHeader(http.StatusNoContent) // want `2xx acknowledged before any durable journal`
+	_ = m.Ingest()
+}
+
+//darwin:mutating-handler
+func handleGood(w http.ResponseWriter, m *jdep.Manager) {
+	if err := m.Ingest(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, nil)
+		return
+	}
+	writeJSON(w, http.StatusCreated, nil)
+}
+
+//darwin:mutating-handler
+func handleBadHelper(w http.ResponseWriter, m *jdep.Manager) {
+	writeJSON(w, http.StatusOK, nil) // want `2xx acknowledged before any durable journal`
+	_ = m.Ingest()
+}
+
+// applyBatch journals transitively via the interface contract.
+func applyBatch(l jdep.Labeler) error { return l.Answer() }
+
+//darwin:mutating-handler
+func handleInterface(w http.ResponseWriter, l jdep.Labeler) {
+	if err := applyBatch(l); err != nil {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleUnmarked is not annotated as mutating: no findings.
+func handleUnmarked(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+}

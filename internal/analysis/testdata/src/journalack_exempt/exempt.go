@@ -1,0 +1,10 @@
+// Package journalack_exempt mirrors a deliberate non-durable ack.
+package journalack_exempt
+
+import "net/http"
+
+//darwin:mutating-handler
+func handleTouch(w http.ResponseWriter) {
+	//darwin:journalack-exempt mutates only in-memory TTL liveness, nothing enters the journal
+	w.WriteHeader(http.StatusOK)
+}

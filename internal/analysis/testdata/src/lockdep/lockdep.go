@@ -1,0 +1,37 @@
+// Package lockdep provides ranked locks consumed across package boundaries
+// by the lockorder fixtures, mirroring internal/core and internal/journal.
+package lockdep
+
+import "sync"
+
+type Engine struct {
+	ixMu sync.RWMutex //darwin:lockrank index
+	data int
+}
+
+// WithRead runs f while holding the index-ranked read lock, like
+// core.WithIndexRead.
+//
+//darwin:lockrank-callback index
+func (e *Engine) WithRead(f func()) {
+	e.ixMu.RLock()
+	defer e.ixMu.RUnlock()
+	f()
+}
+
+// LockIndex acquires and releases the index rank.
+func (e *Engine) LockIndex() {
+	e.ixMu.Lock()
+	e.data++
+	e.ixMu.Unlock()
+}
+
+type Journal struct {
+	mu sync.Mutex //darwin:lockrank journal
+}
+
+// Append acquires the journal rank, like journal.Writer.Append.
+func (j *Journal) Append() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+}

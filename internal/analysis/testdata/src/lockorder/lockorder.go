@@ -1,0 +1,80 @@
+// Package lockorder exercises the lockorder analyzer.
+package lockorder
+
+import (
+	"lockdep"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex //darwin:lockrank store
+}
+
+type workspace struct {
+	mu  sync.Mutex //darwin:lockrank workspace
+	eng *lockdep.Engine
+}
+
+type flusher struct {
+	mu sync.Mutex //darwin:lockrank journal
+}
+
+func goodNesting(s *store, w *workspace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.eng.LockIndex()
+}
+
+func badInversion(s *store, w *workspace) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s.mu.Lock() // want `acquiring store-ranked lock while holding workspace-ranked lock`
+	defer s.mu.Unlock()
+}
+
+func goodCallOrder(w *workspace, j *lockdep.Journal) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	j.Append()
+}
+
+func badCallUnderJournal(f *flusher, e *lockdep.Engine) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.LockIndex() // want `call to LockIndex acquires index-ranked lock while holding journal-ranked lock`
+}
+
+func badCallbackLock(e *lockdep.Engine, w *workspace) {
+	e.WithRead(func() {
+		w.mu.Lock() // want `acquiring workspace-ranked lock while holding index-ranked lock`
+		defer w.mu.Unlock()
+	})
+}
+
+func badCallbackUnderJournal(f *flusher, e *lockdep.Engine) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.WithRead(func() {}) // want `call to WithRead acquires index-ranked lock while holding journal-ranked lock` `entering index-ranked callback region`
+}
+
+func badMissingUnlock(w *workspace) {
+	w.mu.Lock() // want `workspace-ranked mutex locked without a reachable unlock`
+	w.eng.LockIndex()
+}
+
+func goodExplicitUnlock(w *workspace) {
+	w.mu.Lock()
+	w.eng.LockIndex()
+	w.mu.Unlock()
+}
+
+// lockIndexVia propagates acquisition through a local helper.
+func lockIndexVia(e *lockdep.Engine) { e.LockIndex() }
+
+func badTransitiveLocal(f *flusher, e *lockdep.Engine) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lockIndexVia(e) // want `call to lockIndexVia acquires index-ranked lock while holding journal-ranked lock`
+}

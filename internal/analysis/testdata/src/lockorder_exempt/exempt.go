@@ -1,0 +1,29 @@
+// Package lockorder_exempt mirrors the compaction pattern: a known-safe
+// rank inversion serialized by an exclusive appender gate.
+package lockorder_exempt
+
+import "sync"
+
+type workspace struct {
+	mu sync.Mutex //darwin:lockrank workspace
+}
+
+func (w *workspace) snapshot() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+}
+
+type manager struct {
+	gate sync.RWMutex //darwin:lockrank gate
+	mat  sync.Mutex   //darwin:lockrank mat
+	ws   *workspace
+}
+
+func (m *manager) compact() {
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	m.mat.Lock()
+	defer m.mat.Unlock()
+	//darwin:lockorder-exempt exclusive appender gate serializes against every mat-under-index path
+	m.ws.snapshot()
+}

@@ -1,0 +1,21 @@
+// Package http is a hermetic fixture stub matching net/http's path.
+package http
+
+const (
+	StatusOK                  = 200
+	StatusCreated             = 201
+	StatusAccepted            = 202
+	StatusNoContent           = 204
+	StatusBadRequest          = 400
+	StatusNotFound            = 404
+	StatusInternalServerError = 500
+)
+
+type ResponseWriter interface {
+	WriteHeader(statusCode int)
+	Write([]byte) (int, error)
+}
+
+type Request struct{ Method string }
+
+func Error(w ResponseWriter, error string, code int) {}

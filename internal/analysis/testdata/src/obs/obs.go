@@ -1,0 +1,35 @@
+// Package obs is a hermetic fixture stub for the metrics registry;
+// obsnames matches package paths with suffix "obs" and type name Registry.
+package obs
+
+type Registry struct{}
+
+var def = &Registry{}
+
+func Default() *Registry { return def }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type CounterVec struct{}
+type Gauge struct{}
+type GaugeVec struct{}
+type Histogram struct{}
+type HistogramVec struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return nil
+}
+func (r *Registry) Gauge(name, help string) *Gauge { return nil }
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return nil
+}
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {}
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return nil
+}
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package obsnames exercises the obsnames analyzer.
+package obsnames
+
+import "obs"
+
+var (
+	good    = obs.Default().Counter("darwin_steps_total", "Steps taken.")
+	goodVec = obs.Default().CounterVec("darwin_answers_total", "Answers.", "dataset", "verb")
+	badCase = obs.Default().Counter("darwinStepsTotal", "Steps.")      // want `must be darwin_-prefixed snake_case`
+	badBare = obs.Default().Gauge("steps_in_flight", "In flight.")     // want `must be darwin_-prefixed snake_case`
+	badLbl  = obs.Default().GaugeVec("darwin_jobs", "Jobs.", "flavor") // want `not in the bounded label vocabulary`
+)
+
+func dynamic(name string) *obs.Counter {
+	return obs.Default().Counter(name, "Dynamic.") // want `must be a compile-time constant`
+}
+
+func histo() *obs.HistogramVec {
+	return obs.Default().HistogramVec("darwin_latency_seconds", "Latency.", []float64{0.1}, "route")
+}

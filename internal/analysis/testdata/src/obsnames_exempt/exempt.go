@@ -1,0 +1,8 @@
+// Package obsnames_exempt mirrors scratch metrics that never reach
+// dashboards.
+package obsnames_exempt
+
+import "obs"
+
+//darwin:obsnames-exempt benchrunner scratch metric, never exported to dashboards
+var scratch = obs.Default().Counter("bench_scratch_total", "Scratch.")

@@ -1,0 +1,83 @@
+// Package replaypure exercises the replaypure analyzer.
+package replaypure
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+type sink struct{ lines []string }
+
+func (s *sink) Append(line string) { s.lines = append(s.lines, line) }
+
+//darwin:replaypure
+func badClock() time.Duration {
+	start := time.Now()      // want `time\.Now in replay-reachable code`
+	return time.Since(start) // want `time\.Since in replay-reachable code`
+}
+
+//darwin:replaypure
+func badRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+//darwin:replaypure
+func goodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+//darwin:replaypure
+func badEnv() string {
+	return os.Getenv("HOME") // want `os\.Getenv in replay-reachable code`
+}
+
+//darwin:replaypure
+func badFS() ([]byte, error) {
+	return os.ReadFile("/etc/hostname") // want `os\.ReadFile in replay-reachable code`
+}
+
+//darwin:replaypure
+func badSpawn() {
+	go func() {}() // want `goroutine spawned in replay-reachable code`
+}
+
+//darwin:replaypure
+func badMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration feeds ordered output`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//darwin:replaypure
+func goodMapSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//darwin:replaypure
+func goodMapCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+//darwin:replaypure
+func badMapSink(m map[string]int, s *sink) {
+	for k := range m { // want `map iteration feeds ordered output`
+		s.Append(k)
+	}
+}
+
+// unmarked is outside the replaypure scope: identical code, no findings.
+func unmarked() time.Time { return time.Now() }

@@ -1,0 +1,51 @@
+// Package replaypure_exempt mirrors the real tree's documented exemption
+// patterns one-to-one; each must silence the analyzer.
+package replaypure_exempt
+
+import (
+	"obs"
+	"time"
+)
+
+type ws struct {
+	lastSeen time.Time
+	hist     *obs.Histogram
+}
+
+// Pattern 1 (metrics timing): ObserveSince-style latency measurement never
+// enters replayed state.
+//
+//darwin:replaypure
+func metricsTiming(w *ws) time.Time {
+	//darwin:replaypure-exempt metrics-only timing, never enters replayed state
+	return time.Now()
+}
+
+// Pattern 2 (TTL bookkeeping): lastSeen drives eviction only and is
+// excluded from snapshots and replayed state.
+//
+//darwin:replaypure
+func touch(w *ws) {
+	w.lastSeen = time.Now() //darwin:replaypure-exempt TTL bookkeeping, excluded from snapshots and replayed state
+}
+
+// Pattern 3 (order-insensitive map range): the collected keys feed a set
+// membership probe, not ordered output.
+//
+//darwin:replaypure
+func exemptMapRange(m map[string]int) []string {
+	var keys []string
+	//darwin:replaypure-exempt order-insensitive: keys feed an unordered membership probe
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// A reasonless exemption still suppresses the underlying finding but is
+// itself flagged, keeping the audit trail honest.
+//
+//darwin:replaypure
+func missingReason() time.Time {
+	return time.Now() /* want `requires a reason` */ //darwin:replaypure-exempt
+}

@@ -1,0 +1,16 @@
+// Package replaypure_file is wholly replay-reachable: the directive on the
+// package clause scopes every function in the file.
+//
+//darwin:replaypure
+package replaypure_file
+
+import "time"
+
+func anyFunc() time.Time {
+	return time.Now() // want `time\.Now in replay-reachable code`
+}
+
+func anotherFunc() time.Time {
+	t := time.Now() // want `time\.Now in replay-reachable code`
+	return t
+}

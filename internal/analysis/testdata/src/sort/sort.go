@@ -1,0 +1,6 @@
+// Package sort is a hermetic fixture stub matching sort's path.
+package sort
+
+func Strings(x []string)                    {}
+func Ints(x []int)                          {}
+func Slice(x any, less func(i, j int) bool) {}

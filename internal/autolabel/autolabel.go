@@ -11,6 +11,9 @@
 // no randomness — so the same inputs always produce byte-identical output,
 // which is what makes labeling jobs safely re-runnable after a crash (see
 // Manager) and byte-comparable across direct, HTTP and routed invocations.
+// darwinlint enforces that purity for every function in this file:
+//
+//darwin:replaypure
 package autolabel
 
 import (

@@ -154,7 +154,7 @@ type Manager struct {
 	cfg     ManagerConfig
 	engines func(dataset string) (*core.Engine, bool)
 
-	mu      sync.Mutex
+	mu      sync.Mutex //darwin:lockrank job
 	jobs    map[string]*job
 	journal *os.File
 	jw      *bufio.Writer
@@ -403,6 +403,10 @@ func (m *Manager) compactJournal(order []string) error {
 	return nil
 }
 
+// appendRecord durably journals one job record: the line is written,
+// flushed, and fsynced before appendRecord returns.
+//
+//darwin:journals
 func (m *Manager) appendRecord(rec jobRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

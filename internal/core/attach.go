@@ -32,6 +32,8 @@ func (e *Engine) AttachClassifier(seed int64) *classifier.SentenceClassifier {
 // WithIndexRead runs f with the shared index under the engine's read lock,
 // the same lock Session.Next holds while generating hierarchies and scoring
 // candidates. f must not retain the index or mutate it.
+//
+//darwin:lockrank-callback index
 func (e *Engine) WithIndexRead(f func(ix *index.Index)) {
 	e.ixMu.RLock()
 	defer e.ixMu.RUnlock()
@@ -62,6 +64,8 @@ func (e *Engine) DefaultSeed() int64 { return e.cfg.Seed }
 // readers observed them, which is what makes replay deterministic: the hook
 // and the hierarchy-generating read paths are serialized by the same lock.
 // f must not call back into the engine. Pass nil to clear.
+//
+//darwin:lockrank-callback index
 func (e *Engine) SetMaterializeHook(f func(specs []string)) {
 	e.ixMu.Lock()
 	e.matHook = f

@@ -112,6 +112,7 @@ type Engine struct {
 	// ixMu guards the index against the one post-build mutation
 	// (EnsureHeuristic for seed rules) racing hierarchy generation and
 	// traversal reads in concurrent sessions.
+	//darwin:lockrank index
 	ixMu sync.RWMutex
 	// rngMu serializes the engine-owned RNG, which SuggestRules uses for
 	// sampling presentation sentences.
@@ -336,6 +337,8 @@ type Suggestion struct {
 // a subsequent Run (seeding it with the accepted rules) or used directly.
 // SuggestRules only reads shared engine state (plus the engine RNG, which has
 // its own lock) and is safe for concurrent use.
+//
+//darwin:replaypure
 func (e *Engine) SuggestRules(positives map[int]bool, exclude map[string]bool, k int) []Suggestion {
 	if k <= 0 {
 		k = 10

@@ -271,6 +271,8 @@ func (s *Session) init(opts SessionOptions) error {
 // reject reuses the previous hierarchy and merely re-traverses it with the
 // current scores; the hierarchy is regenerated only when |P| or the index
 // version changed.
+//
+//darwin:replaypure
 func (s *Session) Next() (Suggestion, bool) {
 	if s.pending != nil {
 		return s.pending.sug, true
@@ -278,8 +280,10 @@ func (s *Session) Next() (Suggestion, bool) {
 	if s.done || s.report.Questions >= s.budget {
 		return Suggestion{}, false
 	}
+	//darwin:replaypure-exempt step-latency metric only; never enters session state
 	stepStart := time.Now()
 	defer func() {
+		//darwin:replaypure-exempt step-latency metric only; never enters session state
 		d := time.Since(stepStart)
 		s.lastStep = d
 		s.stepTotal += d
@@ -364,7 +368,10 @@ func (s *Session) Next() (Suggestion, bool) {
 // lines 8-12): on accept it extends the positive set with the rule's coverage
 // and retrains the classifier; either way it informs the traversal strategy.
 // The key must match the pending suggestion's key.
+//
+//darwin:replaypure
 func (s *Session) Answer(key string, accept bool) (RuleRecord, error) {
+	//darwin:replaypure-exempt latency metric only; the observed duration never enters session state
 	defer answerDurations.ObserveSince(time.Now())
 	if s.pending == nil {
 		return RuleRecord{}, fmt.Errorf("core: no pending suggestion to answer (call Next first)")
@@ -403,6 +410,8 @@ func (s *Session) Answer(key string, accept bool) (RuleRecord, error) {
 
 // addPositives inserts the coverage IDs into both representations of P (the
 // report map and the kernel bitset) and returns the newly added ids.
+//
+//darwin:replaypure
 func (s *Session) addPositives(cov []int) []int {
 	added := addCoverage(s.positives, cov)
 	for _, id := range added {

@@ -90,7 +90,7 @@ func (o Options) withDefaults() Options {
 // Writer appends events to a JSONL log file. It is safe for concurrent use;
 // appends are serialized and their file order defines replay order.
 type Writer struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //darwin:lockrank journal
 	f       *os.File
 	path    string
 	opts    Options
@@ -224,6 +224,8 @@ func readAll(path string) (events []Event, validEnd int64, needNL bool, err erro
 // Append marshals data, assigns the next sequence number and writes the
 // event as one JSON line, flushing it to the kernel before returning. The
 // event is fsync-durable within the configured batch window.
+//
+//darwin:journals
 func (w *Writer) Append(typ, ws, dataset string, data any) (Event, error) {
 	var raw json.RawMessage
 	if data != nil {
@@ -304,6 +306,8 @@ func (w *Writer) SinceRewrite() int {
 }
 
 // Sync forces an fsync of all appended events.
+//
+//darwin:journals
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

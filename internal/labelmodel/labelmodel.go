@@ -8,6 +8,12 @@
 // generative model whose per-rule accuracies are estimated with expectation
 // maximization — the textbook formulation of Snorkel's label model for binary
 // tasks.
+//
+// Aggregation must be a pure function of the vote matrix — labeling-job
+// re-runs after a crash are byte-compared against the journaled output —
+// so darwinlint enforces replay purity for every function in this file:
+//
+//darwin:replaypure
 package labelmodel
 
 import (

@@ -1,3 +1,6 @@
+// Labeling-job errors are served as the uniform darwin envelope.
+//
+//darwin:errenvelope
 package server
 
 import (
@@ -40,6 +43,10 @@ func mapAutolabelErr(err error) error {
 
 // --- generic /v2 job handlers (over any Backend) ---
 
+// handleV2JobCreate acks 202 only after CreateLabelingJob has journaled the
+// job-create record (an accepted job survives a crash).
+//
+//darwin:mutating-handler
 func handleV2JobCreate(b Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var spec autolabel.Spec

@@ -1,3 +1,6 @@
+// Live-ingestion errors are served as the uniform darwin envelope.
+//
+//darwin:errenvelope
 package server
 
 import (
@@ -58,6 +61,9 @@ func (s *Server) updateEngineGauges() {
 }
 
 // handleV2Ingest decodes the JSONL body and appends it through the Backend.
+// The 200 is sent only after IngestSentences has journaled the batch.
+//
+//darwin:mutating-handler
 func handleV2Ingest(b Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		batch, err := ingest.DecodeJSONL(r.Body, ingest.Limits{})

@@ -560,6 +560,10 @@ func millis(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
 }
 
+// handleCreate acks 201 only after the session create is journaled (when
+// session journaling is on, via newSessionLabeler -> recordCreate).
+//
+//darwin:mutating-handler
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -641,6 +645,9 @@ func (s *Server) suggestStep(ctx context.Context, lab *darwin.SessionLabeler) (d
 	return sug, st, err
 }
 
+// handleAnswer acks 200 only after the applied verdicts are journaled.
+//
+//darwin:mutating-handler
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	en, ok := s.session(w, r)
 	if !ok {
@@ -724,6 +731,9 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	_ = en.lab.Export(r.Context(), w)
 }
 
+// handleDelete acks 204 only after the session delete is journaled.
+//
+//darwin:mutating-handler
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.deleteSession(r.Context(), id) {

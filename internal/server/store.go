@@ -39,7 +39,7 @@ func (en *sessionEntry) touch(now time.Time) { en.lastUsed = now }
 // lazily on create/get and periodically from the janitor). It also aggregates
 // step latency across all sessions for the health endpoint.
 type Store struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //darwin:lockrank store
 	items map[string]*sessionEntry
 	ttl   time.Duration
 	max   int

@@ -1,3 +1,7 @@
+// The /v2 surface serves every error as the uniform darwin envelope; the
+// directive below makes darwinlint enforce that for this file.
+//
+//darwin:errenvelope
 package server
 
 import (
@@ -38,7 +42,10 @@ import (
 // over remote darwind shards.
 type Backend interface {
 	// CreateLabeler validates opts, creates (or attaches) a labeler and
-	// returns its status with the ID set.
+	// returns its status with the ID set. Implementations journal the
+	// created workspace state before returning.
+	//
+	//darwin:journals
 	CreateLabeler(ctx context.Context, opts darwin.CreateOptions) (darwin.Status, error)
 	// Labeler resolves an id for the verb endpoints (suggestion, answers,
 	// report, export). It fails with darwin.ErrNotFound for unknown ids.
@@ -52,12 +59,19 @@ type Backend interface {
 	// ListDatasets returns one page of the served dataset names.
 	ListDatasets(ctx context.Context, cursor string, limit int) (darwin.DatasetPage, error)
 	// DeleteLabeler closes and removes a labeler (detaching the annotator
-	// for workspace attachments).
+	// for workspace attachments). Implementations journal the detach before
+	// returning.
+	//
+	//darwin:journals
 	DeleteLabeler(ctx context.Context, id string) error
 
 	// CreateLabelingJob resolves the spec (expanding any labeler reference
 	// into rule strings) and submits an async corpus-labeling job for the
 	// dataset, returning its queued status with the job ID set.
+	// Implementations journal the job-create record durably before
+	// returning, so an accepted job survives a crash.
+	//
+	//darwin:journals
 	CreateLabelingJob(ctx context.Context, dataset string, spec autolabel.Spec) (autolabel.JobStatus, error)
 	// LabelingJob reports a labeling job's status with progress counters.
 	LabelingJob(ctx context.Context, dataset, id string) (autolabel.JobStatus, error)
@@ -74,6 +88,8 @@ type Backend interface {
 	// dataset's live corpus, durably (journaled before returning), and
 	// extends its index incrementally. Not idempotent: the router attempts
 	// it exactly once.
+	//
+	//darwin:journals
 	IngestSentences(ctx context.Context, dataset string, batch []ingest.Sentence) (darwin.IngestResult, error)
 }
 
@@ -140,7 +156,7 @@ type wsLabeler struct {
 // gone (Labeler), and by pruneDeadLabelers sweeps (listing, and before
 // refusing a create at the capacity cap).
 type labelerRegistry struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //darwin:lockrank store
 	items map[string]*wsLabeler
 }
 
@@ -174,6 +190,10 @@ func (reg *labelerRegistry) remove(id string) (*wsLabeler, bool) {
 }
 
 // prune drops every entry alive rejects and reports how many were removed.
+// The alive callback runs under reg.mu, so it may only acquire locks ranked
+// below store.
+//
+//darwin:lockrank-callback store
 func (reg *labelerRegistry) prune(alive func(*wsLabeler) bool) int {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
@@ -211,6 +231,10 @@ func writeV2Error(w http.ResponseWriter, err error) {
 
 // --- the generic /v2 handlers (one closure set over any Backend) ---
 
+// handleV2Create acks 201 only after CreateLabeler has journaled the new
+// workspace/session state.
+//
+//darwin:mutating-handler
 func handleV2Create(b Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req darwin.CreateOptions
@@ -289,6 +313,10 @@ func handleV2Suggest(b Backend) http.HandlerFunc {
 	}
 }
 
+// handleV2Answers acks 200 only after the labeler has journaled the applied
+// verdicts (the //darwin:journals contract on the answer interfaces).
+//
+//darwin:mutating-handler
 func handleV2Answers(b Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		lab, err := b.Labeler(r.PathValue("id"))
@@ -421,6 +449,10 @@ func (cw *countingResponseWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// handleV2Delete acks 204 only after DeleteLabeler has journaled the
+// detach/delete.
+//
+//darwin:mutating-handler
 func handleV2Delete(b Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if err := b.DeleteLabeler(r.Context(), r.PathValue("id")); err != nil {
@@ -603,7 +635,9 @@ func (s *Server) createWorkspaceLabeler(ctx context.Context, req darwin.CreateOp
 	// journaled) workspace the client never learned the id of.
 	fail := func(err error) (darwin.Status, error) {
 		if fresh {
-			s.mgr.Evict(wsID, "labeler create failed")
+			// Best-effort cleanup on an already-failing path; the Writer's
+			// sticky error resurfaces on the next journaling operation.
+			_, _ = s.mgr.Evict(wsID, "labeler create failed")
 		}
 		return darwin.Status{}, err
 	}

@@ -476,8 +476,8 @@ func TestV2WorkspaceLabelerOrphanedByEviction(t *testing.T) {
 	}, &st); status != http.StatusCreated {
 		t.Fatalf("create: status %d", status)
 	}
-	if !srv.Workspaces().Evict(st.Workspace, "test") {
-		t.Fatal("evict failed")
+	if existed, err := srv.Workspaces().Evict(st.Workspace, "test"); !existed || err != nil {
+		t.Fatalf("evict failed: existed=%v err=%v", existed, err)
 	}
 	var env darwin.ErrorEnvelope
 	if status := doJSON(t, ts, "GET", "/v2/labelers/"+st.ID, nil, &env); status != http.StatusNotFound {

@@ -132,6 +132,10 @@ func wsError(w http.ResponseWriter, err error) {
 
 // --- workspace handlers ---
 
+// handleWSCreate acks 201 only after Manager.Create has journaled (and
+// synced) the new workspace.
+//
+//darwin:mutating-handler
 func (s *Server) handleWSCreate(w http.ResponseWriter, r *http.Request) {
 	var req wsCreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -173,6 +177,9 @@ func (s *Server) handleWSCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
+// handleWSAttach acks 201 only after the attach event is journaled.
+//
+//darwin:mutating-handler
 func (s *Server) handleWSAttach(w http.ResponseWriter, r *http.Request) {
 	var req wsAttachRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -190,6 +197,9 @@ func (s *Server) handleWSAttach(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"annotator": req.Annotator})
 }
 
+// handleWSDetach acks 204 only after the detach event is journaled.
+//
+//darwin:mutating-handler
 func (s *Server) handleWSDetach(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.Detach(r.PathValue("id"), r.PathValue("name")); err != nil {
 		wsError(w, err)
@@ -236,6 +246,9 @@ func (s *Server) handleWSSuggest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleWSAnswer acks 200 only after the applied verdict is journaled.
+//
+//darwin:mutating-handler
 func (s *Server) handleWSAnswer(w http.ResponseWriter, r *http.Request) {
 	var req wsAnswerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -327,9 +340,19 @@ func (s *Server) handleWSExport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleWSDelete evicts a workspace. The 204 is only sent once the eviction
+// record is journaled AND fsynced: acknowledging a delete that a crash could
+// resurrect on replay would violate the durability contract.
+//
+//darwin:mutating-handler
 func (s *Server) handleWSDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.mgr.Evict(r.PathValue("id"), "deleted") {
+	existed, err := s.mgr.Evict(r.PathValue("id"), "deleted")
+	if !existed {
 		writeError(w, http.StatusNotFound, "unknown or expired workspace %q", r.PathValue("id"))
+		return
+	}
+	if err != nil {
+		wsError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -385,3 +385,33 @@ func TestSessionTTLEvictionRacingAnswer(t *testing.T) {
 		t.Fatalf("report on evicted session: status %d", status)
 	}
 }
+
+// TestWSDeleteRefusesUndurableEviction pins the DELETE durability contract
+// (surfaced by darwinlint's journalack pass): when the eviction record
+// cannot be journaled, the handler must answer 503 — never the 204 that
+// tells the client the workspace is permanently gone while journal replay
+// would resurrect it after a restart.
+func TestWSDeleteRefusesUndurableEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	srv, _ := newTestServer(t, Config{JournalPath: path})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var created wsCreateResponse
+	if status := doJSON(t, ts, http.MethodPost, "/v1/workspaces", wsCreateRequest{
+		Dataset:   "directions",
+		SeedRules: []string{"best way to get to"},
+		Budget:    10,
+		Seed:      3,
+	}, &created); status != http.StatusCreated {
+		t.Fatalf("create workspace: status %d", status)
+	}
+
+	// Kill the journal out from under the server: the evict append fails.
+	if err := srv.Workspaces().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if status := doJSON(t, ts, http.MethodDelete, "/v1/workspaces/"+created.ID, nil, nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("delete on a dead journal: status %d, want 503", status)
+	}
+}

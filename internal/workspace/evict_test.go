@@ -1,0 +1,74 @@
+package workspace
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+// TestEvictSurfacesJournalFailure pins the durability half of the delete
+// contract (found by darwinlint's journalack/errcheck sweep): when the
+// eviction record cannot be journaled, Evict must say so instead of letting
+// the caller acknowledge a delete that journal replay would undo.
+func TestEvictSurfacesJournalFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	eng := newTestEngine(t)
+	jw, _, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(map[string]*core.Engine{"directions": eng}, jw, ManagerConfig{})
+	ws, err := m.Create("directions", Options{SeedRules: []string{seedRule}, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the journal out from under the manager: the evict append fails.
+	jw.Close()
+	existed, err := m.Evict(ws.ID(), "deleted")
+	if !existed {
+		t.Fatal("evict reported the workspace as unknown")
+	}
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("evict on a dead journal: err=%v, want ErrJournal", err)
+	}
+}
+
+// TestEvictDurableBeforeReturn proves a successful Evict has the eviction on
+// disk before it returns: a second manager recovered from the journal file —
+// while the first manager's writer is still open, as after a crash — must
+// not resurrect the workspace. The writer is configured with lazy batching
+// so the test fails if Evict forgets its explicit Sync.
+func TestEvictDurableBeforeReturn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	eng := newTestEngine(t)
+	jw, _, err := journal.Open(path, journal.Options{SyncEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw.Close()
+	m := NewManager(map[string]*core.Engine{"directions": eng}, jw, ManagerConfig{})
+	ws, err := m.Create("directions", Options{SeedRules: []string{seedRule}, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ws.ID()
+	if existed, err := m.Evict(id, "deleted"); !existed || err != nil {
+		t.Fatalf("evict: existed=%v err=%v", existed, err)
+	}
+
+	// Crash-recover from the same file without closing the live writer.
+	recovered, revents, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	m2 := NewManager(map[string]*core.Engine{"directions": newTestEngine(t)}, nil, ManagerConfig{})
+	m2.Recover(revents)
+	if _, ok := m2.Peek(id); ok {
+		t.Fatal("evicted workspace resurrected by replay: evict event not durable before Evict returned")
+	}
+}

@@ -82,9 +82,10 @@ type Manager struct {
 	// gate is the appender gate: every journaling operation runs under
 	// RLock for its duration, and Compact takes Lock so the snapshot it
 	// writes captures every acknowledged event.
+	//darwin:lockrank gate
 	gate sync.RWMutex
 
-	mu    sync.Mutex
+	mu    sync.Mutex //darwin:lockrank manager
 	items map[string]*entry
 	now   func() time.Time
 
@@ -92,6 +93,7 @@ type Manager struct {
 	// engines' index write locks, outside the gate) with compaction, and
 	// guards the record of journaled materializations that compaction must
 	// preserve.
+	//darwin:lockrank mat
 	matMu    sync.Mutex
 	matSpecs map[string][]string
 	matSeen  map[string]map[string]bool
@@ -232,6 +234,9 @@ func (m *Manager) create(dataset string, opts Options) (*Workspace, error) {
 	if err != nil {
 		return nil, err
 	}
+	// logFor only constructs the LogFunc closure here; its gate acquisition
+	// happens when the workspace later invokes it, on a fresh stack.
+	//darwin:lockorder-exempt closure construction only; the gate RLock inside runs on the caller stack of the LogFunc, not here
 	ws, err := New(eng, id, dataset, opts, m.logFor(id))
 	if err != nil {
 		return nil, err
@@ -422,27 +427,44 @@ func (m *Manager) Answer(id, name, key string, accept bool) (Record, error) {
 	return rec, err
 }
 
-// Evict drops a workspace (journaling the eviction so replay drops it too)
-// and reports whether it existed.
-func (m *Manager) Evict(id, reason string) bool {
+// Evict drops a workspace, journaling the eviction (so replay drops it too)
+// and syncing the journal before returning. It reports whether the workspace
+// existed; a non-nil error means the eviction is applied in memory but NOT
+// durably journaled — callers must not acknowledge the delete as permanent
+// (a crash before the next sync would resurrect the workspace on replay).
+//
+//darwin:journals
+func (m *Manager) Evict(id, reason string) (bool, error) {
 	m.gate.RLock()
 	defer m.gate.RUnlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.items[id]; !ok {
-		return false
+		m.mu.Unlock()
+		return false, nil
 	}
-	m.evictLocked(id, reason)
-	return true
+	err := m.evictLocked(id, reason)
+	m.mu.Unlock()
+	if err == nil && m.jw != nil && !m.recovering.Load() {
+		if serr := m.jw.Sync(); serr != nil {
+			err = fmt.Errorf("workspace: %w: %v", ErrJournal, serr)
+		}
+	}
+	return true, err
 }
 
-// evictLocked removes a workspace and journals the eviction. Callers hold
-// m.mu (and the gate read lock).
-func (m *Manager) evictLocked(id, reason string) {
+// evictLocked removes a workspace and journals the eviction, returning the
+// append error. The in-memory entry is dropped regardless: the Writer's
+// error is sticky, so best-effort callers (TTL sweeps) may ignore the
+// return — the next journaling operation surfaces it. Callers hold m.mu
+// (and the gate read lock).
+func (m *Manager) evictLocked(id, reason string) error {
 	delete(m.items, id)
 	if m.jw != nil && !m.recovering.Load() {
-		m.jw.Append(evEvict, id, "", evictData{Reason: reason})
+		if _, err := m.jw.Append(evEvict, id, "", evictData{Reason: reason}); err != nil {
+			return fmt.Errorf("workspace: %w: %v", ErrJournal, err)
+		}
 	}
+	return nil
 }
 
 // Sweep evicts all workspaces idle longer than the TTL and returns how many
@@ -538,6 +560,11 @@ func (m *Manager) Compact() error {
 	}
 	sort.Strings(ingested)
 	for _, d := range ingested {
+		// index (30) is acquired under matMu (20) — inverted. Safe only
+		// because the exclusive appender gate above excludes every
+		// ixMu-holder that could be waiting on matMu (ingest and the
+		// materialize hook both run gate-protected).
+		//darwin:lockorder-exempt exclusive appender gate excludes all ixMu->matMu nestings for the duration of Compact
 		from, tail := m.engines[d].IngestedTail()
 		if len(tail) == 0 {
 			continue
@@ -577,6 +604,11 @@ func (m *Manager) Compact() error {
 		events = append(events, journal.Event{Type: evFence, Dataset: d, Data: data})
 	}
 	m.fenceMu.Unlock()
+	// The manager rank (mu=60) is acquired here while matMu (20) is held —
+	// an inversion of the documented order. It is safe only because the
+	// appender gate is held exclusively above: no other goroutine can be
+	// inside a mu->matMu nesting while Compact runs.
+	//darwin:lockorder-exempt exclusive appender gate excludes all mu->matMu nestings for the duration of Compact
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.items))
 	for id := range m.items {
@@ -584,6 +616,10 @@ func (m *Manager) Compact() error {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
+		// workspace (40) is acquired under matMu (20) — inverted. Safe for
+		// the same reason as IngestedTail above: every ws.mu holder that can
+		// reach matMu runs under the gate Compact holds exclusively.
+		//darwin:lockorder-exempt exclusive appender gate excludes all ws.mu->matMu nestings for the duration of Compact
 		data, err := json.Marshal(m.items[id].ws.Snapshot())
 		if err != nil {
 			m.mu.Unlock()
@@ -674,6 +710,7 @@ func (m *Manager) AdoptSnapshot(snap *Snapshot) error {
 	if !ok {
 		return fmt.Errorf("workspace: unknown dataset %q", snap.Dataset)
 	}
+	//darwin:lockorder-exempt closure construction only; the gate RLock inside runs on the caller stack of the LogFunc, not here
 	ws, err := Restore(eng, snap, m.logFor(snap.ID))
 	if err != nil {
 		return err

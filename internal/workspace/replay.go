@@ -63,6 +63,8 @@ func decodeEvent(raw json.RawMessage, v any) bool {
 // broken are skipped; unknown event types are ignored (forward
 // compatibility: an older binary replaying a newer journal drops what it
 // does not understand rather than failing recovery).
+//
+//darwin:replaypure
 func (r *Replayer) Apply(ev journal.Event) {
 	m := r.m
 	r.events++

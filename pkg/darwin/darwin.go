@@ -46,7 +46,10 @@ type Labeler interface {
 	// Answer records a verdict on the pending suggestion. A non-empty Key
 	// must match the pending suggestion's key (ErrConflict otherwise); an
 	// empty Key answers whatever is pending, requesting a suggestion first
-	// if none is.
+	// if none is. Implementations journal the applied verdict durably
+	// before returning (the answer survives a crash once Answer returns).
+	//
+	//darwin:journals
 	Answer(ctx context.Context, ans Answer) error
 	// Report snapshots the discovery state so far.
 	Report(ctx context.Context) (Report, error)
@@ -64,6 +67,10 @@ type Labeler interface {
 // round trip for remote ones), returning the record of each applied answer.
 // On error the returned records cover the prefix that was applied.
 type BatchAnswerer interface {
+	// AnswerBatch journals the applied records before returning, like
+	// Labeler.Answer.
+	//
+	//darwin:journals
 	AnswerBatch(ctx context.Context, answers []Answer) ([]RuleRecord, error)
 }
 
@@ -83,6 +90,10 @@ type Statuser interface {
 // the status reflects the labeler after that prefix (zero when nothing can
 // be read).
 type BatchStatusAnswerer interface {
+	// AnswerBatchStatus journals the applied records before returning, like
+	// Labeler.Answer.
+	//
+	//darwin:journals
 	AnswerBatchStatus(ctx context.Context, answers []Answer) ([]RuleRecord, Status, error)
 }
 
